@@ -1,0 +1,104 @@
+//===- bench/ablation_merge.cpp - Ablation: Section 4.8's merge ---------------===//
+///
+/// \file
+/// Quantifies the design decision of Section 4.8: at each App/Let, fold
+/// the *smaller* variable map into the bigger one (with StructureTags)
+/// instead of rebuilding the whole merged map (Section 4.6).
+///
+/// Three configurations over the same inputs:
+///   naive-summary   : reference Step-1 summariser, full merge (4.6)
+///   tagged-summary  : reference Step-1 summariser, smaller-map merge (4.8)
+///   hashed (Ours)   : production Step-2 hasher (4.8 + hash codes, 5.x)
+///
+/// Expected shape: on unbalanced trees with many live variables the
+/// naive merge is quadratic and falls off the cliff; tagged stays
+/// log-linear; the hashed representation then removes the tree-building
+/// constant factor on top.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gen/RandomExpr.h"
+#include "summary/ESummary.h"
+
+#include <map>
+
+using namespace hma;
+using namespace hma::bench;
+
+namespace {
+
+/// Unbalanced trees are the adversarial input for the naive merge when
+/// many distinct variables stay live along the spine; random unbalanced
+/// spines deliver exactly that.
+const Expr *makeInput(ExprContext &Ctx, uint32_t N, bool Balanced) {
+  Rng R(606 + N);
+  return Balanced ? genBalanced(Ctx, R, N) : genUnbalanced(Ctx, R, N);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: variable-map merge discipline (Section 4.6 vs "
+              "4.8 vs hashed)\n\n");
+
+  const char *Configs[] = {"naive-summary", "tagged-summary",
+                           "hashed (Ours)"};
+  double Cutoff = cutoffSeconds();
+
+  for (bool Balanced : {true, false}) {
+    std::printf("-- %s expressions --\n", Balanced ? "balanced"
+                                                   : "unbalanced");
+    std::printf("%10s  %16s  %16s  %16s\n", "n", Configs[0], Configs[1],
+                Configs[2]);
+    std::map<int, bool> Disabled;
+    std::vector<std::string> CsvRows;
+    std::vector<uint32_t> Sizes = {1000, 3162, 10000, 31623, 100000};
+    if (fullMode())
+      Sizes.push_back(316228);
+    for (uint32_t N : Sizes) {
+      ExprContext Ctx;
+      const Expr *E = makeInput(Ctx, N, Balanced);
+      std::printf("%10u", N);
+      for (int C = 0; C != 3; ++C) {
+        if (Disabled[C]) {
+          std::printf("  %16s", "(cut off)");
+          continue;
+        }
+        double T = timeMedian([&] {
+          switch (C) {
+          case 0: {
+            SummaryBuilder B(Ctx);
+            B.summariseNaive(E);
+            break;
+          }
+          case 1: {
+            SummaryBuilder B(Ctx);
+            B.summariseTagged(E);
+            break;
+          }
+          default: {
+            AlphaHasher<Hash128> H(Ctx);
+            H.hashRoot(E);
+          }
+          }
+        });
+        std::printf("  %16s", fmtSeconds(T).c_str());
+        std::fflush(stdout);
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf), "CSV,ablation_merge,%s,%s,%u,%.9f",
+                      Balanced ? "balanced" : "unbalanced", Configs[C], N,
+                      T);
+        CsvRows.push_back(Buf);
+        if (T > Cutoff)
+          Disabled[C] = true;
+      }
+      std::printf("\n");
+    }
+    for (const std::string &Row : CsvRows)
+      std::printf("%s\n", Row.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

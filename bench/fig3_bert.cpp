@@ -1,0 +1,71 @@
+//===- bench/fig3_bert.cpp - Figure 3: BERT layer scaling --------------------===//
+///
+/// \file
+/// Reproduces Figure 3: hashing time on the BERT workload as the layer
+/// count -- and hence, linearly, the expression size -- grows. The paper
+/// uses layer unrolling as a natural realistic size dial.
+///
+/// Expected shape: all four algorithms grow near-linearly except Locally
+/// Nameless, whose cost explodes with the let-chain depth (quadratic),
+/// separating from "Ours" by orders of magnitude well before 10^5 nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/MLModels.h"
+
+#include <map>
+
+using namespace hma;
+using namespace hma::bench;
+
+int main() {
+  std::printf("Figure 3 reproduction: hashing the BERT model, scaling the "
+              "number of layers\n");
+  std::printf("(algorithms marked * produce an incorrect set of "
+              "equivalence classes)\n\n");
+
+  std::vector<unsigned> Layers = {1, 2, 4, 8, 12, 16, 24};
+  if (fullMode()) {
+    Layers.push_back(48);
+    Layers.push_back(96);
+  }
+  double Cutoff = cutoffSeconds();
+
+  std::printf("%7s %9s", "layers", "n");
+  for (Algo A : allAlgos())
+    std::printf("  %16s", algoName(A));
+  std::printf("\n");
+
+  std::map<Algo, bool> Disabled;
+  std::map<Algo, std::vector<std::pair<double, double>>> Points;
+  for (unsigned L : Layers) {
+    ExprContext Ctx;
+    const Expr *E = buildBert(Ctx, L);
+    std::printf("%7u %9u", L, E->treeSize());
+    for (Algo A : allAlgos()) {
+      if (Disabled[A]) {
+        std::printf("  %16s", "(cut off)");
+        continue;
+      }
+      double T = timeMedian([&] { hashAllWith(A, Ctx, E); });
+      Points[A].push_back({double(E->treeSize()), T});
+      std::printf("  %16s", fmtSeconds(T).c_str());
+      std::fflush(stdout);
+      if (T > Cutoff)
+        Disabled[A] = true;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nfitted log-log slopes (vs node count):\n");
+  for (Algo A : allAlgos())
+    if (Points[A].size() >= 3)
+      std::printf("  %-17s: %.2f\n", algoName(A),
+                  fitLogLogSlope(Points[A]));
+
+  for (Algo A : allAlgos())
+    for (auto [N, T] : Points[A])
+      std::printf("CSV,fig3,BERT,%s,%.0f,%.9f\n", algoName(A), N, T);
+  return 0;
+}

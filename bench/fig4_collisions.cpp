@@ -1,0 +1,101 @@
+//===- bench/fig4_collisions.cpp - Figure 4 / Appendix B collisions ----------===//
+///
+/// \file
+/// Reproduces Figure 4 (Appendix B): the empirical number of 16-bit hash
+/// collisions per 2^16 trials, for random expression pairs and for
+/// adversarially constructed pairs (Appendix B.1), against
+///
+///   lower bound: 1 collision per 2^16 trials (perfect hash), and
+///   upper bound: 10 * n       (Theorem 6.7 with b=16, |e1|=|e2|=n).
+///
+/// The algorithm runs at b=16 end to end; the adversarial pairs wrap two
+/// inequivalent cores in identical layers, so an internal collision
+/// propagates to the roots (this is why their curve grows with n).
+///
+/// Default trial counts are 1/16 of the paper's 10*2^16 per size and are
+/// scaled up in the report; HMA_BENCH_FULL=1 runs the paper's counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "gen/RandomExpr.h"
+
+using namespace hma;
+using namespace hma::bench;
+
+namespace {
+
+struct Cell {
+  uint64_t Collisions = 0;
+  uint64_t Trials = 0;
+  /// Collisions extrapolated to a 2^16-trial experiment.
+  double perTwo16() const {
+    return Trials ? double(Collisions) * double(1 << 16) / double(Trials)
+                  : 0.0;
+  }
+};
+
+Cell runRandom(uint32_t Size, uint64_t Trials, uint64_t Seed) {
+  Cell C;
+  Rng R(Seed);
+  HashSchema Schema; // fixed hashing seed, fresh expressions per trial
+  for (uint64_t T = 0; T != Trials; ++T) {
+    ExprContext Ctx;
+    const Expr *E1 = genBalanced(Ctx, R, Size);
+    const Expr *E2 = genBalanced(Ctx, R, Size);
+    if (alphaEquivalent(Ctx, E1, E2))
+      continue; // equivalent pairs are not collisions; discard
+    AlphaHasher<Hash16> H(Ctx, Schema);
+    C.Collisions += H.hashRoot(E1) == H.hashRoot(E2);
+    ++C.Trials;
+  }
+  return C;
+}
+
+Cell runAdversarial(uint32_t Size, uint64_t Trials, uint64_t Seed) {
+  Cell C;
+  Rng R(Seed);
+  HashSchema Schema;
+  for (uint64_t T = 0; T != Trials; ++T) {
+    ExprContext Ctx;
+    auto [E1, E2] = genAdversarialPair(Ctx, R, Size);
+    AlphaHasher<Hash16> H(Ctx, Schema);
+    C.Collisions += H.hashRoot(E1) == H.hashRoot(E2);
+    ++C.Trials;
+  }
+  return C;
+}
+
+} // namespace
+
+int main() {
+  const uint64_t PaperTrials = 10ull << 16; // 10 * 2^16 per size
+  const uint64_t Trials = fullMode() ? PaperTrials : PaperTrials / 64;
+
+  std::printf("Figure 4 reproduction: 16-bit collisions per 2^16 trials "
+              "(scaled from %llu trials per cell)\n\n",
+              static_cast<unsigned long long>(Trials));
+  std::printf("%8s  %14s  %14s  %14s  %14s\n", "n", "random", "adversarial",
+              "lower bound", "upper bound");
+
+  std::vector<uint32_t> Sizes = {128, 256, 512, 1024, 2048, 4096};
+  for (uint32_t N : Sizes) {
+    Cell Rand = runRandom(N, Trials, 9000 + N);
+    Cell Adv = runAdversarial(N, Trials, 4000 + N);
+    std::printf("%8u  %14.1f  %14.1f  %14.1f  %14.1f\n", N,
+                Rand.perTwo16(), Adv.perTwo16(), 1.0, 10.0 * N);
+    std::fflush(stdout);
+    std::printf("CSV,fig4,random,%u,%.3f\n", N, Rand.perTwo16());
+    std::printf("CSV,fig4,adversarial,%u,%.3f\n", N, Adv.perTwo16());
+  }
+
+  std::printf("\nexpected shape: random stays near the perfect-hash line "
+              "(~1); adversarial grows with n but remains well below the "
+              "Theorem 6.7 bound (10n).\n");
+  std::printf("note: with reduced trial counts the random row is a noisy "
+              "estimate of a ~1-per-2^16 event; run HMA_BENCH_FULL=1 for "
+              "paper-fidelity counts.\n");
+  return 0;
+}

@@ -1,0 +1,320 @@
+//===- adt/AvlMap.h - Mutable AVL tree map --------------------------------===//
+///
+/// \file
+/// A mutable ordered map implemented as an AVL tree with pooled nodes.
+///
+/// This is the C++ replacement for the Haskell `Data.Map` that the paper's
+/// variable maps are built on (Section 4.4). Theorem 6.3's complexity
+/// argument assumes "we implement the map as a balanced binary search
+/// tree [so] addition and removal take time logarithmic in the size of the
+/// map"; this class provides exactly those bounds:
+///
+///   find / alter / remove : O(log n)
+///   ordered iteration     : O(n)
+///   size                  : O(1)
+///
+/// Nodes come from a shared \ref AvlMap::Pool so that the hashing pass --
+/// which creates and destroys one map per expression node -- recycles
+/// memory instead of hammering the system allocator. Maps are movable but
+/// not copyable; the summarisation algorithm threads ownership of child
+/// maps into their parent (Section 4.8 merges the smaller map into the
+/// bigger one destructively).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_ADT_AVLMAP_H
+#define HMA_ADT_AVLMAP_H
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace hma {
+
+/// Mutable AVL-balanced ordered map from \p K to \p V.
+///
+/// \p K and \p V must be trivially destructible (nodes live in an arena
+/// pool). \p K must support `<` and `==`.
+template <typename K, typename V> class AvlMap {
+  struct Node {
+    K Key;
+    V Val;
+    Node *L;
+    Node *R;
+    uint8_t H; ///< Height of the subtree rooted here (leaf = 1).
+  };
+  static_assert(std::is_trivially_destructible_v<K> &&
+                    std::is_trivially_destructible_v<V>,
+                "AvlMap nodes are pool-allocated and never destroyed");
+
+public:
+  /// A shared node allocator with a free list. All maps taking part in
+  /// one summarisation pass should share one pool.
+  class Pool {
+  public:
+    Pool() = default;
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    size_t liveNodes() const { return Live; }
+
+  private:
+    friend class AvlMap;
+
+    Node *make(const K &Key, const V &Val, Node *L, Node *R, uint8_t H) {
+      Node *N;
+      if (Free) {
+        N = Free;
+        Free = Free->L;
+      } else {
+        N = static_cast<Node *>(Mem.allocate(sizeof(Node), alignof(Node)));
+      }
+      N->Key = Key;
+      N->Val = Val;
+      N->L = L;
+      N->R = R;
+      N->H = H;
+      ++Live;
+      return N;
+    }
+
+    void recycle(Node *N) {
+      N->L = Free;
+      Free = N;
+      --Live;
+    }
+
+    Arena Mem;
+    Node *Free = nullptr;
+    size_t Live = 0;
+  };
+
+  explicit AvlMap(Pool &P) : P(&P) {}
+
+  AvlMap(const AvlMap &) = delete;
+  AvlMap &operator=(const AvlMap &) = delete;
+
+  AvlMap(AvlMap &&O) : P(O.P), Root(O.Root), Count(O.Count) {
+    O.Root = nullptr;
+    O.Count = 0;
+  }
+  AvlMap &operator=(AvlMap &&O) {
+    if (this != &O) {
+      clear();
+      P = O.P;
+      Root = O.Root;
+      Count = O.Count;
+      O.Root = nullptr;
+      O.Count = 0;
+    }
+    return *this;
+  }
+
+  ~AvlMap() { clear(); }
+
+  bool empty() const { return Root == nullptr; }
+  size_t size() const { return Count; }
+  Pool &pool() const { return *P; }
+
+  /// Find the value for \p Key, or null.
+  V *find(const K &Key) {
+    Node *N = Root;
+    while (N) {
+      if (Key < N->Key)
+        N = N->L;
+      else if (N->Key < Key)
+        N = N->R;
+      else
+        return &N->Val;
+    }
+    return nullptr;
+  }
+  const V *find(const K &Key) const {
+    return const_cast<AvlMap *>(this)->find(Key);
+  }
+
+  /// Insert or update: sets the value for \p Key to
+  /// `MakeVal(existing-or-null)`. This is the paper's `alterVM`
+  /// (Section 4.8): the callback sees the previous value if the key was
+  /// present, so callers can build PTJoin nodes (and fix up XOR
+  /// aggregates) from it.
+  template <typename F> void alter(const K &Key, F &&MakeVal) {
+    Root = alterRec(Root, Key, MakeVal);
+  }
+
+  /// Convenience: plain insert-or-assign.
+  void set(const K &Key, const V &Val) {
+    alter(Key, [&](V *) { return Val; });
+  }
+
+  /// Remove \p Key, returning its value if present. This is the paper's
+  /// `removeFromVM` (Section 4.4).
+  std::optional<V> remove(const K &Key) {
+    std::optional<V> Removed;
+    Root = removeRec(Root, Key, Removed);
+    if (Removed)
+      --Count;
+    return Removed;
+  }
+
+  /// Visit all entries in ascending key order. The callback receives
+  /// (key, value). Iteration is stack-based; tree height is O(log n).
+  template <typename F> void forEach(F &&Fn) const {
+    const Node *Stack[MaxHeight];
+    unsigned Top = 0;
+    const Node *N = Root;
+    while (N || Top) {
+      while (N) {
+        assert(Top < MaxHeight && "AVL height invariant violated");
+        Stack[Top++] = N;
+        N = N->L;
+      }
+      N = Stack[--Top];
+      Fn(N->Key, N->Val);
+      N = N->R;
+    }
+  }
+
+  /// Release all nodes back to the pool.
+  void clear() {
+    if (!Root)
+      return;
+    Node *Stack[MaxHeight * 2];
+    unsigned Top = 0;
+    Stack[Top++] = Root;
+    while (Top) {
+      Node *N = Stack[--Top];
+      if (N->R)
+        Stack[Top++] = N->R;
+      if (N->L)
+        Stack[Top++] = N->L;
+      P->recycle(N);
+    }
+    Root = nullptr;
+    Count = 0;
+  }
+
+  /// Validate AVL invariants (test support). Returns false on violation.
+  bool checkInvariants() const {
+    bool Ok = true;
+    size_t Seen = 0;
+    checkRec(Root, nullptr, nullptr, Ok, Seen);
+    return Ok && Seen == Count;
+  }
+
+private:
+  // 1.44 * log2(2^48) rounds far below 96; plenty for any realistic map.
+  static constexpr unsigned MaxHeight = 96;
+
+  static int height(const Node *N) { return N ? N->H : 0; }
+  static void refresh(Node *N) {
+    N->H = static_cast<uint8_t>(1 + std::max(height(N->L), height(N->R)));
+  }
+  static int balance(const Node *N) { return height(N->L) - height(N->R); }
+
+  static Node *rotateRight(Node *Y) {
+    Node *X = Y->L;
+    Y->L = X->R;
+    X->R = Y;
+    refresh(Y);
+    refresh(X);
+    return X;
+  }
+  static Node *rotateLeft(Node *X) {
+    Node *Y = X->R;
+    X->R = Y->L;
+    Y->L = X;
+    refresh(X);
+    refresh(Y);
+    return Y;
+  }
+
+  static Node *rebalance(Node *N) {
+    refresh(N);
+    int B = balance(N);
+    if (B > 1) {
+      if (balance(N->L) < 0)
+        N->L = rotateLeft(N->L);
+      return rotateRight(N);
+    }
+    if (B < -1) {
+      if (balance(N->R) > 0)
+        N->R = rotateRight(N->R);
+      return rotateLeft(N);
+    }
+    return N;
+  }
+
+  template <typename F> Node *alterRec(Node *N, const K &Key, F &MakeVal) {
+    if (!N) {
+      ++Count;
+      return P->make(Key, MakeVal(static_cast<V *>(nullptr)), nullptr,
+                     nullptr, 1);
+    }
+    if (Key < N->Key)
+      N->L = alterRec(N->L, Key, MakeVal);
+    else if (N->Key < Key)
+      N->R = alterRec(N->R, Key, MakeVal);
+    else {
+      N->Val = MakeVal(&N->Val);
+      return N;
+    }
+    return rebalance(N);
+  }
+
+  Node *removeRec(Node *N, const K &Key, std::optional<V> &Removed) {
+    if (!N)
+      return nullptr;
+    if (Key < N->Key) {
+      N->L = removeRec(N->L, Key, Removed);
+    } else if (N->Key < Key) {
+      N->R = removeRec(N->R, Key, Removed);
+    } else {
+      Removed = N->Val;
+      if (!N->L || !N->R) {
+        Node *Child = N->L ? N->L : N->R;
+        P->recycle(N);
+        return Child;
+      }
+      // Two children: replace this node's payload with its in-order
+      // successor and delete the successor from the right subtree.
+      Node *Succ = N->R;
+      while (Succ->L)
+        Succ = Succ->L;
+      N->Key = Succ->Key;
+      N->Val = Succ->Val;
+      std::optional<V> Dummy;
+      N->R = removeRec(N->R, Succ->Key, Dummy);
+    }
+    return rebalance(N);
+  }
+
+  void checkRec(const Node *N, const K *Lo, const K *Hi, bool &Ok,
+                size_t &Seen) const {
+    if (!N)
+      return;
+    ++Seen;
+    if (Lo && !(*Lo < N->Key))
+      Ok = false;
+    if (Hi && !(N->Key < *Hi))
+      Ok = false;
+    if (N->H != 1 + std::max(height(N->L), height(N->R)))
+      Ok = false;
+    if (balance(N) < -1 || balance(N) > 1)
+      Ok = false;
+    checkRec(N->L, Lo, &N->Key, Ok, Seen);
+    checkRec(N->R, &N->Key, Hi, Ok, Seen);
+  }
+
+  Pool *P;
+  Node *Root = nullptr;
+  size_t Count = 0;
+};
+
+} // namespace hma
+
+#endif // HMA_ADT_AVLMAP_H

@@ -1,0 +1,247 @@
+//===- adt/PersistentMap.h - Persistent (path-copying) AVL map ------------===//
+///
+/// \file
+/// An immutable ordered map with O(log n) functional update.
+///
+/// Haskell's `Data.Map` -- which the paper's reference implementation uses
+/// -- is persistent: "updating" a map returns a new version and leaves the
+/// old one intact, sharing all untouched structure. Two parts of this
+/// library need that behaviour and cannot use the mutable \ref AvlMap:
+///
+///  - the incremental hasher (Section 6.3), which must retain every
+///    expression node's variable map so that a rewrite can re-merge
+///    ancestor maps without recomputing the whole tree; and
+///  - scoped environments in the uniquifier / alpha-equivalence checker,
+///    where entering a binder extends the environment and leaving it must
+///    restore the previous version in O(1).
+///
+/// Nodes are allocated from an \ref Arena and never freed individually;
+/// all versions share the arena's lifetime. A map value is just a root
+/// pointer plus an arena pointer and is freely copyable (O(1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_ADT_PERSISTENTMAP_H
+#define HMA_ADT_PERSISTENTMAP_H
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace hma {
+
+/// Immutable AVL-balanced ordered map from \p K to \p V with persistent
+/// (path-copying) updates.
+template <typename K, typename V> class PersistentMap {
+  struct Node {
+    K Key;
+    V Val;
+    const Node *L;
+    const Node *R;
+    uint32_t Count; ///< Number of entries in this subtree.
+    uint8_t H;      ///< AVL height (leaf = 1).
+  };
+  static_assert(std::is_trivially_destructible_v<K> &&
+                    std::is_trivially_destructible_v<V>,
+                "PersistentMap nodes live in an arena");
+
+public:
+  /// An empty map allocating from \p A. All maps derived from this one
+  /// share the arena.
+  explicit PersistentMap(Arena &A) : A(&A), Root(nullptr) {}
+
+  PersistentMap(const PersistentMap &) = default;
+  PersistentMap &operator=(const PersistentMap &) = default;
+
+  bool empty() const { return Root == nullptr; }
+  size_t size() const { return count(Root); }
+
+  /// Find the value for \p Key, or null. The pointer stays valid for the
+  /// arena's lifetime (nodes are immutable).
+  const V *find(const K &Key) const {
+    const Node *N = Root;
+    while (N) {
+      if (Key < N->Key)
+        N = N->L;
+      else if (N->Key < Key)
+        N = N->R;
+      else
+        return &N->Val;
+    }
+    return nullptr;
+  }
+
+  bool contains(const K &Key) const { return find(Key) != nullptr; }
+
+  /// Return a new map in which \p Key maps to `MakeVal(existing-or-null)`.
+  template <typename F> PersistentMap alter(const K &Key, F &&MakeVal) const {
+    return PersistentMap(*A, alterRec(Root, Key, MakeVal));
+  }
+
+  /// Return a new map with \p Key set to \p Val.
+  PersistentMap insert(const K &Key, const V &Val) const {
+    return alter(Key, [&](const V *) { return Val; });
+  }
+
+  /// Return a new map without \p Key; also reports the removed value.
+  /// This is `removeFromVM` in persistent form.
+  PersistentMap remove(const K &Key, std::optional<V> *RemovedOut = nullptr)
+      const {
+    std::optional<V> Removed;
+    const Node *NewRoot = removeRec(Root, Key, Removed);
+    if (RemovedOut)
+      *RemovedOut = Removed;
+    return PersistentMap(*A, Removed ? NewRoot : Root);
+  }
+
+  /// Visit all entries in ascending key order.
+  template <typename F> void forEach(F &&Fn) const {
+    const Node *Stack[MaxHeight];
+    unsigned Top = 0;
+    const Node *N = Root;
+    while (N || Top) {
+      while (N) {
+        assert(Top < MaxHeight && "AVL height invariant violated");
+        Stack[Top++] = N;
+        N = N->L;
+      }
+      N = Stack[--Top];
+      Fn(N->Key, N->Val);
+      N = N->R;
+    }
+  }
+
+  /// Structural equality of contents (same keys mapping to same values).
+  friend bool operator==(const PersistentMap &A, const PersistentMap &B) {
+    if (A.size() != B.size())
+      return false;
+    bool Equal = true;
+    A.forEach([&](const K &Key, const V &Val) {
+      if (!Equal)
+        return;
+      const V *Other = B.find(Key);
+      if (!Other || !(*Other == Val))
+        Equal = false;
+    });
+    return Equal;
+  }
+
+  /// Validate AVL and size invariants (test support).
+  bool checkInvariants() const {
+    bool Ok = true;
+    checkRec(Root, nullptr, nullptr, Ok);
+    return Ok;
+  }
+
+private:
+  static constexpr unsigned MaxHeight = 96;
+
+  PersistentMap(Arena &A, const Node *Root) : A(&A), Root(Root) {}
+
+  static uint32_t count(const Node *N) { return N ? N->Count : 0; }
+  static int height(const Node *N) { return N ? N->H : 0; }
+
+  const Node *make(const K &Key, const V &Val, const Node *L,
+                   const Node *R) const {
+    Node *N = static_cast<Node *>(A->allocate(sizeof(Node), alignof(Node)));
+    N->Key = Key;
+    N->Val = Val;
+    N->L = L;
+    N->R = R;
+    N->Count = 1 + count(L) + count(R);
+    N->H = static_cast<uint8_t>(1 + std::max(height(L), height(R)));
+    return N;
+  }
+
+  const Node *rotateRight(const Node *Y) const {
+    const Node *X = Y->L;
+    return make(X->Key, X->Val, X->L, make(Y->Key, Y->Val, X->R, Y->R));
+  }
+  const Node *rotateLeft(const Node *X) const {
+    const Node *Y = X->R;
+    return make(Y->Key, Y->Val, make(X->Key, X->Val, X->L, Y->L), Y->R);
+  }
+
+  const Node *rebalance(const Node *N) const {
+    int B = height(N->L) - height(N->R);
+    if (B > 1) {
+      if (height(N->L->L) < height(N->L->R))
+        N = make(N->Key, N->Val, rotateLeft(N->L), N->R);
+      return rotateRight(N);
+    }
+    if (B < -1) {
+      if (height(N->R->R) < height(N->R->L))
+        N = make(N->Key, N->Val, N->L, rotateRight(N->R));
+      return rotateLeft(N);
+    }
+    return N;
+  }
+
+  template <typename F>
+  const Node *alterRec(const Node *N, const K &Key, F &MakeVal) const {
+    if (!N)
+      return make(Key, MakeVal(static_cast<const V *>(nullptr)), nullptr,
+                  nullptr);
+    if (Key < N->Key)
+      return rebalance(
+          make(N->Key, N->Val, alterRec(N->L, Key, MakeVal), N->R));
+    if (N->Key < Key)
+      return rebalance(
+          make(N->Key, N->Val, N->L, alterRec(N->R, Key, MakeVal)));
+    return make(N->Key, MakeVal(&N->Val), N->L, N->R);
+  }
+
+  const Node *removeRec(const Node *N, const K &Key,
+                        std::optional<V> &Removed) const {
+    if (!N)
+      return nullptr;
+    if (Key < N->Key) {
+      const Node *L = removeRec(N->L, Key, Removed);
+      return Removed ? rebalance(make(N->Key, N->Val, L, N->R)) : N;
+    }
+    if (N->Key < Key) {
+      const Node *R = removeRec(N->R, Key, Removed);
+      return Removed ? rebalance(make(N->Key, N->Val, N->L, R)) : N;
+    }
+    Removed = N->Val;
+    if (!N->L)
+      return N->R;
+    if (!N->R)
+      return N->L;
+    // Two children: splice in the in-order successor.
+    const Node *Succ = N->R;
+    while (Succ->L)
+      Succ = Succ->L;
+    std::optional<V> Dummy;
+    const Node *R = removeRec(N->R, Succ->Key, Dummy);
+    return rebalance(make(Succ->Key, Succ->Val, N->L, R));
+  }
+
+  void checkRec(const Node *N, const K *Lo, const K *Hi, bool &Ok) const {
+    if (!N)
+      return;
+    if (Lo && !(*Lo < N->Key))
+      Ok = false;
+    if (Hi && !(N->Key < *Hi))
+      Ok = false;
+    if (N->H != 1 + std::max(height(N->L), height(N->R)))
+      Ok = false;
+    if (N->Count != 1 + count(N->L) + count(N->R))
+      Ok = false;
+    int B = height(N->L) - height(N->R);
+    if (B < -1 || B > 1)
+      Ok = false;
+    checkRec(N->L, Lo, &N->Key, Ok);
+    checkRec(N->R, &N->Key, Hi, Ok);
+  }
+
+  Arena *A;
+  const Node *Root;
+};
+
+} // namespace hma
+
+#endif // HMA_ADT_PERSISTENTMAP_H

@@ -1,0 +1,89 @@
+//===- ast/AlphaEquivalence.cpp - Reference alpha-equivalence ---------------===//
+///
+/// \file
+/// Simultaneous traversal with per-side scoped binder environments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlphaEquivalence.h"
+
+#include "adt/PersistentMap.h"
+
+#include <vector>
+
+using namespace hma;
+
+bool hma::alphaEquivalent(const ExprContext &CtxA, const Expr *A,
+                          const ExprContext &CtxB, const Expr *B) {
+  if (A == B && &CtxA == &CtxB)
+    return true;
+  if (!A || !B)
+    return false;
+
+  // Environments map a bound name to the de Bruijn *level* of its binder
+  // along the current path; two bound occurrences correspond iff their
+  // binders are at the same level.
+  Arena EnvArena;
+  using Env = PersistentMap<Name, uint32_t>;
+
+  struct Task {
+    const Expr *A;
+    const Expr *B;
+    Env EnvA;
+    Env EnvB;
+    uint32_t Level;
+  };
+  std::vector<Task> Work;
+  Work.push_back({A, B, Env(EnvArena), Env(EnvArena), 0});
+
+  while (!Work.empty()) {
+    Task T = Work.back();
+    Work.pop_back();
+
+    if (T.A->kind() != T.B->kind())
+      return false;
+    // Cheap pruning: alpha-equivalent trees have identical shapes.
+    if (T.A->treeSize() != T.B->treeSize())
+      return false;
+
+    switch (T.A->kind()) {
+    case ExprKind::Var: {
+      const uint32_t *LA = T.EnvA.find(T.A->varName());
+      const uint32_t *LB = T.EnvB.find(T.B->varName());
+      if (LA || LB) {
+        // At least one side is bound: both must be, at the same level.
+        if (!LA || !LB || *LA != *LB)
+          return false;
+        break;
+      }
+      // Both free: compare spellings (contexts may differ).
+      if (CtxA.names().spelling(T.A->varName()) !=
+          CtxB.names().spelling(T.B->varName()))
+        return false;
+      break;
+    }
+    case ExprKind::Const:
+      if (T.A->constValue() != T.B->constValue())
+        return false;
+      break;
+    case ExprKind::Lam:
+      Work.push_back({T.A->lamBody(), T.B->lamBody(),
+                      T.EnvA.insert(T.A->lamBinder(), T.Level),
+                      T.EnvB.insert(T.B->lamBinder(), T.Level), T.Level + 1});
+      break;
+    case ExprKind::App:
+      Work.push_back({T.A->appFun(), T.B->appFun(), T.EnvA, T.EnvB, T.Level});
+      Work.push_back({T.A->appArg(), T.B->appArg(), T.EnvA, T.EnvB, T.Level});
+      break;
+    case ExprKind::Let:
+      // The bound expression is outside the binder's scope.
+      Work.push_back(
+          {T.A->letBound(), T.B->letBound(), T.EnvA, T.EnvB, T.Level});
+      Work.push_back({T.A->letBody(), T.B->letBody(),
+                      T.EnvA.insert(T.A->letBinder(), T.Level),
+                      T.EnvB.insert(T.B->letBinder(), T.Level), T.Level + 1});
+      break;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,40 @@
+//===- ast/AlphaEquivalence.h - Reference alpha-equivalence ----------------===//
+///
+/// \file
+/// The ground-truth alpha-equivalence oracle (Section 2.1).
+///
+/// Two expressions are alpha-equivalent iff they are identical up to a
+/// renaming of *bound* variables; free variables must match by spelling.
+/// This is the specification every hashing algorithm in the library is
+/// tested against: the paper's algorithm must equate exactly the
+/// alpha-equivalent pairs, the baselines exhibit the false
+/// positives/negatives of Table 1.
+///
+/// The checker is a direct O(n log n) simultaneous traversal with scoped
+/// environments mapping each bound name to its binder's de Bruijn level.
+/// It performs no hashing and is deliberately independent of every other
+/// module so it can serve as the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_ALPHAEQUIVALENCE_H
+#define HMA_AST_ALPHAEQUIVALENCE_H
+
+#include "ast/Expr.h"
+
+namespace hma {
+
+/// True iff \p A and \p B are alpha-equivalent. The expressions may live
+/// in different contexts; free variables compare by spelling.
+bool alphaEquivalent(const ExprContext &CtxA, const Expr *A,
+                     const ExprContext &CtxB, const Expr *B);
+
+/// Same-context convenience overload.
+inline bool alphaEquivalent(const ExprContext &Ctx, const Expr *A,
+                            const Expr *B) {
+  return alphaEquivalent(Ctx, A, Ctx, B);
+}
+
+} // namespace hma
+
+#endif // HMA_AST_ALPHAEQUIVALENCE_H

@@ -1,0 +1,88 @@
+//===- ast/DeBruijn.cpp - De Bruijn index rendering ---------------------------===//
+///
+/// \file
+/// Iterative de Bruijn renderer with a scoped environment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/DeBruijn.h"
+
+#include "adt/PersistentMap.h"
+
+#include <vector>
+
+using namespace hma;
+
+std::string hma::toDeBruijnString(const ExprContext &Ctx, const Expr *E) {
+  if (!E)
+    return "<null>";
+
+  Arena EnvArena;
+  using Env = PersistentMap<Name, uint32_t>; // name -> binder level
+
+  struct Item {
+    const Expr *E;
+    Env Scope;
+    uint32_t Level;
+    std::string_view Lit;
+  };
+  std::string Out;
+  std::vector<Item> Work;
+  Env Empty(EnvArena);
+  Work.push_back({E, Empty, 0, {}});
+
+  auto pushLit = [&](std::string_view Lit) {
+    Work.push_back({nullptr, Empty, 0, Lit});
+  };
+
+  while (!Work.empty()) {
+    Item It = Work.back();
+    Work.pop_back();
+    if (!It.E) {
+      Out.append(It.Lit);
+      continue;
+    }
+    const Expr *N = It.E;
+    switch (N->kind()) {
+    case ExprKind::Var: {
+      if (const uint32_t *BinderLevel = It.Scope.find(N->varName())) {
+        Out.push_back('%');
+        Out.append(std::to_string(It.Level - 1 - *BinderLevel));
+      } else {
+        Out.append(Ctx.names().spelling(N->varName()));
+      }
+      break;
+    }
+    case ExprKind::Const:
+      Out.append(std::to_string(N->constValue()));
+      break;
+    case ExprKind::Lam: {
+      Out.append("(\\. ");
+      pushLit(")");
+      Work.push_back({N->lamBody(),
+                      It.Scope.insert(N->lamBinder(), It.Level), It.Level + 1,
+                      {}});
+      break;
+    }
+    case ExprKind::App: {
+      Out.push_back('(');
+      pushLit(")");
+      Work.push_back({N->appArg(), It.Scope, It.Level, {}});
+      pushLit(" ");
+      Work.push_back({N->appFun(), It.Scope, It.Level, {}});
+      break;
+    }
+    case ExprKind::Let: {
+      Out.append("(let. ");
+      pushLit(")");
+      Work.push_back({N->letBody(),
+                      It.Scope.insert(N->letBinder(), It.Level), It.Level + 1,
+                      {}});
+      pushLit(" in ");
+      Work.push_back({N->letBound(), It.Scope, It.Level, {}});
+      break;
+    }
+    }
+  }
+  return Out;
+}

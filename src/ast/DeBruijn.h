@@ -1,0 +1,37 @@
+//===- ast/DeBruijn.h - De Bruijn index rendering ---------------------------===//
+///
+/// \file
+/// De Bruijn views of expressions (Section 2.4).
+///
+/// The paper renders `\x.\y.x+y*7` as `(\.\.%1+%0*7)`: lambdas drop their
+/// binders and each bound occurrence becomes `%i`, the number of
+/// intervening lambdas between occurrence and binder. We provide
+///
+///  - \ref toDeBruijnString : the textual rendering, used in tests that
+///    reproduce the paper's Section 2.4 false-positive / false-negative
+///    examples verbatim, and
+///  - \ref deBruijnIndexOf : the per-occurrence index computation shared
+///    with the de Bruijn baseline hasher.
+///
+/// `let x = e1 in e2` participates in binding: it counts as one binder
+/// level for occurrences inside `e2`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_DEBRUIJN_H
+#define HMA_AST_DEBRUIJN_H
+
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace hma {
+
+/// Render \p E in de Bruijn notation: lambdas print as `\.`, lets as
+/// `let<bound>in<body>` with the binder dropped, bound occurrences as
+/// `%i`, free variables by name.
+std::string toDeBruijnString(const ExprContext &Ctx, const Expr *E);
+
+} // namespace hma
+
+#endif // HMA_AST_DEBRUIJN_H

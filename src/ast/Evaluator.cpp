@@ -1,0 +1,227 @@
+//===- ast/Evaluator.cpp - Reference evaluator --------------------------------===//
+///
+/// \file
+/// Call-by-value interpreter with closures and curried integer builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Evaluator.h"
+
+#include "adt/PersistentMap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace hma;
+
+namespace {
+
+enum class PrimOp : uint8_t { Add, Sub, Mul, Div, Neg, Min, Max };
+
+struct Value;
+using Env = PersistentMap<Name, uint32_t>; // name -> index into value heap
+
+/// A runtime value. Closures capture their environment persistently.
+struct Value {
+  enum class Kind : uint8_t { Int, Closure, Prim } K = Kind::Int;
+  int64_t Int = 0;          // Kind::Int, or first collected prim argument
+  const Expr *Fun = nullptr; // Kind::Closure: the Lam node
+  const Env *Captured = nullptr;
+  PrimOp Op = PrimOp::Add; // Kind::Prim
+  uint8_t Collected = 0;   // prim arguments collected so far
+};
+
+class Machine {
+public:
+  Machine(const ExprContext &Ctx, uint64_t Fuel) : Ctx(Ctx), Fuel(Fuel) {}
+
+  EvalResult run(const Expr *E) {
+    Env Empty(EnvArena);
+    Value V;
+    if (!eval(E, Empty, 0, V))
+      return EvalResult::makeError(Error);
+    if (V.K == Value::Kind::Int)
+      return EvalResult::makeInt(V.Int);
+    return EvalResult::makeClosure();
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 4096;
+
+  const ExprContext &Ctx;
+  uint64_t Fuel;
+  Arena EnvArena;
+  std::vector<Value> Heap;
+  std::vector<std::unique_ptr<Env>> SavedEnvs;
+  std::string Error;
+
+  bool fail(std::string Msg) {
+    if (Error.empty())
+      Error = std::move(Msg);
+    return false;
+  }
+
+  bool resolvePrim(std::string_view S, PrimOp &Op) {
+    if (S == "add")
+      Op = PrimOp::Add;
+    else if (S == "sub")
+      Op = PrimOp::Sub;
+    else if (S == "mul")
+      Op = PrimOp::Mul;
+    else if (S == "div")
+      Op = PrimOp::Div;
+    else if (S == "neg")
+      Op = PrimOp::Neg;
+    else if (S == "min")
+      Op = PrimOp::Min;
+    else if (S == "max")
+      Op = PrimOp::Max;
+    else
+      return false;
+    return true;
+  }
+
+  /// Wrapping arithmetic (avoids signed-overflow UB; tests use values
+  /// well within range, but generated programs may not).
+  static int64_t wrapAdd(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
+  }
+  static int64_t wrapSub(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                static_cast<uint64_t>(B));
+  }
+  static int64_t wrapMul(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                static_cast<uint64_t>(B));
+  }
+
+  bool applyPrim(const Value &F, const Value &Arg, Value &Out) {
+    if (Arg.K != Value::Kind::Int)
+      return fail("builtin applied to a non-integer");
+    if (F.Op == PrimOp::Neg) {
+      Out = Value();
+      Out.Int = wrapSub(0, Arg.Int);
+      return true;
+    }
+    if (F.Collected == 0) {
+      Out = F;
+      Out.Int = Arg.Int;
+      Out.Collected = 1;
+      return true;
+    }
+    int64_t A = F.Int, B = Arg.Int;
+    Out = Value();
+    switch (F.Op) {
+    case PrimOp::Add:
+      Out.Int = wrapAdd(A, B);
+      break;
+    case PrimOp::Sub:
+      Out.Int = wrapSub(A, B);
+      break;
+    case PrimOp::Mul:
+      Out.Int = wrapMul(A, B);
+      break;
+    case PrimOp::Div:
+      if (B == 0)
+        return fail("division by zero");
+      if (A == INT64_MIN && B == -1)
+        return fail("division overflow");
+      Out.Int = A / B;
+      break;
+    case PrimOp::Min:
+      Out.Int = std::min(A, B);
+      break;
+    case PrimOp::Max:
+      Out.Int = std::max(A, B);
+      break;
+    case PrimOp::Neg:
+      assert(false && "unary op handled above");
+      return false;
+    }
+    return true;
+  }
+
+  bool apply(const Value &F, const Value &Arg, unsigned Depth, Value &Out) {
+    if (F.K == Value::Kind::Prim)
+      return applyPrim(F, Arg, Out);
+    if (F.K != Value::Kind::Closure)
+      return fail("applying a non-function");
+    Heap.push_back(Arg);
+    uint32_t Slot = static_cast<uint32_t>(Heap.size() - 1);
+    SavedEnvs.push_back(std::make_unique<Env>(
+        F.Captured->insert(F.Fun->lamBinder(), Slot)));
+    return eval(F.Fun->lamBody(), *SavedEnvs.back(), Depth + 1, Out);
+  }
+
+  bool eval(const Expr *E, const Env &Scope, unsigned Depth, Value &Out) {
+    if (Depth > MaxDepth)
+      return fail("evaluation recurses too deeply");
+    if (Fuel-- == 0)
+      return fail("out of fuel (diverging term?)");
+
+    switch (E->kind()) {
+    case ExprKind::Const:
+      Out = Value();
+      Out.Int = E->constValue();
+      return true;
+
+    case ExprKind::Var: {
+      if (const uint32_t *Slot = Scope.find(E->varName())) {
+        Out = Heap[*Slot];
+        return true;
+      }
+      PrimOp Op;
+      if (resolvePrim(Ctx.names().spelling(E->varName()), Op)) {
+        Out = Value();
+        Out.K = Value::Kind::Prim;
+        Out.Op = Op;
+        return true;
+      }
+      return fail("unbound variable '" +
+                  std::string(Ctx.names().spelling(E->varName())) + "'");
+    }
+
+    case ExprKind::Lam: {
+      Out = Value();
+      Out.K = Value::Kind::Closure;
+      Out.Fun = E;
+      SavedEnvs.push_back(std::make_unique<Env>(Scope));
+      Out.Captured = SavedEnvs.back().get();
+      return true;
+    }
+
+    case ExprKind::App: {
+      Value F, A;
+      if (!eval(E->appFun(), Scope, Depth + 1, F) ||
+          !eval(E->appArg(), Scope, Depth + 1, A))
+        return false;
+      return apply(F, A, Depth, Out);
+    }
+
+    case ExprKind::Let: {
+      Value Bound;
+      if (!eval(E->letBound(), Scope, Depth + 1, Bound))
+        return false;
+      Heap.push_back(Bound);
+      uint32_t Slot = static_cast<uint32_t>(Heap.size() - 1);
+      SavedEnvs.push_back(std::make_unique<Env>(
+          Scope.insert(E->letBinder(), Slot)));
+      return eval(E->letBody(), *SavedEnvs.back(), Depth + 1, Out);
+    }
+    }
+    assert(false && "covered switch");
+    return false;
+  }
+};
+
+} // namespace
+
+EvalResult hma::evaluate(const ExprContext &Ctx, const Expr *E,
+                         uint64_t Fuel) {
+  if (!E)
+    return EvalResult::makeError("null expression");
+  Machine M(Ctx, Fuel);
+  return M.run(E);
+}

@@ -1,0 +1,73 @@
+//===- ast/Evaluator.h - Reference evaluator --------------------------------===//
+///
+/// \file
+/// A small strict evaluator for the expression language.
+///
+/// The CSE application (the paper's motivating transformation, Section 1)
+/// must be *semantics preserving*. The property tests need an independent
+/// notion of semantics to check that against, so this module provides a
+/// call-by-value interpreter for arithmetic programs:
+///
+///  - integer constants evaluate to themselves;
+///  - the free variables `add sub mul div neg min max` are builtin
+///    curried primitives (e.g. `(add 1 2)` => 3);
+///  - lambdas evaluate to closures; `let` binds strictly.
+///
+/// Evaluation is fuel- and depth-limited and reports failures (unbound
+/// variable, applying a non-function, division by zero, out of fuel) as
+/// values rather than by unwinding, keeping the library exception-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_EVALUATOR_H
+#define HMA_AST_EVALUATOR_H
+
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hma {
+
+/// Result of evaluating an expression.
+struct EvalResult {
+  enum class Status {
+    Int,     ///< Evaluated to an integer.
+    Closure, ///< Evaluated to a function value (not renderable).
+    Error,   ///< Evaluation failed; see Message.
+  };
+  Status S = Status::Error;
+  int64_t Int = 0;
+  std::string Message;
+
+  bool isInt() const { return S == Status::Int; }
+  bool isError() const { return S == Status::Error; }
+
+  static EvalResult makeInt(int64_t V) {
+    EvalResult R;
+    R.S = Status::Int;
+    R.Int = V;
+    return R;
+  }
+  static EvalResult makeClosure() {
+    EvalResult R;
+    R.S = Status::Closure;
+    return R;
+  }
+  static EvalResult makeError(std::string Msg) {
+    EvalResult R;
+    R.S = Status::Error;
+    R.Message = std::move(Msg);
+    return R;
+  }
+};
+
+/// Evaluate \p E under the builtin arithmetic environment. \p Fuel bounds
+/// the number of evaluation steps (guards against diverging terms such as
+/// self-application).
+EvalResult evaluate(const ExprContext &Ctx, const Expr *E,
+                    uint64_t Fuel = 1u << 20);
+
+} // namespace hma
+
+#endif // HMA_AST_EVALUATOR_H

@@ -1,0 +1,71 @@
+//===- ast/Expr.cpp - Expression AST ---------------------------------------===//
+///
+/// \file
+/// Out-of-line pieces of the expression AST.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expr.h"
+#include "ast/Traversal.h"
+
+#include <vector>
+
+using namespace hma;
+
+const char *hma::exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Var:
+    return "Var";
+  case ExprKind::Lam:
+    return "Lam";
+  case ExprKind::App:
+    return "App";
+  case ExprKind::Let:
+    return "Let";
+  case ExprKind::Const:
+    return "Const";
+  }
+  assert(false && "covered switch");
+  return "?";
+}
+
+const Expr *ExprContext::clone(const Expr *E) {
+  assert(E && "nothing to clone");
+  // Iterative postorder rebuild; children results sit on a value stack.
+  std::vector<const Expr *> Values;
+  PostorderWorklist Work(E);
+  while (const Expr *N = Work.next()) {
+    switch (N->kind()) {
+    case ExprKind::Var:
+      Values.push_back(var(N->varName()));
+      break;
+    case ExprKind::Const:
+      Values.push_back(intConst(N->constValue()));
+      break;
+    case ExprKind::Lam: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      Values.push_back(lam(N->lamBinder(), Body));
+      break;
+    }
+    case ExprKind::App: {
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Fun = Values.back();
+      Values.pop_back();
+      Values.push_back(app(Fun, Arg));
+      break;
+    }
+    case ExprKind::Let: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      const Expr *Bound = Values.back();
+      Values.pop_back();
+      Values.push_back(let(N->letBinder(), Bound, Body));
+      break;
+    }
+    }
+  }
+  assert(Values.size() == 1 && "postorder rebuild must yield one root");
+  return Values.back();
+}

@@ -1,0 +1,53 @@
+//===- ast/NameHashCache.h - Cached hashing of name spellings --------------===//
+///
+/// \file
+/// O(1) amortised hashing of variable names.
+///
+/// Hashers must hash free variables *by spelling* (free-variable identity
+/// is textual; interned ids are context-local). Hashing the characters at
+/// every occurrence would add an O(|name|) factor, so each hasher keeps
+/// one of these caches: the spelling is hashed once per (name, schema)
+/// and memoised against the dense \ref Name id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_NAMEHASHCACHE_H
+#define HMA_AST_NAMEHASHCACHE_H
+
+#include "ast/Expr.h"
+#include "support/HashSchema.h"
+
+#include <vector>
+
+namespace hma {
+
+/// Per-schema memo of name-spelling hashes.
+template <typename H> class NameHashCache {
+public:
+  NameHashCache(const ExprContext &Ctx, const HashSchema &Schema)
+      : Ctx(Ctx), Schema(Schema) {}
+
+  H operator()(Name N) {
+    if (N >= Hashes.size()) {
+      Hashes.resize(Ctx.names().size());
+      Valid.resize(Ctx.names().size(), false);
+    }
+    if (!Valid[N]) {
+      std::string_view S = Ctx.names().spelling(N);
+      Hashes[N] =
+          Schema.hashBytes<H>(CombinerTag::NameLeaf, S.data(), S.size());
+      Valid[N] = true;
+    }
+    return Hashes[N];
+  }
+
+private:
+  const ExprContext &Ctx;
+  const HashSchema &Schema;
+  std::vector<H> Hashes;
+  std::vector<uint8_t> Valid;
+};
+
+} // namespace hma
+
+#endif // HMA_AST_NAMEHASHCACHE_H

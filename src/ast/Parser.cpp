@@ -1,0 +1,281 @@
+//===- ast/Parser.cpp - S-expression parser ---------------------------------===//
+///
+/// \file
+/// Recursive-descent parser with a depth guard and byte-precise errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace hma;
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class TokKind { LParen, RParen, Symbol, Integer, End };
+
+struct Token {
+  TokKind Kind;
+  std::string_view Text;
+  size_t Pos;
+  int64_t IntValue = 0;
+};
+
+class Parser {
+public:
+  Parser(ExprContext &Ctx, std::string_view Src) : Ctx(Ctx), Src(Src) {
+    advance();
+  }
+
+  ParseResult run() {
+    const Expr *E = parseOne(0);
+    if (!E)
+      return fail();
+    if (Tok.Kind != TokKind::End) {
+      error(Tok.Pos, "trailing input after expression");
+      return fail();
+    }
+    ParseResult R;
+    R.E = E;
+    return R;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 20000;
+
+  ExprContext &Ctx;
+  std::string_view Src;
+  size_t Cursor = 0;
+  Token Tok;
+  std::string Diag;
+  size_t DiagPos = 0;
+
+  ParseResult fail() {
+    ParseResult R;
+    R.Error = Diag.empty() ? "parse error" : Diag;
+    R.ErrorPos = DiagPos;
+    return R;
+  }
+
+  void error(size_t Pos, std::string Message) {
+    if (Diag.empty()) {
+      Diag = std::move(Message);
+      DiagPos = Pos;
+    }
+  }
+
+  // --- Lexer -------------------------------------------------------------
+
+  static bool isDelimiter(char C) {
+    return C == '(' || C == ')' || C == ';' || std::isspace(
+                                                   static_cast<unsigned char>(C));
+  }
+
+  void skipTrivia() {
+    while (Cursor < Src.size()) {
+      char C = Src[Cursor];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Cursor;
+        continue;
+      }
+      if (C == ';') {
+        while (Cursor < Src.size() && Src[Cursor] != '\n')
+          ++Cursor;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void advance() {
+    skipTrivia();
+    Tok.Pos = Cursor;
+    if (Cursor >= Src.size()) {
+      Tok.Kind = TokKind::End;
+      Tok.Text = {};
+      return;
+    }
+    char C = Src[Cursor];
+    if (C == '(') {
+      Tok.Kind = TokKind::LParen;
+      Tok.Text = Src.substr(Cursor, 1);
+      ++Cursor;
+      return;
+    }
+    if (C == ')') {
+      Tok.Kind = TokKind::RParen;
+      Tok.Text = Src.substr(Cursor, 1);
+      ++Cursor;
+      return;
+    }
+    size_t Start = Cursor;
+    while (Cursor < Src.size() && !isDelimiter(Src[Cursor]))
+      ++Cursor;
+    Tok.Text = Src.substr(Start, Cursor - Start);
+    // An atom is an integer if it is entirely [-]digits (and not just "-").
+    bool Numeric = !Tok.Text.empty();
+    size_t I = Tok.Text[0] == '-' ? 1 : 0;
+    if (I == Tok.Text.size())
+      Numeric = false;
+    for (; Numeric && I < Tok.Text.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Tok.Text[I])))
+        Numeric = false;
+    if (Numeric) {
+      Tok.Kind = TokKind::Integer;
+      // strtoll needs a terminated buffer; atoms are short.
+      char Buf[32];
+      if (Tok.Text.size() >= sizeof(Buf)) {
+        Tok.Kind = TokKind::Symbol; // absurdly long number: treat as symbol
+      } else {
+        std::snprintf(Buf, sizeof(Buf), "%.*s",
+                      static_cast<int>(Tok.Text.size()), Tok.Text.data());
+        Tok.IntValue = std::strtoll(Buf, nullptr, 10);
+      }
+      return;
+    }
+    Tok.Kind = TokKind::Symbol;
+  }
+
+  // --- Grammar -----------------------------------------------------------
+
+  const Expr *parseOne(unsigned Depth) {
+    if (Depth > MaxDepth) {
+      error(Tok.Pos, "expression nests too deeply for the parser");
+      return nullptr;
+    }
+    switch (Tok.Kind) {
+    case TokKind::Integer: {
+      const Expr *E = Ctx.intConst(Tok.IntValue);
+      advance();
+      return E;
+    }
+    case TokKind::Symbol: {
+      if (Tok.Text == "lam" || Tok.Text == "let") {
+        error(Tok.Pos, "'" + std::string(Tok.Text) +
+                           "' is a keyword and needs a parenthesised form");
+        return nullptr;
+      }
+      const Expr *E = Ctx.var(Tok.Text);
+      advance();
+      return E;
+    }
+    case TokKind::LParen:
+      return parseList(Depth);
+    case TokKind::RParen:
+      error(Tok.Pos, "unexpected ')'");
+      return nullptr;
+    case TokKind::End:
+      error(Tok.Pos, "unexpected end of input");
+      return nullptr;
+    }
+    assert(false && "covered switch");
+    return nullptr;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (Tok.Kind != Kind) {
+      error(Tok.Pos, std::string("expected ") + What);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  const Expr *parseList(unsigned Depth) {
+    size_t Open = Tok.Pos;
+    advance(); // consume '('
+    if (Tok.Kind == TokKind::Symbol && Tok.Text == "lam")
+      return parseLam(Depth);
+    if (Tok.Kind == TokKind::Symbol && Tok.Text == "let")
+      return parseLet(Depth);
+    if (Tok.Kind == TokKind::RParen) {
+      error(Open, "empty application '()'");
+      return nullptr;
+    }
+    // Application / grouping: one or more expressions.
+    const Expr *E = parseOne(Depth + 1);
+    if (!E)
+      return nullptr;
+    while (Tok.Kind != TokKind::RParen) {
+      if (Tok.Kind == TokKind::End) {
+        error(Open, "unterminated '('");
+        return nullptr;
+      }
+      const Expr *Arg = parseOne(Depth + 1);
+      if (!Arg)
+        return nullptr;
+      E = Ctx.app(E, Arg);
+    }
+    advance(); // consume ')'
+    return E;
+  }
+
+  const Expr *parseLam(unsigned Depth) {
+    advance(); // consume 'lam'
+    if (!expect(TokKind::LParen, "'(' before lambda binder list"))
+      return nullptr;
+    std::vector<Name> Binders;
+    while (Tok.Kind == TokKind::Symbol) {
+      Binders.push_back(Ctx.name(Tok.Text));
+      advance();
+    }
+    if (Binders.empty()) {
+      error(Tok.Pos, "lambda needs at least one binder");
+      return nullptr;
+    }
+    if (!expect(TokKind::RParen, "')' after lambda binder list"))
+      return nullptr;
+    const Expr *Body = parseOne(Depth + 1);
+    if (!Body)
+      return nullptr;
+    if (!expect(TokKind::RParen, "')' closing lambda"))
+      return nullptr;
+    for (size_t I = Binders.size(); I-- > 0;)
+      Body = Ctx.lam(Binders[I], Body);
+    return Body;
+  }
+
+  const Expr *parseLet(unsigned Depth) {
+    advance(); // consume 'let'
+    if (!expect(TokKind::LParen, "'(' before let binding"))
+      return nullptr;
+    if (Tok.Kind != TokKind::Symbol) {
+      error(Tok.Pos, "let binding needs a variable name");
+      return nullptr;
+    }
+    Name Binder = Ctx.name(Tok.Text);
+    advance();
+    const Expr *Bound = parseOne(Depth + 1);
+    if (!Bound)
+      return nullptr;
+    if (!expect(TokKind::RParen, "')' after let binding"))
+      return nullptr;
+    const Expr *Body = parseOne(Depth + 1);
+    if (!Body)
+      return nullptr;
+    if (!expect(TokKind::RParen, "')' closing let"))
+      return nullptr;
+    return Ctx.let(Binder, Bound, Body);
+  }
+};
+
+} // namespace
+
+ParseResult hma::parseExpr(ExprContext &Ctx, std::string_view Source) {
+  Parser P(Ctx, Source);
+  return P.run();
+}
+
+const Expr *hma::parseOrDie(ExprContext &Ctx, std::string_view Source) {
+  ParseResult R = parseExpr(Ctx, Source);
+  assert(R.ok() && "parseOrDie on invalid input");
+  if (!R.ok())
+    std::abort();
+  return R.E;
+}

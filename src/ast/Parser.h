@@ -1,0 +1,54 @@
+//===- ast/Parser.h - S-expression parser ----------------------------------===//
+///
+/// \file
+/// A small, diagnostic-producing parser for the expression language.
+///
+/// Concrete syntax (S-expressions):
+///
+///   e ::= ident                     variable
+///       | integer                   constant           e.g.  42, -7
+///       | (lam (x y ...) e)         lambda (multi-binder sugar, curried)
+///       | (let (x e1) e2)           non-recursive let
+///       | (e0 e1 ... ek)            application, left-associated
+///       | (e)                       grouping
+///
+/// Identifiers are any run of characters other than whitespace, parens
+/// and ';' that does not parse as an integer. `;` starts a line comment.
+///
+/// The parser reports errors by position instead of throwing (library
+/// code is exception-free). Nesting depth is bounded (parsing is used for
+/// human-written programs and tests; machine-scale expressions are built
+/// by the generators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_PARSER_H
+#define HMA_AST_PARSER_H
+
+#include "ast/Expr.h"
+
+#include <string>
+#include <string_view>
+
+namespace hma {
+
+/// Outcome of a parse: either an expression or a diagnostic.
+struct ParseResult {
+  const Expr *E = nullptr;
+  std::string Error;   ///< Empty on success.
+  size_t ErrorPos = 0; ///< Byte offset of the error in the input.
+
+  bool ok() const { return E != nullptr; }
+};
+
+/// Parse \p Source into \p Ctx. On failure, ParseResult::Error describes
+/// the problem and ParseResult::ErrorPos locates it.
+ParseResult parseExpr(ExprContext &Ctx, std::string_view Source);
+
+/// Parse, asserting success. Use in tests and examples where the input is
+/// a literal known to be valid.
+const Expr *parseOrDie(ExprContext &Ctx, std::string_view Source);
+
+} // namespace hma
+
+#endif // HMA_AST_PARSER_H

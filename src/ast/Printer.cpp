@@ -1,0 +1,133 @@
+//===- ast/Printer.cpp - Expression pretty printer ---------------------------===//
+///
+/// \file
+/// Iterative printer: a work stack of expression / literal items.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+
+#include <vector>
+
+using namespace hma;
+
+namespace {
+
+/// A pending piece of output: either an expression to render or a literal
+/// chunk. Literal "\n" means newline plus indentation.
+struct Item {
+  const Expr *E = nullptr;
+  std::string_view Lit;
+  unsigned Indent = 0;
+};
+
+class PrinterImpl {
+public:
+  PrinterImpl(const ExprContext &Ctx, const PrintOptions &Opts)
+      : Ctx(Ctx), Opts(Opts) {}
+
+  std::string print(const Expr *Root) {
+    if (!Root)
+      return "<null>";
+    Work.push_back({Root, {}, 0});
+    while (!Work.empty()) {
+      Item It = Work.back();
+      Work.pop_back();
+      if (!It.E) {
+        emitLiteral(It);
+        continue;
+      }
+      emitExpr(It.E, It.Indent);
+    }
+    return std::move(Out);
+  }
+
+private:
+  void emitLiteral(const Item &It) {
+    if (It.Lit == "\n" && Opts.Multiline) {
+      Out.push_back('\n');
+      Out.append(It.Indent * Opts.IndentWidth, ' ');
+      return;
+    }
+    if (It.Lit == "\n") {
+      Out.push_back(' ');
+      return;
+    }
+    Out.append(It.Lit);
+  }
+
+  void push(std::string_view Lit, unsigned Indent = 0) {
+    Work.push_back({nullptr, Lit, Indent});
+  }
+  void push(const Expr *E, unsigned Indent) { Work.push_back({E, {}, Indent}); }
+
+  void emitExpr(const Expr *E, unsigned Indent) {
+    switch (E->kind()) {
+    case ExprKind::Var:
+      Out.append(Ctx.names().spelling(E->varName()));
+      return;
+    case ExprKind::Const:
+      Out.append(std::to_string(E->constValue()));
+      return;
+    case ExprKind::Lam: {
+      Out.append("(lam (");
+      const Expr *Body = E;
+      bool First = true;
+      do {
+        if (!First)
+          Out.push_back(' ');
+        Out.append(Ctx.names().spelling(Body->lamBinder()));
+        Body = Body->lamBody();
+        First = false;
+      } while (Opts.CollapseLambdas && Body->kind() == ExprKind::Lam);
+      Out.push_back(')');
+      push(")");
+      push(Body, Indent + 1);
+      push("\n", Indent + 1);
+      return;
+    }
+    case ExprKind::App: {
+      // Flatten the application spine: ((f a) b) prints as (f a b).
+      Out.push_back('(');
+      std::vector<const Expr *> Spine;
+      const Expr *Head = E;
+      while (Head->kind() == ExprKind::App) {
+        Spine.push_back(Head->appArg());
+        Head = Head->appFun();
+      }
+      push(")");
+      for (size_t I = 0, N = Spine.size(); I != N; ++I) {
+        push(Spine[I], Indent);
+        push(" ");
+      }
+      push(Head, Indent);
+      return;
+    }
+    case ExprKind::Let: {
+      Out.append("(let (");
+      Out.append(Ctx.names().spelling(E->letBinder()));
+      Out.push_back(' ');
+      push(")");
+      push(E->letBody(), Indent + 1);
+      push("\n", Indent + 1);
+      push(")");
+      push(E->letBound(), Indent + 1);
+      return;
+    }
+    }
+    assert(false && "covered switch");
+  }
+
+  const ExprContext &Ctx;
+  const PrintOptions &Opts;
+  std::string Out;
+  std::vector<Item> Work;
+};
+
+} // namespace
+
+std::string hma::printExpr(const ExprContext &Ctx, const Expr *E,
+                           const PrintOptions &Opts) {
+  PrinterImpl P(Ctx, Opts);
+  return P.print(E);
+}

@@ -1,0 +1,36 @@
+//===- ast/Printer.h - Expression pretty printer ---------------------------===//
+///
+/// \file
+/// Rendering expressions back to the concrete syntax of ast/Parser.h.
+///
+/// `print(parse(s))` re-parses to an identical tree (round-trip property,
+/// tested). Printing is iterative and safe on million-node spines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_PRINTER_H
+#define HMA_AST_PRINTER_H
+
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace hma {
+
+/// Options controlling expression rendering.
+struct PrintOptions {
+  /// Collapse nested lambdas into one binder list: (lam (x y) e).
+  bool CollapseLambdas = true;
+  /// Insert newlines/indentation for nested let/lam bodies.
+  bool Multiline = false;
+  /// Indent width when Multiline.
+  unsigned IndentWidth = 2;
+};
+
+/// Render \p E to concrete syntax.
+std::string printExpr(const ExprContext &Ctx, const Expr *E,
+                      const PrintOptions &Opts = PrintOptions());
+
+} // namespace hma
+
+#endif // HMA_AST_PRINTER_H

@@ -1,0 +1,255 @@
+//===- ast/Serialize.cpp - Compact expression serialization ------------------===//
+///
+/// \file
+/// LEB128-based encoder and a defensive, iterative decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Serialize.h"
+
+#include "ast/Traversal.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace hma;
+
+namespace {
+
+constexpr char Magic[4] = {'H', 'M', 'A', '1'};
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(V | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+void putZigzag(std::string &Out, int64_t V) {
+  putVarint(Out, (static_cast<uint64_t>(V) << 1) ^
+                     static_cast<uint64_t>(V >> 63));
+}
+
+/// Bounds-checked reader over the input bytes.
+class Reader {
+public:
+  explicit Reader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool atEnd() const { return Pos == Bytes.size(); }
+  size_t position() const { return Pos; }
+
+  bool getByte(uint8_t &B) {
+    if (Pos >= Bytes.size())
+      return false;
+    B = static_cast<uint8_t>(Bytes[Pos++]);
+    return true;
+  }
+
+  bool getVarint(uint64_t &V) {
+    V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B;
+      if (!getByte(B))
+        return false;
+      V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    return false; // over-long varint
+  }
+
+  bool getZigzag(int64_t &V) {
+    uint64_t U;
+    if (!getVarint(U))
+      return false;
+    V = static_cast<int64_t>((U >> 1) ^ (0 - (U & 1)));
+    return true;
+  }
+
+  bool getBytes(size_t Len, std::string_view &Out) {
+    if (Bytes.size() - Pos < Len)
+      return false;
+    Out = Bytes.substr(Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+private:
+  std::string_view Bytes;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string hma::serializeExpr(const ExprContext &Ctx, const Expr *Root) {
+  assert(Root && "nothing to serialize");
+
+  // Local name table: dense ids in first-use (preorder) order.
+  std::unordered_map<Name, uint64_t> LocalId;
+  std::vector<Name> Names;
+  preorder(Root, [&](const Expr *E) {
+    Name N = InvalidName;
+    if (E->kind() == ExprKind::Var)
+      N = E->varName();
+    else
+      N = E->binder();
+    if (N == InvalidName)
+      return;
+    if (LocalId.emplace(N, Names.size()).second)
+      Names.push_back(N);
+  });
+
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  putVarint(Out, Names.size());
+  for (Name N : Names) {
+    std::string_view S = Ctx.names().spelling(N);
+    putVarint(Out, S.size());
+    Out.append(S);
+  }
+
+  preorder(Root, [&](const Expr *E) {
+    Out.push_back(static_cast<char>(E->kind()));
+    switch (E->kind()) {
+    case ExprKind::Var:
+      putVarint(Out, LocalId.at(E->varName()));
+      break;
+    case ExprKind::Lam:
+      putVarint(Out, LocalId.at(E->lamBinder()));
+      break;
+    case ExprKind::Let:
+      putVarint(Out, LocalId.at(E->letBinder()));
+      break;
+    case ExprKind::Const:
+      putZigzag(Out, E->constValue());
+      break;
+    case ExprKind::App:
+      break;
+    }
+  });
+  return Out;
+}
+
+DeserializeResult hma::deserializeExpr(ExprContext &Ctx,
+                                       std::string_view Bytes) {
+  auto Fail = [&](const char *Message, size_t Pos) {
+    DeserializeResult R;
+    R.Error = std::string(Message) + " at byte " + std::to_string(Pos);
+    return R;
+  };
+
+  Reader In(Bytes);
+  std::string_view Header;
+  if (!In.getBytes(sizeof(Magic), Header) ||
+      Header != std::string_view(Magic, sizeof(Magic)))
+    return Fail("bad magic", 0);
+
+  uint64_t NameCount;
+  if (!In.getVarint(NameCount) || NameCount > Bytes.size())
+    return Fail("corrupt name table", In.position());
+  std::vector<Name> Names;
+  Names.reserve(NameCount);
+  for (uint64_t I = 0; I != NameCount; ++I) {
+    uint64_t Len;
+    std::string_view Spelling;
+    if (!In.getVarint(Len) || !In.getBytes(Len, Spelling))
+      return Fail("truncated name table", In.position());
+    Names.push_back(Ctx.name(Spelling));
+  }
+
+  // Iterative preorder reconstruction: frames collect children until
+  // full, then fold upward.
+  struct Frame {
+    ExprKind K;
+    Name N;
+    int64_t CVal;
+    unsigned Need;
+    unsigned Got;
+    const Expr *Child[2];
+  };
+  std::vector<Frame> Stack;
+  const Expr *Completed = nullptr;
+
+  auto readName = [&](Name &N) {
+    uint64_t Id;
+    if (!In.getVarint(Id) || Id >= Names.size())
+      return false;
+    N = Names[Id];
+    return true;
+  };
+
+  do {
+    uint8_t Tag;
+    if (!In.getByte(Tag))
+      return Fail("truncated body", In.position());
+    if (Tag > static_cast<uint8_t>(ExprKind::Const))
+      return Fail("invalid node tag", In.position() - 1);
+
+    Frame F{static_cast<ExprKind>(Tag), InvalidName, 0, 0, 0, {}};
+    switch (F.K) {
+    case ExprKind::Var:
+      if (!readName(F.N))
+        return Fail("bad name reference", In.position());
+      break;
+    case ExprKind::Const:
+      if (!In.getZigzag(F.CVal))
+        return Fail("truncated constant", In.position());
+      break;
+    case ExprKind::Lam:
+      if (!readName(F.N))
+        return Fail("bad binder reference", In.position());
+      F.Need = 1;
+      break;
+    case ExprKind::App:
+      F.Need = 2;
+      break;
+    case ExprKind::Let:
+      if (!readName(F.N))
+        return Fail("bad binder reference", In.position());
+      F.Need = 2;
+      break;
+    }
+
+    if (F.Need != 0) {
+      Stack.push_back(F);
+      continue;
+    }
+    // Leaf: build and fold into pending frames.
+    const Expr *Node = F.K == ExprKind::Var ? Ctx.var(F.N)
+                                            : Ctx.intConst(F.CVal);
+    for (;;) {
+      if (Stack.empty()) {
+        Completed = Node;
+        break;
+      }
+      Frame &Top = Stack.back();
+      Top.Child[Top.Got++] = Node;
+      if (Top.Got < Top.Need) {
+        Node = nullptr;
+        break;
+      }
+      switch (Top.K) {
+      case ExprKind::Lam:
+        Node = Ctx.lam(Top.N, Top.Child[0]);
+        break;
+      case ExprKind::App:
+        Node = Ctx.app(Top.Child[0], Top.Child[1]);
+        break;
+      case ExprKind::Let:
+        Node = Ctx.let(Top.N, Top.Child[0], Top.Child[1]);
+        break;
+      case ExprKind::Var:
+      case ExprKind::Const:
+        return Fail("internal: leaf frame on stack", In.position());
+      }
+      Stack.pop_back();
+    }
+  } while (!Completed);
+
+  if (!In.atEnd())
+    return Fail("trailing bytes after expression", In.position());
+  DeserializeResult R;
+  R.E = Completed;
+  return R;
+}

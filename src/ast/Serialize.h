@@ -1,0 +1,53 @@
+//===- ast/Serialize.h - Compact expression serialization -------------------===//
+///
+/// \file
+/// A compact, versioned binary format for expressions.
+///
+/// A library whose whole point is stable fingerprints needs a way to
+/// persist expressions and reload them elsewhere with identical hashes
+/// (compiler caches, distributed build systems, cHash-style rebuild
+/// avoidance -- see Section 8's discussion of Dietrich et al.). The
+/// format is a preorder byte stream:
+///
+///   header   "HMA1"
+///   names    varint count, then length-prefixed spellings (local ids)
+///   body     per node: 1-byte kind tag, then payload
+///              Var:   varint local-name
+///              Lam:   varint binder, body
+///              App:   fun, arg
+///              Let:   varint binder, bound, body
+///              Const: zigzag-varint value
+///
+/// Deserialisation re-interns names, so ids differ across contexts while
+/// spellings -- and therefore alpha-hashes -- are preserved (tested).
+/// Decoding is defensive: truncated or corrupt input yields an error,
+/// never UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_SERIALIZE_H
+#define HMA_AST_SERIALIZE_H
+
+#include "ast/Expr.h"
+
+#include <string>
+
+namespace hma {
+
+/// Serialise \p Root to the binary format.
+std::string serializeExpr(const ExprContext &Ctx, const Expr *Root);
+
+/// Outcome of deserialisation.
+struct DeserializeResult {
+  const Expr *E = nullptr;
+  std::string Error; ///< Empty on success.
+
+  bool ok() const { return E != nullptr; }
+};
+
+/// Reconstruct an expression from \p Bytes into \p Ctx.
+DeserializeResult deserializeExpr(ExprContext &Ctx, std::string_view Bytes);
+
+} // namespace hma
+
+#endif // HMA_AST_SERIALIZE_H

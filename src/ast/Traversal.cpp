@@ -1,0 +1,107 @@
+//===- ast/Traversal.cpp - Iterative tree traversals ------------------------===//
+///
+/// \file
+/// Tree-shape queries: tree-ness, height, free variables, binder checks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Traversal.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace hma;
+
+bool hma::isTree(const ExprContext &Ctx, const Expr *Root) {
+  std::vector<bool> Seen(Ctx.numNodes(), false);
+  bool Ok = true;
+  preorder(Root, [&](const Expr *E) {
+    if (Seen[E->id()])
+      Ok = false;
+    Seen[E->id()] = true;
+  });
+  return Ok;
+}
+
+uint32_t hma::treeHeight(const Expr *Root) {
+  if (!Root)
+    return 0;
+  std::vector<uint32_t> Values;
+  PostorderWorklist Work(Root);
+  while (const Expr *E = Work.next()) {
+    unsigned C = E->numChildren();
+    uint32_t H = 0;
+    for (unsigned I = 0; I != C; ++I) {
+      H = std::max(H, Values.back());
+      Values.pop_back();
+    }
+    Values.push_back(H + 1);
+  }
+  assert(Values.size() == 1 && "postorder fold must yield one value");
+  return Values.back();
+}
+
+std::vector<Name> hma::freeVariables(const ExprContext &Ctx,
+                                     const Expr *Root) {
+  (void)Ctx;
+  std::vector<Name> Result;
+  if (!Root)
+    return Result;
+  // Enter/exit driver: binder scopes are entered when descending into the
+  // child they govern and exited afterwards, tracked by a count per name
+  // (counts support shadowing even though preprocessed input has none).
+  std::unordered_map<Name, uint32_t> BoundCount;
+  std::unordered_set<Name> Recorded;
+
+  struct Frame {
+    const Expr *E;
+    unsigned NextChild;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Root, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Expr *E = F.E;
+    if (F.NextChild == 0 && E->kind() == ExprKind::Var) {
+      auto It = BoundCount.find(E->varName());
+      if ((It == BoundCount.end() || It->second == 0) &&
+          Recorded.insert(E->varName()).second)
+        Result.push_back(E->varName());
+    }
+    if (F.NextChild < E->numChildren()) {
+      unsigned I = F.NextChild++;
+      if (E->bindsInChild(I))
+        ++BoundCount[E->binder()];
+      Stack.push_back({E->child(I), 0});
+      continue;
+    }
+    // Leaving this node: close any scope it opened. The scope was opened
+    // when we descended into the binding child, and each binding node has
+    // its binding child as its last child (Lam: 0 of 1; Let: 1 of 2), so
+    // closing on node exit is correct.
+    if (E->binder() != InvalidName)
+      --BoundCount[E->binder()];
+    Stack.pop_back();
+  }
+  return Result;
+}
+
+bool hma::hasDistinctBinders(const ExprContext &Ctx, const Expr *Root) {
+  std::unordered_set<Name> Binders;
+  bool Distinct = true;
+  preorder(Root, [&](const Expr *E) {
+    Name B = E->binder();
+    if (B != InvalidName && !Binders.insert(B).second)
+      Distinct = false;
+  });
+  if (!Distinct)
+    return false;
+  // A binder colliding with a free variable is also ruled out by the
+  // preprocessing of Section 2.2 (it would make CSE-style rewrites
+  // capture-unsafe), so reject it here too.
+  for (Name Free : freeVariables(Ctx, Root))
+    if (Binders.count(Free))
+      return false;
+  return true;
+}

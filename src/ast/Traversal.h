@@ -1,0 +1,198 @@
+//===- ast/Traversal.h - Iterative tree traversals -------------------------===//
+///
+/// \file
+/// Stack-based traversals over \ref Expr trees.
+///
+/// The unbalanced benchmark family (Section 7.1) produces spines of up to
+/// millions of nodes; native recursion would overflow the call stack, so
+/// every traversal in this library is iterative. These helpers centralise
+/// the explicit-stack plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_AST_TRAVERSAL_H
+#define HMA_AST_TRAVERSAL_H
+
+#include "ast/Expr.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace hma {
+
+/// Visit every node of \p Root in preorder (parents before children,
+/// children right-to-left pushed so left subtree is visited first).
+template <typename F> void preorder(const Expr *Root, F &&Fn) {
+  if (!Root)
+    return;
+  std::vector<const Expr *> Stack;
+  Stack.push_back(Root);
+  while (!Stack.empty()) {
+    const Expr *E = Stack.back();
+    Stack.pop_back();
+    Fn(E);
+    for (unsigned I = E->numChildren(); I-- > 0;)
+      Stack.push_back(E->child(I));
+  }
+}
+
+/// Visit every node of \p Root in postorder (children before parents).
+template <typename F> void postorder(const Expr *Root, F &&Fn) {
+  if (!Root)
+    return;
+  // Classic two-stack postorder: produce reverse-postorder, then replay.
+  // For hash computations we instead use PostorderWorklist below, which
+  // does not buffer the whole order; this simple helper is fine for
+  // analyses that want the order explicitly.
+  std::vector<const Expr *> Work, Order;
+  Work.push_back(Root);
+  while (!Work.empty()) {
+    const Expr *E = Work.back();
+    Work.pop_back();
+    Order.push_back(E);
+    for (unsigned I = 0, C = E->numChildren(); I != C; ++I)
+      Work.push_back(E->child(I));
+  }
+  for (auto It = Order.rbegin(), End = Order.rend(); It != End; ++It)
+    Fn(*It);
+}
+
+/// An explicit-stack postorder driver for computations that need to
+/// process a node after its children and consult per-child results.
+///
+/// Usage: repeatedly call next(); for each returned node, children have
+/// already been yielded (in order), so a value stack maintained by the
+/// caller holds their results on top.
+class PostorderWorklist {
+public:
+  explicit PostorderWorklist(const Expr *Root) {
+    if (Root)
+      Stack.push_back({Root, 0});
+  }
+
+  /// The next node in postorder, or null when exhausted.
+  const Expr *next() {
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextChild < F.E->numChildren()) {
+        const Expr *Child = F.E->child(F.NextChild++);
+        Stack.push_back({Child, 0});
+        continue;
+      }
+      const Expr *Done = F.E;
+      Stack.pop_back();
+      return Done;
+    }
+    return nullptr;
+  }
+
+private:
+  struct Frame {
+    const Expr *E;
+    unsigned NextChild;
+  };
+  std::vector<Frame> Stack;
+};
+
+/// Euler-tour numbering of a tree: O(1) ancestor tests, parent pointers
+/// and depths. Vectors are indexed by node id and sized to the owning
+/// context; ids outside the traversed tree hold sentinels.
+class DfsInfo {
+public:
+  static constexpr uint32_t None = ~0u;
+
+  DfsInfo(const ExprContext &Ctx, const Expr *Root)
+      : PreNum(Ctx.numNodes(), None), PostNum(Ctx.numNodes(), None),
+        ParentId(Ctx.numNodes(), None), NodeDepth(Ctx.numNodes(), 0),
+        ById(Ctx.numNodes(), nullptr) {
+    uint32_t Clock = 0;
+    struct Frame {
+      const Expr *E;
+      unsigned NextChild;
+    };
+    std::vector<Frame> Stack;
+    if (Root) {
+      assert(PreNum[Root->id()] == None);
+      PreNum[Root->id()] = Clock++;
+      ById[Root->id()] = Root;
+      Stack.push_back({Root, 0});
+    }
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextChild < F.E->numChildren()) {
+        const Expr *C = F.E->child(F.NextChild++);
+        assert(PreNum[C->id()] == None &&
+               "expression is a DAG, not a tree; DfsInfo requires a tree");
+        PreNum[C->id()] = Clock++;
+        ParentId[C->id()] = F.E->id();
+        NodeDepth[C->id()] = NodeDepth[F.E->id()] + 1;
+        ById[C->id()] = C;
+        Stack.push_back({C, 0});
+        continue;
+      }
+      PostNum[F.E->id()] = Clock++;
+      Stack.pop_back();
+    }
+  }
+
+  bool contains(const Expr *E) const { return PreNum[E->id()] != None; }
+
+  /// True if \p A is an ancestor of (or equal to) \p B.
+  bool isAncestorOf(const Expr *A, const Expr *B) const {
+    assert(contains(A) && contains(B) && "nodes outside the traversed tree");
+    return PreNum[A->id()] <= PreNum[B->id()] &&
+           PostNum[B->id()] <= PostNum[A->id()];
+  }
+
+  /// Parent of \p E, or null for the root.
+  const Expr *parent(const Expr *E) const {
+    uint32_t P = ParentId[E->id()];
+    return P == None ? nullptr : ById[P];
+  }
+
+  uint32_t depth(const Expr *E) const { return NodeDepth[E->id()]; }
+
+  const Expr *nodeById(uint32_t Id) const { return ById[Id]; }
+
+  /// Lowest common ancestor of two nodes in the traversed tree.
+  const Expr *lowestCommonAncestor(const Expr *A, const Expr *B) const {
+    while (NodeDepth[A->id()] > NodeDepth[B->id()])
+      A = parent(A);
+    while (NodeDepth[B->id()] > NodeDepth[A->id()])
+      B = parent(B);
+    while (A != B) {
+      A = parent(A);
+      B = parent(B);
+    }
+    return A;
+  }
+
+private:
+  std::vector<uint32_t> PreNum;
+  std::vector<uint32_t> PostNum;
+  std::vector<uint32_t> ParentId;
+  std::vector<uint32_t> NodeDepth;
+  std::vector<const Expr *> ById;
+};
+
+/// True if no node is reachable along two different paths (i.e. the
+/// expression really is a tree, not a DAG).
+bool isTree(const ExprContext &Ctx, const Expr *Root);
+
+/// Height of the expression tree (a single node has height 1).
+uint32_t treeHeight(const Expr *Root);
+
+/// Collect the distinct free variables of \p Root (names not bound by an
+/// enclosing Lam/Let within \p Root), in first-occurrence order.
+std::vector<Name> freeVariables(const ExprContext &Ctx, const Expr *Root);
+
+/// True if every binding site in \p Root binds a distinct name, and no
+/// binder shadows a free variable. This is the precondition the paper
+/// establishes by preprocessing (Section 2.2); hashers assert it in
+/// debug builds.
+bool hasDistinctBinders(const ExprContext &Ctx, const Expr *Root);
+
+} // namespace hma
+
+#endif // HMA_AST_TRAVERSAL_H

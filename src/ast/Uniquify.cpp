@@ -1,0 +1,112 @@
+//===- ast/Uniquify.cpp - Binder uniquification ------------------------------===//
+///
+/// \file
+/// Iterative uniquifier with persistent-map scope environments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Uniquify.h"
+
+#include "adt/PersistentMap.h"
+#include "ast/Traversal.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace hma;
+
+const Expr *hma::uniquifyBinders(ExprContext &Ctx, const Expr *Root) {
+  if (!Root)
+    return Root;
+  if (hasDistinctBinders(Ctx, Root))
+    return Root;
+
+  // Names already claimed: all free variables keep their meaning, so they
+  // are reserved from the start; each processed binder claims its output
+  // name.
+  std::unordered_set<Name> Claimed;
+  for (Name Free : freeVariables(Ctx, Root))
+    Claimed.insert(Free);
+
+  auto claimBinder = [&](Name Original) -> Name {
+    if (Claimed.insert(Original).second)
+      return Original;
+    Name Fresh = Ctx.names().freshName(Ctx.names().spelling(Original));
+    bool Inserted = Claimed.insert(Fresh).second;
+    assert(Inserted && "freshName returned a claimed name");
+    (void)Inserted;
+    return Fresh;
+  };
+
+  // Environment: original binder name -> renamed name, scoped by path.
+  Arena EnvArena;
+  using Env = PersistentMap<Name, Name>;
+
+  struct Frame {
+    const Expr *E;
+    Env Scope;
+    unsigned NextChild;
+    Name NewBinder;
+  };
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+  Stack.push_back({Root, Env(EnvArena), 0, InvalidName});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Expr *E = F.E;
+
+    if (F.NextChild < E->numChildren()) {
+      unsigned I = F.NextChild++;
+      Env ChildScope = F.Scope;
+      if (E->bindsInChild(I)) {
+        // Claim the output name on first descent into the binding child.
+        F.NewBinder = claimBinder(E->binder());
+        ChildScope = ChildScope.insert(E->binder(), F.NewBinder);
+      }
+      Stack.push_back({E->child(I), ChildScope, 0, InvalidName});
+      continue;
+    }
+
+    // All children rebuilt; combine.
+    switch (E->kind()) {
+    case ExprKind::Var: {
+      const Name *Renamed = F.Scope.find(E->varName());
+      Values.push_back(Ctx.var(Renamed ? *Renamed : E->varName()));
+      break;
+    }
+    case ExprKind::Const:
+      Values.push_back(Ctx.intConst(E->constValue()));
+      break;
+    case ExprKind::Lam: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.lam(F.NewBinder, Body));
+      break;
+    }
+    case ExprKind::App: {
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Fun = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.app(Fun, Arg));
+      break;
+    }
+    case ExprKind::Let: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      const Expr *Bound = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.let(F.NewBinder, Bound, Body));
+      break;
+    }
+    }
+    Stack.pop_back();
+  }
+
+  assert(Values.size() == 1 && "rebuild must yield exactly the root");
+  const Expr *Result = Values.back();
+  assert(hasDistinctBinders(Ctx, Result) &&
+         "uniquify postcondition violated");
+  return Result;
+}

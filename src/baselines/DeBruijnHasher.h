@@ -1,0 +1,160 @@
+//===- baselines/DeBruijnHasher.h - De Bruijn hashing baseline -------------===//
+///
+/// \file
+/// The de Bruijn indexing baseline of Section 2.4.
+///
+/// The whole expression is (conceptually) converted to de Bruijn form
+/// once, and every subexpression is hashed compositionally in that form:
+/// lambdas drop their binder, bound occurrences hash their index relative
+/// to the *root* conversion, free variables hash their spelling.
+///
+/// Cost: O(n log n) (one pass; a balanced-tree environment lookup per
+/// variable). But the per-subexpression hashes are context-dependent --
+/// an occurrence's index depends on the binders *above the subexpression*
+/// -- which produces exactly the Table 1 failure modes:
+///
+///  - false negatives: in `\t. foo (\x.x+t) (\y.\x.x+t)` the two
+///    `\x.x+t` hash differently (`t` is %1 in one and %2 in the other);
+///  - false positives: in `\t. foo (\x.t*(x+1)) (\y.\x.y*(x+1))` the
+///    subtrees `\.%1*(%0+1)` hash equal but are not alpha-equivalent.
+///
+/// The benchmark suite runs it ("De Bruijn*") as the cheapest plausible
+/// -- though wrong -- contender that at least ignores binder names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_BASELINES_DEBRUIJNHASHER_H
+#define HMA_BASELINES_DEBRUIJNHASHER_H
+
+#include "ast/NameHashCache.h"
+#include "ast/Traversal.h"
+#include "support/HashSchema.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace hma {
+
+/// Hashes every subexpression in root-relative de Bruijn form.
+template <typename H> class DeBruijnHasher {
+public:
+  explicit DeBruijnHasher(const ExprContext &Ctx,
+                          const HashSchema &Schema = HashSchema())
+      : Ctx(Ctx), Schema(Schema), NameH(this->Ctx, this->Schema) {}
+
+  std::vector<H> hashAll(const Expr *Root) {
+    std::vector<H> Out(Ctx.numNodes());
+    run(Root, &Out);
+    return Out;
+  }
+
+  H hashRoot(const Expr *Root) { return run(Root, nullptr); }
+
+private:
+  const ExprContext &Ctx;
+  HashSchema Schema;
+  NameHashCache<H> NameH;
+
+  H run(const Expr *Root, std::vector<H> *Out) {
+    assert(Root && "nothing to hash");
+    // Enter/exit walk maintaining the binder environment: name -> binder
+    // level. The environment is an ordered map, giving the O(log n)
+    // lookup the paper's complexity table assumes.
+    std::map<Name, uint32_t> Env;
+
+    struct Frame {
+      const Expr *E;
+      unsigned NextChild;
+      std::optional<uint32_t> ShadowedLevel; ///< For restoring on exit.
+      bool Opened;
+    };
+    std::vector<Frame> Stack;
+    std::vector<H> Values;
+    uint32_t Depth = 0;
+    H NodeHash{};
+
+    Stack.push_back({Root, 0, std::nullopt, false});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      const Expr *E = F.E;
+      if (F.NextChild < E->numChildren()) {
+        unsigned I = F.NextChild++;
+        if (E->bindsInChild(I)) {
+          // Open the binder's scope (records any shadowed outer level so
+          // exit can restore it; preprocessed input has no shadowing but
+          // the walk stays correct regardless).
+          auto It = Env.find(E->binder());
+          if (It != Env.end()) {
+            F.ShadowedLevel = It->second;
+            It->second = Depth;
+          } else {
+            Env.emplace(E->binder(), Depth);
+          }
+          F.Opened = true;
+          ++Depth;
+        }
+        Stack.push_back({E->child(I), 0, std::nullopt, false});
+        continue;
+      }
+
+      // Close the scope before hashing the node itself.
+      if (F.Opened) {
+        --Depth;
+        if (F.ShadowedLevel)
+          Env[E->binder()] = *F.ShadowedLevel;
+        else
+          Env.erase(E->binder());
+      }
+
+      switch (E->kind()) {
+      case ExprKind::Var: {
+        auto It = Env.find(E->varName());
+        if (It != Env.end())
+          NodeHash = Schema.combineWords<H>(CombinerTag::BaseBound,
+                                            Depth - 1 - It->second);
+        else
+          NodeHash =
+              Schema.combine<H>(CombinerTag::BaseVar, NameH(E->varName()));
+        break;
+      }
+      case ExprKind::Const:
+        NodeHash = Schema.combineWords<H>(
+            CombinerTag::BaseConst, static_cast<uint64_t>(E->constValue()));
+        break;
+      case ExprKind::Lam: {
+        H Body = Values.back();
+        Values.pop_back();
+        // Nameless: the binder does not participate.
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLam, Body);
+        break;
+      }
+      case ExprKind::App: {
+        H Arg = Values.back();
+        Values.pop_back();
+        H Fun = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseApp, Fun, Arg);
+        break;
+      }
+      case ExprKind::Let: {
+        H Body = Values.back();
+        Values.pop_back();
+        H Bound = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLet, Bound, Body);
+        break;
+      }
+      }
+      Values.push_back(NodeHash);
+      if (Out)
+        (*Out)[E->id()] = NodeHash;
+      Stack.pop_back();
+    }
+    return NodeHash;
+  }
+};
+
+} // namespace hma
+
+#endif // HMA_BASELINES_DEBRUIJNHASHER_H

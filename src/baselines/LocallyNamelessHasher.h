@@ -1,0 +1,199 @@
+//===- baselines/LocallyNamelessHasher.h - Locally nameless baseline -------===//
+///
+/// \file
+/// The locally nameless baseline of Section 2.5 -- the fastest *correct*
+/// prior technique.
+///
+/// The hash of a subexpression is the hash of its de-Bruijn-ised
+/// representation *taken in isolation*: variables bound within the
+/// subexpression become indices, free variables keep their names. This is
+/// insensitive to alpha-renaming and context, so it meets the
+/// specification (true positives and true negatives in Table 1).
+///
+/// The cost is the non-compositional lambda case: "as we pass each
+/// lambda, we must re-hash the entire body". App hashes combine the
+/// children's hashes in O(1), but each Lam (and each Let, which also
+/// binds) re-walks its whole body to rebind the new variable. Total cost
+/// is O(sum over binders of |body|) = O(n^2 log n) worst case -- the
+/// quadratic blow-up Figure 2 (right) shows on deeply nested binders,
+/// and the reason BERT-12 takes ~200x longer than "Ours" in Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_BASELINES_LOCALLYNAMELESSHASHER_H
+#define HMA_BASELINES_LOCALLYNAMELESSHASHER_H
+
+#include "ast/NameHashCache.h"
+#include "ast/Traversal.h"
+#include "support/HashSchema.h"
+
+#include <map>
+#include <vector>
+
+namespace hma {
+
+/// Hashes every subexpression in the locally nameless discipline.
+template <typename H> class LocallyNamelessHasher {
+public:
+  explicit LocallyNamelessHasher(const ExprContext &Ctx,
+                                 const HashSchema &Schema = HashSchema())
+      : Ctx(Ctx), Schema(Schema), NameH(this->Ctx, this->Schema) {}
+
+  std::vector<H> hashAll(const Expr *Root) {
+    std::vector<H> Out(Ctx.numNodes());
+    run(Root, &Out);
+    return Out;
+  }
+
+  H hashRoot(const Expr *Root) { return run(Root, nullptr); }
+
+  /// Number of nodes visited by binder re-walks (the non-compositional
+  /// cost; exposed so tests can confirm the quadratic behaviour).
+  uint64_t rewalkedNodes() const { return Rewalked; }
+
+private:
+  const ExprContext &Ctx;
+  HashSchema Schema;
+  NameHashCache<H> NameH;
+  uint64_t Rewalked = 0;
+
+  H run(const Expr *Root, std::vector<H> *Out) {
+    assert(Root && "nothing to hash");
+    std::vector<H> Values;
+    PostorderWorklist Work(Root);
+    H NodeHash{};
+    while (const Expr *E = Work.next()) {
+      switch (E->kind()) {
+      case ExprKind::Var:
+        // In isolation every occurrence is free.
+        NodeHash =
+            Schema.combine<H>(CombinerTag::BaseVar, NameH(E->varName()));
+        break;
+      case ExprKind::Const:
+        NodeHash = Schema.combineWords<H>(
+            CombinerTag::BaseConst, static_cast<uint64_t>(E->constValue()));
+        break;
+      case ExprKind::Lam: {
+        Values.pop_back(); // The body's own hash cannot be reused...
+        // ...because binding the variable changes the hash of every node
+        // on the paths to its occurrences: re-hash the body from scratch
+        // with the binder in scope.
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLam,
+                                     rehashBody(E->lamBody(),
+                                                E->lamBinder()));
+        break;
+      }
+      case ExprKind::App: {
+        H Arg = Values.back();
+        Values.pop_back();
+        H Fun = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseApp, Fun, Arg);
+        break;
+      }
+      case ExprKind::Let: {
+        Values.pop_back(); // body hash: recomputed with the binder bound
+        H Bound = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(
+            CombinerTag::BaseLet, Bound,
+            rehashBody(E->letBody(), E->letBinder()));
+        break;
+      }
+      }
+      Values.push_back(NodeHash);
+      if (Out)
+        (*Out)[E->id()] = NodeHash;
+    }
+    return NodeHash;
+  }
+
+  /// Hash \p Body as the body of a binder \p Binder: one full walk with a
+  /// scoped environment of every binder inside (plus \p Binder at the
+  /// top), so occurrences hash as de Bruijn indices.
+  H rehashBody(const Expr *Body, Name Binder) {
+    // Environment: name -> binder depth within this walk. Ordered map:
+    // the paper charges O(log n) per lookup.
+    std::map<Name, uint32_t> Env;
+    Env.emplace(Binder, 0);
+    uint32_t Depth = 1; // number of binders enclosing the current node
+
+    struct Frame {
+      const Expr *E;
+      unsigned NextChild;
+      bool Opened;
+    };
+    std::vector<Frame> Stack;
+    std::vector<H> Values;
+    Stack.push_back({Body, 0, false});
+
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      const Expr *E = F.E;
+      if (F.NextChild < E->numChildren()) {
+        unsigned I = F.NextChild++;
+        if (E->bindsInChild(I)) {
+          // Distinct binders guaranteed by preprocessing: plain insert.
+          Env.emplace(E->binder(), Depth);
+          F.Opened = true;
+          ++Depth;
+        }
+        Stack.push_back({E->child(I), 0, false});
+        continue;
+      }
+      if (F.Opened) {
+        --Depth;
+        Env.erase(E->binder());
+      }
+
+      ++Rewalked;
+      H NodeHash{};
+      switch (E->kind()) {
+      case ExprKind::Var: {
+        auto It = Env.find(E->varName());
+        if (It != Env.end())
+          NodeHash = Schema.combineWords<H>(CombinerTag::BaseBound,
+                                            Depth - 1 - It->second);
+        else
+          NodeHash =
+              Schema.combine<H>(CombinerTag::BaseVar, NameH(E->varName()));
+        break;
+      }
+      case ExprKind::Const:
+        NodeHash = Schema.combineWords<H>(
+            CombinerTag::BaseConst, static_cast<uint64_t>(E->constValue()));
+        break;
+      case ExprKind::Lam: {
+        H B = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLam, B);
+        break;
+      }
+      case ExprKind::App: {
+        H Arg = Values.back();
+        Values.pop_back();
+        H Fun = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseApp, Fun, Arg);
+        break;
+      }
+      case ExprKind::Let: {
+        H B = Values.back();
+        Values.pop_back();
+        H Bound = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLet, Bound, B);
+        break;
+      }
+      }
+      Values.push_back(NodeHash);
+      Stack.pop_back();
+    }
+    assert(Values.size() == 1 && "rewalk must yield one hash");
+    return Values.back();
+  }
+};
+
+} // namespace hma
+
+#endif // HMA_BASELINES_LOCALLYNAMELESSHASHER_H

@@ -1,0 +1,99 @@
+//===- baselines/StructuralHasher.h - Syntactic hashing baseline -----------===//
+///
+/// \file
+/// The purely syntactic hashing baseline of Section 2.3.
+///
+/// The hash of a node combines the node constructor with the hashes of
+/// its children *and its variable names*, exactly as in hash-consing.
+/// Cost: O(1) per node, O(n) total -- the lower bound all other
+/// algorithms are measured against in Figure 2 ("Structural*").
+///
+/// It is *incorrect* for alpha-equivalence (Table 1):
+///  - false negatives: `\x.x+1` and `\y.y+1` hash differently;
+///  - false positives are prevented only by the distinct-binder
+///    preprocessing (without it, the two `x+2` of Section 2.2 collide).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_BASELINES_STRUCTURALHASHER_H
+#define HMA_BASELINES_STRUCTURALHASHER_H
+
+#include "ast/NameHashCache.h"
+#include "ast/Traversal.h"
+#include "support/HashSchema.h"
+
+#include <vector>
+
+namespace hma {
+
+/// Hashes every subexpression for *syntactic* equivalence.
+template <typename H> class StructuralHasher {
+public:
+  explicit StructuralHasher(const ExprContext &Ctx,
+                            const HashSchema &Schema = HashSchema())
+      : Ctx(Ctx), Schema(Schema), NameH(this->Ctx, this->Schema) {}
+
+  /// Per-subexpression hashes, indexed by node id.
+  std::vector<H> hashAll(const Expr *Root) {
+    std::vector<H> Out(Ctx.numNodes());
+    run(Root, &Out);
+    return Out;
+  }
+
+  H hashRoot(const Expr *Root) { return run(Root, nullptr); }
+
+private:
+  const ExprContext &Ctx;
+  HashSchema Schema;
+  NameHashCache<H> NameH;
+
+  H run(const Expr *Root, std::vector<H> *Out) {
+    std::vector<H> Values;
+    PostorderWorklist Work(Root);
+    H NodeHash{};
+    while (const Expr *E = Work.next()) {
+      switch (E->kind()) {
+      case ExprKind::Var:
+        NodeHash = Schema.combine<H>(CombinerTag::BaseVar,
+                                     NameH(E->varName()));
+        break;
+      case ExprKind::Const:
+        NodeHash = Schema.combineWords<H>(
+            CombinerTag::BaseConst, static_cast<uint64_t>(E->constValue()));
+        break;
+      case ExprKind::Lam: {
+        H Body = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLam,
+                                     NameH(E->lamBinder()), Body);
+        break;
+      }
+      case ExprKind::App: {
+        H Arg = Values.back();
+        Values.pop_back();
+        H Fun = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseApp, Fun, Arg);
+        break;
+      }
+      case ExprKind::Let: {
+        H Body = Values.back();
+        Values.pop_back();
+        H Bound = Values.back();
+        Values.pop_back();
+        NodeHash = Schema.combine<H>(CombinerTag::BaseLet,
+                                     NameH(E->letBinder()), Bound, Body);
+        break;
+      }
+      }
+      Values.push_back(NodeHash);
+      if (Out)
+        (*Out)[E->id()] = NodeHash;
+    }
+    return NodeHash;
+  }
+};
+
+} // namespace hma
+
+#endif // HMA_BASELINES_STRUCTURALHASHER_H

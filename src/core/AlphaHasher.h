@@ -1,0 +1,303 @@
+//===- core/AlphaHasher.h - Hashing modulo alpha-equivalence ---------------===//
+///
+/// \file
+/// The paper's headline algorithm (Sections 4.8 + 5): compositional
+/// hashing of every subexpression modulo alpha-equivalence in
+/// O(n (log n)^2) time.
+///
+/// This is the Step 2 realisation of the invertible e-summaries of
+/// `summary/ESummary.h`:
+///
+///  - Structures and position trees are represented *by their hash codes*
+///    (Section 5.1): the datatype constructors become O(1) salted hash
+///    combiners and no tree is ever materialised.
+///  - The variable map is an \ref AvlMap from free variable to the hash
+///    code of its position tree, paired with the XOR of its entry hashes
+///    (Section 5.2). XOR's commutativity/invertibility makes insertion,
+///    alteration and removal O(1) on the aggregate; Lemma 6.5/6.6 and
+///    Theorem 6.7 bound the collision cost of this one weak combiner.
+///  - At each App/Let the *smaller* child map is folded into the bigger
+///    one (Section 4.8), with moved entries re-hashed through a PTJoin
+///    combiner salted with the node's StructureTag (we use the subtree
+///    node count, which is strictly larger than any substructure's).
+///
+/// The hash of a node is hash(structure-hash, varmap-aggregate); two
+/// subexpressions receive equal hashes iff they are alpha-equivalent,
+/// except for collisions with probability <= 5(|e1|+|e2|)/2^b
+/// (Theorem 6.7).
+///
+/// The class is templated over the hash code type so the Appendix B
+/// collision study can run the genuine algorithm at b=16 (collisions must
+/// propagate through the real data flow; truncating wider hashes after
+/// the fact would not reproduce the adversarial behaviour).
+///
+/// Precondition (Section 2.2): every binder in the input is distinct.
+/// Establish it with \ref uniquifyBinders; debug builds assert it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_CORE_ALPHAHASHER_H
+#define HMA_CORE_ALPHAHASHER_H
+
+#include "adt/AvlMap.h"
+#include "ast/Expr.h"
+#include "ast/Traversal.h"
+#include "support/HashSchema.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace hma {
+
+/// Operation counters, exposed so tests can check Lemma 6.1/6.2 (the
+/// total number of variable-map operations is O(n log n)) empirically.
+struct AlphaHashStats {
+  uint64_t MapSingletons = 0; ///< Var leaves (one singleton each).
+  uint64_t MapRemoves = 0;    ///< Binder removals (Lam / Let).
+  uint64_t MapAlters = 0;     ///< Entries moved by smaller-into-bigger.
+
+  uint64_t totalMapOps() const {
+    return MapSingletons + MapRemoves + MapAlters;
+  }
+};
+
+/// Hashes all subexpressions of an expression modulo alpha-equivalence.
+template <typename H> class AlphaHasher {
+public:
+  /// \p Ctx must own every expression later passed to hashAll.
+  explicit AlphaHasher(const ExprContext &Ctx,
+                       const HashSchema &Schema = HashSchema())
+      : Ctx(Ctx), Schema(Schema) {}
+
+  /// Hash every subexpression of \p Root. The result vector is indexed by
+  /// node id (size = Ctx.numNodes(); ids outside \p Root keep H{}).
+  std::vector<H> hashAll(const Expr *Root) {
+    std::vector<H> Out(Ctx.numNodes());
+    run(Root, &Out);
+    return Out;
+  }
+
+  /// Hash \p Root only (same pass, no per-node output vector).
+  H hashRoot(const Expr *Root) { return run(Root, nullptr); }
+
+  /// Counters accumulated over all calls since construction/reset.
+  const AlphaHashStats &stats() const { return Stats; }
+  void resetStats() { Stats = AlphaHashStats(); }
+
+  /// The salted hash of a variable name's spelling (exposed for reuse by
+  /// the incremental hasher and tests). Cached per name: O(1) amortised.
+  H nameHash(Name N) {
+    if (N >= NameHashes.size()) {
+      NameHashes.resize(Ctx.names().size());
+      NameHashValid.resize(Ctx.names().size(), false);
+    }
+    if (!NameHashValid[N]) {
+      std::string_view S = Ctx.names().spelling(N);
+      NameHashes[N] =
+          Schema.hashBytes<H>(CombinerTag::NameLeaf, S.data(), S.size());
+      NameHashValid[N] = true;
+    }
+    return NameHashes[N];
+  }
+
+  /// hash of a (variable, position-tree) pair -- `entryHash` of
+  /// Section 5.2.
+  H entryHash(Name V, H Pos) {
+    return Schema.combine<H>(CombinerTag::VarMapEntry, nameHash(V), Pos);
+  }
+
+  const HashSchema &schema() const { return Schema; }
+
+private:
+  using Map = AvlMap<Name, H>;
+  using Pool = typename Map::Pool;
+
+  /// A hashed variable map: the paper's `VM (Map Name PosTree) HashCode`
+  /// with the hash maintained as the XOR of entry hashes.
+  struct VM {
+    Map M;
+    H Agg{};
+    explicit VM(Pool &P) : M(P) {}
+    VM(VM &&) = default;
+    VM &operator=(VM &&) = default;
+  };
+
+  /// Per-child partial result on the value stack.
+  struct Entry {
+    H Struct; ///< Hash code standing for the Structure (Section 5.1).
+    VM Vars;
+    Entry(H Struct, VM &&Vars) : Struct(Struct), Vars(std::move(Vars)) {}
+  };
+
+  const ExprContext &Ctx;
+  HashSchema Schema;
+  AlphaHashStats Stats;
+  std::vector<H> NameHashes;
+  std::vector<uint8_t> NameHashValid;
+
+  H run(const Expr *Root, std::vector<H> *Out) {
+    assert(Root && "nothing to hash");
+    assert(hasDistinctBinders(Ctx, Root) &&
+           "hashing requires distinct binders; run uniquifyBinders first");
+
+    Pool P;
+    std::vector<Entry> Values;
+    const H HereHash = Schema.combineWords<H>(CombinerTag::PosHere, 0);
+    H NodeHash{};
+
+    PostorderWorklist Work(Root);
+    while (const Expr *E = Work.next()) {
+      switch (E->kind()) {
+      case ExprKind::Var: {
+        // summariseExpr (Var v) = ESummary mkSVar (singletonVM v mkPTHere)
+        VM Vars(P);
+        Vars.M.set(E->varName(), HereHash);
+        Vars.Agg = entryHash(E->varName(), HereHash);
+        ++Stats.MapSingletons;
+        Values.emplace_back(
+            Schema.combineWords<H>(CombinerTag::StructVar, 1), // |d| salt
+            std::move(Vars));
+        break;
+      }
+
+      case ExprKind::Const: {
+        VM Vars(P);
+        H CH = Schema.combineWords<H>(CombinerTag::ConstLeaf,
+                                      static_cast<uint64_t>(E->constValue()));
+        Values.emplace_back(
+            Schema.combine<H>(CombinerTag::StructConst, CH), std::move(Vars));
+        break;
+      }
+
+      case ExprKind::Lam: {
+        // summariseExpr (Lam x e): remove x from the body's map; its
+        // position-tree hash becomes part of the structure.
+        Entry Body = std::move(Values.back());
+        Values.pop_back();
+        std::optional<H> Pos = vmRemove(Body.Vars, E->lamBinder());
+        uint64_t Size = E->treeSize();
+        H St = Pos ? Schema.combine<H>(CombinerTag::StructLamSome,
+                                       sizeSalt(Size), *Pos, Body.Struct)
+                   : Schema.combine<H>(CombinerTag::StructLamNone,
+                                       sizeSalt(Size), Body.Struct);
+        Values.emplace_back(St, std::move(Body.Vars));
+        break;
+      }
+
+      case ExprKind::App: {
+        Entry Arg = std::move(Values.back());
+        Values.pop_back();
+        Entry Fun = std::move(Values.back());
+        Values.pop_back();
+        Values.push_back(combineBinary(E, std::move(Fun), std::move(Arg),
+                                       std::nullopt,
+                                       CombinerTag::StructApp,
+                                       CombinerTag::StructApp));
+        break;
+      }
+
+      case ExprKind::Let: {
+        Entry Body = std::move(Values.back());
+        Values.pop_back();
+        Entry Bound = std::move(Values.back());
+        Values.pop_back();
+        // The binder scopes over the body only: take its occurrences out
+        // before the merge (they are positions within the body).
+        std::optional<H> Pos = vmRemove(Body.Vars, E->letBinder());
+        Values.push_back(combineBinary(E, std::move(Bound), std::move(Body),
+                                       Pos, CombinerTag::StructLetNone,
+                                       CombinerTag::StructLetSome));
+        break;
+      }
+      }
+
+      // hashESummary: pair up the structure hash and the map hash.
+      Entry &Top = Values.back();
+      NodeHash = Schema.combine<H>(CombinerTag::SummaryPair, Top.Struct,
+                                   Top.Vars.Agg);
+      if (Out)
+        (*Out)[E->id()] = NodeHash;
+    }
+    assert(Values.size() == 1 && "postorder fold must yield one summary");
+    return NodeHash;
+  }
+
+  /// Lemma 6.6 salts every combiner call with the size |d| of the object
+  /// being built; we feed the subtree size into the mix as a pseudo-part.
+  static H sizeSalt(uint64_t Size) { return hashFromWord(Size); }
+
+  static H hashFromWord(uint64_t W) {
+    if constexpr (HashWidth<H>::Bits == 128)
+      return H(0, W);
+    else
+      return H(static_cast<decltype(H{}.V)>(W));
+  }
+
+  /// Shared App/Let combination: structure hash + smaller-into-bigger
+  /// variable map merge (Section 4.8).
+  Entry combineBinary(const Expr *E, Entry Left, Entry Right,
+                      std::optional<H> BinderPos, CombinerTag NoneTag,
+                      CombinerTag SomeTag) {
+    bool LeftBigger = Left.Vars.M.size() >= Right.Vars.M.size();
+    uint64_t Size = E->treeSize();
+
+    H St;
+    if (BinderPos)
+      St = Schema.combine<H>(SomeTag, sizeSalt(Size),
+                             hashFromWord(LeftBigger), *BinderPos,
+                             Left.Struct, Right.Struct);
+    else
+      St = Schema.combine<H>(NoneTag, sizeSalt(Size),
+                             hashFromWord(LeftBigger), Left.Struct,
+                             Right.Struct);
+
+    // structureTag (Section 4.8): any value strictly larger than every
+    // substructure's tag works; the subtree node count is free.
+    uint64_t Tag = Size;
+
+    VM &Big = LeftBigger ? Left.Vars : Right.Vars;
+    VM &Small = LeftBigger ? Right.Vars : Left.Vars;
+
+    // add_kv: move every entry of the smaller map into the bigger one,
+    // wrapping it in a tagged PTJoin hash. Work here is proportional to
+    // the *smaller* map only -- the crux of Lemma 6.1.
+    Small.M.forEach([&](Name V, const H &SmallPos) {
+      vmAlter(Big, V, [&](const H *BigPos) {
+        return BigPos ? Schema.combine<H>(CombinerTag::PosJoinSome,
+                                          hashFromWord(Tag), *BigPos,
+                                          SmallPos)
+                      : Schema.combine<H>(CombinerTag::PosJoinNone,
+                                          hashFromWord(Tag), SmallPos);
+      });
+    });
+    Small.M.clear();
+
+    return Entry(St, std::move(Big));
+  }
+
+  /// alterVM with XOR bookkeeping (Section 5.2).
+  template <typename F> void vmAlter(VM &Vars, Name V, F &&MakeNew) {
+    ++Stats.MapAlters;
+    Vars.M.alter(V, [&](H *Old) {
+      H NewPos = MakeNew(static_cast<const H *>(Old));
+      if (Old)
+        Vars.Agg ^= entryHash(V, *Old);
+      Vars.Agg ^= entryHash(V, NewPos);
+      return NewPos;
+    });
+  }
+
+  /// removeFromVM with XOR bookkeeping (Section 5.2).
+  std::optional<H> vmRemove(VM &Vars, Name V) {
+    ++Stats.MapRemoves;
+    std::optional<H> Old = Vars.M.remove(V);
+    if (Old)
+      Vars.Agg ^= entryHash(V, *Old);
+    return Old;
+  }
+};
+
+} // namespace hma
+
+#endif // HMA_CORE_ALPHAHASHER_H

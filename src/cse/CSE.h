@@ -1,0 +1,76 @@
+//===- cse/CSE.h - Common subexpression elimination modulo alpha -----------===//
+///
+/// \file
+/// The paper's motivating application (Section 1): CSE that spots
+/// *alpha-equivalent* repeats, not just syntactically identical ones.
+///
+/// Given `(a + (let x = exp(z) in x+7)) * (let y = exp(z) in y+7)`, the
+/// two let-subterms are alpha-equivalent; this pass rewrites to
+/// `let w = (let x = exp(z) in x+7) in (a + w) * w`. Conversely, the
+/// Section 2.2 false-positive example `foo (let x=bar in x+2)
+/// (let x=pub in x+2)` must *not* be rewritten -- binder uniquification
+/// renames the two `x`s apart, after which the two `x+2` are no longer
+/// alpha-equivalent.
+///
+/// Pipeline per round:
+///   1. uniquify binders (Section 2.2 preprocessing);
+///   2. alpha-hash every subexpression (AlphaHasher<Hash128>);
+///   3. group into classes, keep profitable repeated ones;
+///   4. greedily select classes with pairwise-disjoint occurrences;
+///   5. for each, bind a fresh variable at the lowest common ancestor of
+///      its occurrences and replace the occurrences by that variable.
+///
+/// Safety argument (relies on distinct binders): alpha-equivalent
+/// occurrences have identical free-variable *names*; after
+/// uniquification a name has at most one binder in the whole tree and
+/// every occurrence of a bound name lies inside its binder's scope, so
+/// each such binder is a common ancestor of all occurrences and hence a
+/// strict ancestor of their LCA -- the hoisted copy stays well-scoped.
+///
+/// Optionally each selected class is double-checked with the
+/// alpha-equivalence oracle, so a hash collision can never produce a
+/// wrong program (it only costs a missed optimisation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_CSE_CSE_H
+#define HMA_CSE_CSE_H
+
+#include "ast/Expr.h"
+
+#include <cstdint>
+
+namespace hma {
+
+/// Tunables for \ref eliminateCommonSubexpressions.
+struct CSEOptions {
+  /// Smallest subtree (node count) worth abstracting into a let.
+  uint32_t MinSize = 3;
+  /// Minimum number of occurrences.
+  uint32_t MinOccurrences = 2;
+  /// Re-run until fixpoint, at most this many rounds.
+  uint32_t MaxRounds = 8;
+  /// Verify each selected class with the O(class^2) oracle before
+  /// rewriting (guards against hash collisions).
+  bool VerifyWithOracle = true;
+};
+
+/// Outcome of a CSE run.
+struct CSEResult {
+  const Expr *Root = nullptr;      ///< Rewritten expression.
+  uint32_t LetsInserted = 0;       ///< Fresh bindings introduced.
+  uint32_t OccurrencesReplaced = 0;///< Subtrees replaced by variables.
+  uint32_t Rounds = 0;             ///< Rounds that performed a rewrite.
+  uint32_t SizeBefore = 0;
+  uint32_t SizeAfter = 0;
+};
+
+/// Eliminate repeated alpha-equivalent subexpressions of \p Root.
+/// The result is semantically equivalent for pure programs and has all
+/// binders distinct.
+CSEResult eliminateCommonSubexpressions(ExprContext &Ctx, const Expr *Root,
+                                        const CSEOptions &Opts = CSEOptions());
+
+} // namespace hma
+
+#endif // HMA_CSE_CSE_H

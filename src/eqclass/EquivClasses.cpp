@@ -1,0 +1,49 @@
+//===- eqclass/EquivClasses.cpp - Grouping subexpressions by hash ----------===//
+///
+/// \file
+/// Oracle-based partitioning and class verification (test-grade, O(n^2)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "eqclass/EquivClasses.h"
+
+using namespace hma;
+
+std::vector<uint32_t> hma::oraclePartitionIds(const ExprContext &Ctx,
+                                              const Expr *Root) {
+  std::vector<const Expr *> Nodes;
+  preorder(Root, [&](const Expr *E) { Nodes.push_back(E); });
+
+  std::vector<uint32_t> Ids(Nodes.size());
+  std::vector<const Expr *> Reps; // representative of each class so far
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    uint32_t Class = static_cast<uint32_t>(Reps.size());
+    for (size_t C = 0; C != Reps.size(); ++C) {
+      if (alphaEquivalent(Ctx, Nodes[I], Reps[C])) {
+        Class = static_cast<uint32_t>(C);
+        break;
+      }
+    }
+    if (Class == Reps.size())
+      Reps.push_back(Nodes[I]);
+    Ids[I] = Class;
+  }
+  return Ids;
+}
+
+bool hma::classesMatchOracle(
+    const ExprContext &Ctx,
+    const std::vector<std::vector<const Expr *>> &Classes) {
+  // No false positives: every member equals its class representative.
+  for (const auto &Class : Classes) {
+    for (size_t I = 1; I < Class.size(); ++I)
+      if (!alphaEquivalent(Ctx, Class[0], Class[I]))
+        return false;
+  }
+  // No false negatives: representatives are pairwise inequivalent.
+  for (size_t A = 0; A != Classes.size(); ++A)
+    for (size_t B = A + 1; B != Classes.size(); ++B)
+      if (alphaEquivalent(Ctx, Classes[A][0], Classes[B][0]))
+        return false;
+  return true;
+}

@@ -1,0 +1,98 @@
+//===- eqclass/EquivClasses.h - Grouping subexpressions by hash ------------===//
+///
+/// \file
+/// Turning per-subexpression hashes into alpha-equivalence classes.
+///
+/// The paper's goal statement (Section 3): "identify all equivalence
+/// classes of subexpressions of e". Once every node carries an
+/// alpha-invariant hash, the classes fall out of a single hash-table
+/// pass; this header provides that pass plus a canonical partition
+/// encoding used to compare the classes produced by different algorithms
+/// (the Table 1 true-positive / true-negative experiments diff these
+/// partitions against the oracle's).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_EQCLASS_EQUIVCLASSES_H
+#define HMA_EQCLASS_EQUIVCLASSES_H
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Traversal.h"
+#include "support/HashCode.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace hma {
+
+/// Group all subexpressions of \p Root by their hash. Classes appear in
+/// order of their first member's preorder position; members in preorder.
+template <typename H>
+std::vector<std::vector<const Expr *>>
+groupSubexpressionsByHash(const Expr *Root, const std::vector<H> &Hashes) {
+  std::vector<std::vector<const Expr *>> Classes;
+  std::unordered_map<H, size_t, HashCodeHasher> Index;
+  preorder(Root, [&](const Expr *E) {
+    auto [It, Inserted] = Index.try_emplace(Hashes[E->id()], Classes.size());
+    if (Inserted)
+      Classes.emplace_back();
+    Classes[It->second].push_back(E);
+  });
+  return Classes;
+}
+
+/// Canonical partition encoding: class ids assigned by first occurrence
+/// in preorder. Two hashing algorithms induce the same equivalence
+/// classes on \p Root iff their partition vectors are equal, regardless
+/// of the actual hash values.
+template <typename H>
+std::vector<uint32_t> partitionIds(const Expr *Root,
+                                   const std::vector<H> &Hashes) {
+  std::vector<uint32_t> Ids;
+  std::unordered_map<H, uint32_t, HashCodeHasher> Index;
+  preorder(Root, [&](const Expr *E) {
+    auto [It, Inserted] =
+        Index.try_emplace(Hashes[E->id()], static_cast<uint32_t>(Index.size()));
+    Ids.push_back(It->second);
+  });
+  return Ids;
+}
+
+/// The ground-truth partition, computed with the alpha-equivalence oracle
+/// in O(n^2) comparisons. Only usable on small expressions; tests diff
+/// the hash-based partitions against this.
+std::vector<uint32_t> oraclePartitionIds(const ExprContext &Ctx,
+                                         const Expr *Root);
+
+/// Statistics of a partition, reported by the examples and benches.
+struct PartitionStats {
+  size_t NumSubexpressions = 0;
+  size_t NumClasses = 0;
+  size_t NumRepeatedClasses = 0; ///< Classes with >= 2 members.
+  size_t LargestClass = 0;
+};
+
+template <typename H>
+PartitionStats partitionStats(const Expr *Root, const std::vector<H> &Hashes) {
+  PartitionStats S;
+  for (const auto &Class : groupSubexpressionsByHash(Root, Hashes)) {
+    ++S.NumClasses;
+    S.NumSubexpressions += Class.size();
+    if (Class.size() >= 2)
+      ++S.NumRepeatedClasses;
+    if (Class.size() > S.LargestClass)
+      S.LargestClass = Class.size();
+  }
+  return S;
+}
+
+/// Check, with the oracle, that every class is internally
+/// alpha-equivalent (no false positives) and that distinct classes are
+/// not alpha-equivalent across their representatives (no false
+/// negatives). O(n^2); test/guard use only.
+bool classesMatchOracle(const ExprContext &Ctx,
+                        const std::vector<std::vector<const Expr *>> &Classes);
+
+} // namespace hma
+
+#endif // HMA_EQCLASS_EQUIVCLASSES_H

@@ -1,0 +1,35 @@
+//===- eqclass/PatternSearch.cpp - Find subtrees modulo alpha -----------------===//
+///
+/// \file
+/// Hash-then-confirm subtree search.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eqclass/PatternSearch.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Traversal.h"
+#include "core/AlphaHasher.h"
+
+using namespace hma;
+
+std::vector<const Expr *> hma::findAlphaEquivalent(const ExprContext &Ctx,
+                                                   const Expr *Root,
+                                                   const Expr *Pattern) {
+  AlphaHasher<Hash128> Hasher(Ctx);
+  std::vector<Hash128> Hashes = Hasher.hashAll(Root);
+  Hash128 Wanted = Hasher.hashRoot(Pattern);
+
+  std::vector<const Expr *> Matches;
+  preorder(Root, [&](const Expr *E) {
+    if (Hashes[E->id()] != Wanted)
+      return;
+    // Size is implied by hash equality except under collisions; both
+    // filters are cheap insurance before the oracle confirmation.
+    if (E->treeSize() != Pattern->treeSize())
+      return;
+    if (alphaEquivalent(Ctx, E, Pattern))
+      Matches.push_back(E);
+  });
+  return Matches;
+}

@@ -1,0 +1,37 @@
+//===- eqclass/PatternSearch.h - Find subtrees modulo alpha ------------------===//
+///
+/// \file
+/// "Find every place this computation happens, whatever the binders are
+/// called": locate all subtrees of an expression alpha-equivalent to a
+/// pattern expression, in one hashing pass.
+///
+/// This is the query form of the paper's equivalence-class machinery --
+/// rewrite rules, instruction selection and clone detection all reduce
+/// to it. Matches are certain (not probabilistic): candidates are found
+/// by hash and then confirmed with the alpha-equivalence oracle, so a
+/// hash collision costs a comparison, never a wrong answer; with 128-bit
+/// hashes the confirmation is effectively never exercised but is cheap
+/// (it only runs on claimed matches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_EQCLASS_PATTERNSEARCH_H
+#define HMA_EQCLASS_PATTERNSEARCH_H
+
+#include "ast/Expr.h"
+
+#include <vector>
+
+namespace hma {
+
+/// All subtrees of \p Root alpha-equivalent to \p Pattern, in preorder.
+/// Both expressions must have distinct binders (see uniquifyBinders) and
+/// live in \p Ctx. Occurrences may include \p Root itself and nodes of
+/// \p Pattern if it is part of \p Root.
+std::vector<const Expr *> findAlphaEquivalent(const ExprContext &Ctx,
+                                              const Expr *Root,
+                                              const Expr *Pattern);
+
+} // namespace hma
+
+#endif // HMA_EQCLASS_PATTERNSEARCH_H

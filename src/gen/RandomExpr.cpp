@@ -1,0 +1,402 @@
+//===- gen/RandomExpr.cpp - Random expression generators --------------------===//
+///
+/// \file
+/// Iterative generators for all benchmark workload families.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomExpr.h"
+
+#include "adt/PersistentMap.h"
+#include "ast/Traversal.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace hma;
+
+namespace {
+
+/// Small pool of globally free names for leaves generated outside any
+/// binder's scope.
+Name freeName(ExprContext &Ctx, Rng &R) {
+  static const char *Pool[] = {"g0", "g1", "g2", "g3", "g4", "g5", "g6",
+                               "g7"};
+  return Ctx.name(Pool[R.below(std::size(Pool))]);
+}
+
+Name scopedOrFree(ExprContext &Ctx, Rng &R, const std::vector<Name> &Scope) {
+  if (Scope.empty())
+    return freeName(Ctx, R);
+  return Scope[R.below(Scope.size())];
+}
+
+/// One spine-wrapping step for the unbalanced / adversarial generators.
+struct SpineOp {
+  enum class Kind : uint8_t { Lam, AppLeafLeft, AppLeafRight };
+  Kind K;
+  Name N; ///< Lam: binder; App*: the leaf variable.
+};
+
+/// Collect wrapper steps consuming exactly \p Budget nodes. Lam costs 1,
+/// App-with-leaf costs 2. The first step is always a Lam so App leaves
+/// have something in scope.
+std::vector<SpineOp> collectSpine(ExprContext &Ctx, Rng &R, uint64_t Budget,
+                                  std::vector<Name> &Scope) {
+  std::vector<SpineOp> Ops;
+  while (Budget > 0) {
+    bool MustLam = Scope.empty() || Budget == 1;
+    if (MustLam || R.flip()) {
+      Name B = Ctx.names().freshName("s");
+      Scope.push_back(B);
+      Ops.push_back({SpineOp::Kind::Lam, B});
+      Budget -= 1;
+      continue;
+    }
+    Name Leaf = Scope[R.below(Scope.size())];
+    Ops.push_back({R.flip() ? SpineOp::Kind::AppLeafLeft
+                            : SpineOp::Kind::AppLeafRight,
+                   Leaf});
+    Budget -= 2;
+  }
+  return Ops;
+}
+
+/// Wrap \p Core in the collected steps, innermost step last in \p Ops.
+const Expr *applySpine(ExprContext &Ctx, const std::vector<SpineOp> &Ops,
+                       const Expr *Core) {
+  const Expr *E = Core;
+  for (auto It = Ops.rbegin(), End = Ops.rend(); It != End; ++It) {
+    switch (It->K) {
+    case SpineOp::Kind::Lam:
+      E = Ctx.lam(It->N, E);
+      break;
+    case SpineOp::Kind::AppLeafLeft:
+      E = Ctx.app(Ctx.var(It->N), E);
+      break;
+    case SpineOp::Kind::AppLeafRight:
+      E = Ctx.app(E, Ctx.var(It->N));
+      break;
+    }
+  }
+  return E;
+}
+
+} // namespace
+
+const Expr *hma::genBalanced(ExprContext &Ctx, Rng &R, uint32_t Size) {
+  assert(Size >= 1 && "expression needs at least one node");
+
+  struct Frame {
+    uint32_t Size;
+    uint8_t Stage;
+    Name Binder;
+    uint32_t RightSize;
+  };
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+  std::vector<Name> Scope;
+  Stack.push_back({Size, 0, InvalidName, 0});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    switch (F.Stage) {
+    case 0: {
+      if (F.Size == 1) {
+        Values.push_back(Ctx.var(scopedOrFree(Ctx, R, Scope)));
+        Stack.pop_back();
+        break;
+      }
+      // Section 7.1: Lam or App with equal probability (App needs >= 3
+      // nodes). Lambdas always bind a fresh name.
+      bool MakeLam = F.Size < 3 || R.flip();
+      if (MakeLam) {
+        F.Stage = 1;
+        F.Binder = Ctx.names().freshName("b");
+        Scope.push_back(F.Binder);
+        Stack.push_back({F.Size - 1, 0, InvalidName, 0});
+        break;
+      }
+      // Uniform split of the remaining node budget: random-BST shape,
+      // expected depth O(log n) ("roughly balanced").
+      uint32_t Rem = F.Size - 1;
+      uint32_t Left = 1 + static_cast<uint32_t>(R.below(Rem - 1));
+      F.Stage = 2;
+      F.RightSize = Rem - Left;
+      Stack.push_back({Left, 0, InvalidName, 0});
+      break;
+    }
+    case 1: { // Lam: body ready
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      Scope.pop_back();
+      Values.push_back(Ctx.lam(F.Binder, Body));
+      Stack.pop_back();
+      break;
+    }
+    case 2: { // App: left ready, generate right
+      F.Stage = 3;
+      Stack.push_back({F.RightSize, 0, InvalidName, 0});
+      break;
+    }
+    default: { // App: both ready
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Fun = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.app(Fun, Arg));
+      Stack.pop_back();
+      break;
+    }
+    }
+  }
+  assert(Values.size() == 1 && "generator must yield one expression");
+  assert(Values.back()->treeSize() == Size && "size budget violated");
+  return Values.back();
+}
+
+const Expr *hma::genUnbalanced(ExprContext &Ctx, Rng &R, uint32_t Size) {
+  assert(Size >= 1 && "expression needs at least one node");
+  if (Size == 1)
+    return Ctx.var(freeName(Ctx, R));
+  std::vector<Name> Scope;
+  std::vector<SpineOp> Ops = collectSpine(Ctx, R, Size - 1, Scope);
+  const Expr *Core = Ctx.var(Scope[R.below(Scope.size())]);
+  const Expr *E = applySpine(Ctx, Ops, Core);
+  assert(E->treeSize() == Size && "size budget violated");
+  return E;
+}
+
+std::pair<const Expr *, const Expr *>
+hma::genAdversarialPair(ExprContext &Ctx, Rng &R, uint32_t Size) {
+  assert(Size >= 8 && "cores alone take 6 nodes; allow >= 8");
+
+  // Appendix B.1 cores: alpha-inequivalent, same size, no free variables.
+  //   e1 = \x. x (x x)       e2 = \x. (x x) x
+  auto MakeCores = [&]() {
+    Name X1 = Ctx.names().freshName("x");
+    const Expr *C1 = Ctx.lam(
+        X1, Ctx.app(Ctx.var(X1), Ctx.app(Ctx.var(X1), Ctx.var(X1))));
+    Name X2 = Ctx.names().freshName("x");
+    const Expr *C2 = Ctx.lam(
+        X2, Ctx.app(Ctx.app(Ctx.var(X2), Ctx.var(X2)), Ctx.var(X2)));
+    return std::make_pair(C1, C2);
+  };
+  auto [Core1, Core2] = MakeCores();
+
+  // Identical wrapper sequence for both: a low-level collision then
+  // propagates to the roots ("the way e1 and e2 are extended upwards is
+  // the same").
+  std::vector<Name> Scope;
+  std::vector<SpineOp> Ops =
+      collectSpine(Ctx, R, Size - Core1->treeSize(), Scope);
+  const Expr *E1 = applySpine(Ctx, Ops, Core1);
+  const Expr *E2 = applySpine(Ctx, Ops, Core2);
+  assert(E1->treeSize() == Size && E2->treeSize() == Size &&
+         "size budget violated");
+  return {E1, E2};
+}
+
+const Expr *hma::genArithmetic(ExprContext &Ctx, Rng &R, uint32_t Size) {
+  static const char *BinOps[] = {"add", "sub", "mul", "min", "max"};
+
+  struct Frame {
+    uint32_t Size;
+    uint8_t Stage;
+    Name Binder;
+    uint32_t RightSize;
+    const char *Op;
+    bool IsLet;
+  };
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+  std::vector<Name> Scope; // let- and beta-bound integer variables
+  Stack.push_back({Size, 0, InvalidName, 0, nullptr, false});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    switch (F.Stage) {
+    case 0: {
+      if (F.Size <= 2) {
+        // Leaf: a constant or a bound integer variable.
+        if (!Scope.empty() && R.flip())
+          Values.push_back(Ctx.var(Scope[R.below(Scope.size())]));
+        else
+          Values.push_back(Ctx.intConst(R.range(-9, 9)));
+        Stack.pop_back();
+        break;
+      }
+      uint32_t Budget = F.Size;
+      // Forms: binop (cost 3 + a + b), let (cost 1 + a + b),
+      // immediately-applied lambda (cost 3 + body + arg), neg (cost 2+e).
+      uint64_t Pick = R.below(10);
+      if (Budget >= 6 && Pick == 0) { // ((lam (x) body) arg)
+        F.IsLet = false;
+        F.Op = nullptr;
+        F.Binder = Ctx.names().freshName("p");
+        uint32_t Rem = Budget - 3;
+        F.RightSize = 1 + static_cast<uint32_t>(R.below(Rem - 1));
+        F.Stage = 4; // lambda-body first (with binder in scope)
+        Scope.push_back(F.Binder);
+        Stack.push_back(
+            {Rem - F.RightSize, 0, InvalidName, 0, nullptr, false});
+        break;
+      }
+      if (Budget >= 4 && Pick <= 4) { // let
+        F.IsLet = true;
+        F.Binder = Ctx.names().freshName("t");
+        uint32_t Rem = Budget - 1;
+        uint32_t Left = 1 + static_cast<uint32_t>(R.below(Rem - 1));
+        F.RightSize = Rem - Left;
+        F.Stage = 1; // bound expr first (binder not in scope there)
+        Stack.push_back({Left, 0, InvalidName, 0, nullptr, false});
+        break;
+      }
+      if (Budget >= 5 && Pick <= 8) { // binary builtin
+        F.IsLet = false;
+        F.Op = BinOps[R.below(std::size(BinOps))];
+        uint32_t Rem = Budget - 3;
+        uint32_t Left = 1 + static_cast<uint32_t>(R.below(Rem - 1));
+        F.RightSize = Rem - Left;
+        F.Stage = 1; // shared with let: stage 1 generates the right child
+        Stack.push_back({Left, 0, InvalidName, 0, nullptr, false});
+        break;
+      }
+      // neg
+      F.Op = "neg";
+      F.Stage = 3;
+      Stack.push_back({Budget - 2, 0, InvalidName, 0, nullptr, false});
+      break;
+    }
+    case 1: { // left/bound child done -> generate the right child
+      F.Stage = 2;
+      if (F.IsLet)
+        Scope.push_back(F.Binder); // let binder scopes over the body only
+      Stack.push_back({F.RightSize, 0, InvalidName, 0, nullptr, false});
+      break;
+    }
+    case 2: { // binary combine (let or binop)
+      const Expr *B = Values.back();
+      Values.pop_back();
+      const Expr *A = Values.back();
+      Values.pop_back();
+      if (F.IsLet) {
+        Scope.pop_back();
+        Values.push_back(Ctx.let(F.Binder, A, B));
+      } else {
+        Values.push_back(Ctx.app(Ctx.app(Ctx.var(F.Op), A), B));
+      }
+      Stack.pop_back();
+      break;
+    }
+    case 3: { // unary neg
+      const Expr *A = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.app(Ctx.var(F.Op), A));
+      Stack.pop_back();
+      break;
+    }
+    case 4: { // applied lambda: body done -> generate argument
+      F.Stage = 5;
+      Scope.pop_back(); // binder scopes over the body only
+      Stack.push_back({F.RightSize, 0, InvalidName, 0, nullptr, false});
+      break;
+    }
+    default: { // applied lambda: combine
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.app(Ctx.lam(F.Binder, Body), Arg));
+      Stack.pop_back();
+      break;
+    }
+    }
+  }
+  assert(Values.size() == 1 && "generator must yield one expression");
+  return Values.back();
+}
+
+const Expr *hma::alphaRename(ExprContext &Ctx, Rng &R, const Expr *Root) {
+  // Structure mirrors uniquifyBinders, but *every* binder is renamed to a
+  // fresh name, so the output is alpha-equivalent yet syntactically
+  // different (with overwhelming probability) from the input.
+  Arena EnvArena;
+  using Env = PersistentMap<Name, Name>;
+
+  // Randomise the prefix so repeated renamings look different.
+  static const char *Prefixes[] = {"r", "w", "q", "z"};
+  const char *Prefix = Prefixes[R.below(std::size(Prefixes))];
+
+  struct Frame {
+    const Expr *E;
+    Env Scope;
+    unsigned NextChild;
+    Name NewBinder;
+  };
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+  Stack.push_back({Root, Env(EnvArena), 0, InvalidName});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Expr *E = F.E;
+    if (F.NextChild < E->numChildren()) {
+      unsigned I = F.NextChild++;
+      Env ChildScope = F.Scope;
+      if (E->bindsInChild(I)) {
+        F.NewBinder = Ctx.names().freshName(Prefix);
+        ChildScope = ChildScope.insert(E->binder(), F.NewBinder);
+      }
+      Stack.push_back({E->child(I), ChildScope, 0, InvalidName});
+      continue;
+    }
+    switch (E->kind()) {
+    case ExprKind::Var: {
+      const Name *Renamed = F.Scope.find(E->varName());
+      Values.push_back(Ctx.var(Renamed ? *Renamed : E->varName()));
+      break;
+    }
+    case ExprKind::Const:
+      Values.push_back(Ctx.intConst(E->constValue()));
+      break;
+    case ExprKind::Lam: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.lam(F.NewBinder, Body));
+      break;
+    }
+    case ExprKind::App: {
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Fun = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.app(Fun, Arg));
+      break;
+    }
+    case ExprKind::Let: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      const Expr *Bound = Values.back();
+      Values.pop_back();
+      Values.push_back(Ctx.let(F.NewBinder, Bound, Body));
+      break;
+    }
+    }
+    Stack.pop_back();
+  }
+  assert(Values.size() == 1 && "rebuild must yield exactly the root");
+  return Values.back();
+}
+
+const Expr *hma::pickRandomNode(Rng &R, const Expr *Root) {
+  uint64_t Target = R.below(Root->treeSize());
+  const Expr *Picked = nullptr;
+  uint64_t Index = 0;
+  preorder(Root, [&](const Expr *E) {
+    if (Index++ == Target)
+      Picked = E;
+  });
+  assert(Picked && "index within tree size");
+  return Picked;
+}

@@ -1,0 +1,71 @@
+//===- gen/RandomExpr.h - Random expression generators ---------------------===//
+///
+/// \file
+/// Workload generators for the empirical evaluation (Section 7.1 and
+/// Appendix B.1).
+///
+///  - \ref genBalanced : "roughly balanced trees, at each point
+///    generating a Lam or App node with equal probability. Each Lam node
+///    has a fresh binder, and at variable occurrences we choose one of
+///    the in-scope bound variables." Application subtree sizes are split
+///    uniformly at random, giving expected depth O(log n).
+///  - \ref genUnbalanced : "wildly unbalanced trees with very deeply
+///    nested lambdas" -- a spine of Lam/App steps of depth ~ n/2,
+///    modelling machine-generated deeply-nested binder stacks.
+///  - \ref genAdversarialPair : Appendix B.1's collision-hunting pairs:
+///    two small non-alpha-equivalent seeds wrapped in an *identical*
+///    random sequence of Lam/App layers, so a low-level hash collision
+///    propagates all the way to the roots.
+///  - \ref genArithmetic : closed, total arithmetic programs (lets,
+///    curried builtin applications, constants) used by the CSE
+///    semantics-preservation property tests.
+///
+/// All generators are deterministic functions of the supplied \ref Rng
+/// and are iterative (no recursion), so million-node spines are safe.
+/// Generated trees always have distinct binders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_GEN_RANDOMEXPR_H
+#define HMA_GEN_RANDOMEXPR_H
+
+#include "ast/Expr.h"
+#include "support/Random.h"
+
+#include <utility>
+
+namespace hma {
+
+/// Random roughly balanced expression with exactly \p Size nodes
+/// (Size >= 1). Leaves reference in-scope binders when any exist, else a
+/// small pool of globally free names.
+const Expr *genBalanced(ExprContext &Ctx, Rng &R, uint32_t Size);
+
+/// Random wildly unbalanced expression with exactly \p Size nodes:
+/// alternating Lam wrappers and App-with-leaf steps along one spine.
+const Expr *genUnbalanced(ExprContext &Ctx, Rng &R, uint32_t Size);
+
+/// Appendix B.1 adversarial pair: both expressions have exactly \p Size
+/// nodes (Size >= 8), identical wrappers, non-alpha-equivalent cores:
+///   e1 = \x. x (x x)        e2 = \x. (x x) x
+std::pair<const Expr *, const Expr *>
+genAdversarialPair(ExprContext &Ctx, Rng &R, uint32_t Size);
+
+/// Closed, total arithmetic program of approximately \p Size nodes:
+/// integer constants, let bindings, curried add/sub/mul/min/max
+/// applications, and occasional immediately-applied lambdas. Always
+/// evaluates to an integer (no division, no divergence).
+const Expr *genArithmetic(ExprContext &Ctx, Rng &R, uint32_t Size);
+
+/// Apply a random alpha-renaming to \p Root: every binder gets a fresh
+/// name, so the result is alpha-equivalent to (but syntactically distinct
+/// from) the input. Used by true-positive/true-negative experiments.
+const Expr *alphaRename(ExprContext &Ctx, Rng &R, const Expr *Root);
+
+/// Pick a uniformly random node of \p Root (for rewrite-site selection in
+/// incrementality experiments).
+const Expr *pickRandomNode(Rng &R, const Expr *Root);
+
+} // namespace hma
+
+#endif // HMA_GEN_RANDOMEXPR_H

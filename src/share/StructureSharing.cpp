@@ -1,0 +1,200 @@
+//===- share/StructureSharing.cpp - Hash-consing / structure sharing --------===//
+///
+/// \file
+/// Bottom-up hash-consing keyed on (kind, payload, canonical children),
+/// and the alpha-level sharing analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "share/StructureSharing.h"
+
+#include "ast/Traversal.h"
+#include "core/AlphaHasher.h"
+#include "eqclass/EquivClasses.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace hma;
+
+namespace {
+
+/// Hash-consing key: children are already canonicalised, so pointer
+/// identity of children == syntactic equality of their subtrees, and
+/// the key collapses to a small tuple.
+struct ConsKey {
+  ExprKind K;
+  Name N;
+  int64_t CVal;
+  const Expr *A;
+  const Expr *B;
+
+  friend bool operator==(const ConsKey &X, const ConsKey &Y) {
+    return X.K == Y.K && X.N == Y.N && X.CVal == Y.CVal && X.A == Y.A &&
+           X.B == Y.B;
+  }
+};
+
+struct ConsKeyHasher {
+  size_t operator()(const ConsKey &Key) const {
+    MixEngine E(0x5EED5EED5EED5EEDULL);
+    E.addWord(static_cast<uint64_t>(Key.K));
+    E.addWord(Key.N);
+    E.addWord(static_cast<uint64_t>(Key.CVal));
+    E.addWord(reinterpret_cast<uintptr_t>(Key.A));
+    E.addWord(reinterpret_cast<uintptr_t>(Key.B));
+    return static_cast<size_t>(E.finish<Hash64>().V);
+  }
+};
+
+} // namespace
+
+const Expr *hma::shareStructurally(ExprContext &Ctx, const Expr *Root,
+                                   SharingStats *Stats) {
+  std::unordered_map<ConsKey, const Expr *, ConsKeyHasher> Table;
+  // Memoise per input node so shared *input* DAGs stay linear too.
+  std::unordered_map<const Expr *, const Expr *> Canon;
+
+  auto intern = [&](ConsKey Key, auto MakeNode) -> const Expr * {
+    auto It = Table.find(Key);
+    if (It != Table.end())
+      return It->second;
+    const Expr *Node = MakeNode();
+    Table.emplace(Key, Node);
+    return Node;
+  };
+
+  // DAG-aware postorder: a child whose canonical form is already known is
+  // not re-entered, so shared *inputs* are processed in linear time.
+  struct Frame {
+    const Expr *E;
+    unsigned NextChild;
+  };
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+  Stack.push_back({Root, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const Expr *E = F.E;
+    if (F.NextChild < E->numChildren()) {
+      const Expr *Child = E->child(F.NextChild++);
+      auto Known = Canon.find(Child);
+      if (Known != Canon.end())
+        Values.push_back(Known->second);
+      else
+        Stack.push_back({Child, 0});
+      continue;
+    }
+    Stack.pop_back();
+    const Expr *New = nullptr;
+    switch (E->kind()) {
+    case ExprKind::Var:
+      New = intern({ExprKind::Var, E->varName(), 0, nullptr, nullptr},
+                   [&] { return Ctx.var(E->varName()); });
+      break;
+    case ExprKind::Const:
+      New = intern(
+          {ExprKind::Const, InvalidName, E->constValue(), nullptr, nullptr},
+          [&] { return Ctx.intConst(E->constValue()); });
+      break;
+    case ExprKind::Lam: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      New = intern({ExprKind::Lam, E->lamBinder(), 0, Body, nullptr},
+                   [&] { return Ctx.lam(E->lamBinder(), Body); });
+      break;
+    }
+    case ExprKind::App: {
+      const Expr *Arg = Values.back();
+      Values.pop_back();
+      const Expr *Fun = Values.back();
+      Values.pop_back();
+      New = intern({ExprKind::App, InvalidName, 0, Fun, Arg},
+                   [&] { return Ctx.app(Fun, Arg); });
+      break;
+    }
+    case ExprKind::Let: {
+      const Expr *Body = Values.back();
+      Values.pop_back();
+      const Expr *Bound = Values.back();
+      Values.pop_back();
+      New = intern({ExprKind::Let, E->letBinder(), 0, Bound, Body},
+                   [&] { return Ctx.let(E->letBinder(), Bound, Body); });
+      break;
+    }
+    }
+    Canon.emplace(E, New);
+    Values.push_back(New);
+  }
+  assert(Values.size() == 1 && "postorder fold must yield one root");
+
+  if (Stats) {
+    Stats->TreeNodes = Root->treeSize();
+    Stats->UniqueNodes = static_cast<uint32_t>(Table.size());
+  }
+  return Values.back();
+}
+
+SharingStats hma::alphaSharingPotential(const ExprContext &Ctx,
+                                        const Expr *Root) {
+  SharingStats Stats;
+  Stats.TreeNodes = Root->treeSize();
+
+  // Distinct syntactic subtrees: assign each node a canonical id from a
+  // map over (kind, payload, children's canonical ids) -- hash-consing
+  // without materialising the DAG.
+  std::unordered_map<uint64_t, uint32_t> Syntactic;
+  std::vector<uint32_t> Values;
+  constexpr uint32_t NoChild = ~0u;
+  PostorderWorklist Work(Root);
+  while (const Expr *E = Work.next()) {
+    uint64_t Payload = 0;
+    uint32_t A = NoChild, B = NoChild;
+    switch (E->kind()) {
+    case ExprKind::Var:
+      Payload = E->varName();
+      break;
+    case ExprKind::Const:
+      Payload = static_cast<uint64_t>(E->constValue());
+      break;
+    case ExprKind::Lam:
+      Payload = E->lamBinder();
+      A = Values.back();
+      Values.pop_back();
+      break;
+    case ExprKind::App:
+      B = Values.back();
+      Values.pop_back();
+      A = Values.back();
+      Values.pop_back();
+      break;
+    case ExprKind::Let:
+      Payload = E->letBinder();
+      B = Values.back();
+      Values.pop_back();
+      A = Values.back();
+      Values.pop_back();
+      break;
+    }
+    MixEngine Mix(0xC0 + static_cast<uint64_t>(E->kind()));
+    Mix.addWord(Payload);
+    Mix.addWord(A);
+    Mix.addWord(B);
+    // A 64-bit fingerprint keys the canonical id; collisions would need
+    // ~2^32 distinct subtrees (birthday bound), far beyond any input
+    // this analysis is meant for.
+    auto [It, Inserted] = Syntactic.try_emplace(
+        Mix.finish<Hash64>().V, static_cast<uint32_t>(Syntactic.size()));
+    (void)Inserted;
+    Values.push_back(It->second);
+  }
+  Stats.UniqueNodes = static_cast<uint32_t>(Syntactic.size());
+
+  // Alpha classes via the paper's hashing algorithm.
+  AlphaHasher<Hash128> Hasher(Ctx);
+  std::vector<Hash128> Hashes = Hasher.hashAll(Root);
+  std::unordered_set<Hash128, HashCodeHasher> Distinct;
+  preorder(Root, [&](const Expr *E) { Distinct.insert(Hashes[E->id()]); });
+  Stats.AlphaClasses = static_cast<uint32_t>(Distinct.size());
+  return Stats;
+}

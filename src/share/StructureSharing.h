@@ -1,0 +1,69 @@
+//===- share/StructureSharing.h - Hash-consing / structure sharing ----------===//
+///
+/// \file
+/// The paper's second motivating application (Section 1): "structure
+/// sharing to save memory, by representing all occurrences of the same
+/// subexpression by a pointer to a single shared tree".
+///
+/// Two different notions of sharing, per Section 2.2's analysis:
+///
+///  - \ref shareStructurally performs classic hash-consing: *syntactic*
+///    duplicates collapse to one node. The paper notes this is "perfect
+///    for structure sharing" -- sharing the two `x+2` under different
+///    binders is fine when all we want is memory -- so this pass
+///    deliberately uses syntactic equality, needs no preprocessing, and
+///    produces a DAG.
+///  - \ref alphaSharingPotential *measures* how much further an
+///    alpha-respecting representation could go: subexpressions that are
+///    alpha-equivalent but not syntactically equal (e.g. `\x.x+7` vs
+///    `\y.y+7`) could share one representative if consumers resolve
+///    binder names through the summary. This is reporting, not a
+///    transformation: the number of alpha classes is the node count of
+///    that hypothetical representation.
+///
+/// The shared DAG is terminal: hashers and rewriters in this library
+/// require trees (a DAG makes naive postorder exponential), so share
+/// last, after analysis and rewriting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_SHARE_STRUCTURESHARING_H
+#define HMA_SHARE_STRUCTURESHARING_H
+
+#include "ast/Expr.h"
+
+#include <cstdint>
+
+namespace hma {
+
+/// Outcome statistics of a sharing pass / analysis.
+struct SharingStats {
+  uint32_t TreeNodes = 0;     ///< Nodes of the input tree.
+  uint32_t UniqueNodes = 0;   ///< Distinct syntactic subtrees (DAG size).
+  uint32_t AlphaClasses = 0;  ///< Alpha-equivalence classes (lower bound
+                              ///< for an alpha-respecting representation;
+                              ///< 0 unless requested).
+
+  double syntacticRatio() const {
+    return UniqueNodes ? double(TreeNodes) / UniqueNodes : 0.0;
+  }
+  double alphaRatio() const {
+    return AlphaClasses ? double(TreeNodes) / AlphaClasses : 0.0;
+  }
+};
+
+/// Hash-cons \p Root: returns a maximally shared DAG in which any two
+/// syntactically identical subtrees are the same node. The result is
+/// semantically identical to the input (it unparses and evaluates the
+/// same); it is generally *not* a tree.
+const Expr *shareStructurally(ExprContext &Ctx, const Expr *Root,
+                              SharingStats *Stats = nullptr);
+
+/// Measure the sharing available at both equivalence granularities for
+/// \p Root (which must be a tree with distinct binders). Fills TreeNodes,
+/// UniqueNodes and AlphaClasses.
+SharingStats alphaSharingPotential(const ExprContext &Ctx, const Expr *Root);
+
+} // namespace hma
+
+#endif // HMA_SHARE_STRUCTURESHARING_H

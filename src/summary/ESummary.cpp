@@ -1,0 +1,578 @@
+//===- summary/ESummary.cpp - Step 1: invertible e-summaries ---------------===//
+///
+/// \file
+/// Summarisation (naive and tagged), rebuilding, equality and printing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "summary/ESummary.h"
+
+#include "ast/Traversal.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Summarisation
+//===----------------------------------------------------------------------===//
+
+namespace hma {
+
+class SummariserImpl {
+public:
+  SummariserImpl(SummaryBuilder &B, bool Tagged)
+      : Mem(B.Mem), Tagged(Tagged) {}
+
+  /// Summarise \p Root; if \p All is non-null, additionally store a copy
+  /// of every subexpression's summary at its node id.
+  ESummary run(const Expr *Root, std::vector<ESummary> *All) {
+    assert(Root && "nothing to summarise");
+    std::vector<ESummary> Values;
+    PostorderWorklist Work(Root);
+    while (const Expr *E = Work.next()) {
+      switch (E->kind()) {
+      case ExprKind::Var: {
+        ESummary S;
+        S.S = leaf(Structure::Kind::SVar, 0);
+        S.VM.emplace(E->varName(), here());
+        Values.push_back(std::move(S));
+        break;
+      }
+      case ExprKind::Const: {
+        ESummary S;
+        S.S = leaf(Structure::Kind::SConst, E->constValue());
+        Values.push_back(std::move(S));
+        break;
+      }
+      case ExprKind::Lam: {
+        ESummary Body = std::move(Values.back());
+        Values.pop_back();
+        const PosTree *Pos = removeBinder(Body.VM, E->lamBinder());
+        ESummary S;
+        S.S = unary(Structure::Kind::SLam, Pos, Body.S);
+        S.VM = std::move(Body.VM);
+        Values.push_back(std::move(S));
+        break;
+      }
+      case ExprKind::App: {
+        ESummary Arg = std::move(Values.back());
+        Values.pop_back();
+        ESummary Fun = std::move(Values.back());
+        Values.pop_back();
+        Values.push_back(combine(Structure::Kind::SApp, nullptr,
+                                 std::move(Fun), std::move(Arg)));
+        break;
+      }
+      case ExprKind::Let: {
+        ESummary Body = std::move(Values.back());
+        Values.pop_back();
+        ESummary Bound = std::move(Values.back());
+        Values.pop_back();
+        // The binder scopes over the body only; take its occurrences out
+        // *before* merging (they are positions within the body).
+        const PosTree *Pos = removeBinder(Body.VM, E->letBinder());
+        Values.push_back(combine(Structure::Kind::SLet, Pos,
+                                 std::move(Bound), std::move(Body)));
+        break;
+      }
+      }
+      if (All)
+        (*All)[E->id()] = Values.back();
+    }
+    assert(Values.size() == 1 && "postorder fold must yield one summary");
+    return std::move(Values.back());
+  }
+
+private:
+  Arena &Mem;
+  bool Tagged;
+  const PosTree *HereNode = nullptr;
+
+  // --- Node factories ------------------------------------------------------
+
+  const PosTree *here() {
+    // All PTHere nodes are identical; share one.
+    if (!HereNode) {
+      PosTree *P = Mem.create<PosTree>();
+      P->K = PosTree::Kind::Here;
+      HereNode = P;
+    }
+    return HereNode;
+  }
+
+  const PosTree *posNode(PosTree::Kind K, const PosTree *A, const PosTree *B,
+                         uint32_t Tag = 0) {
+    PosTree *P = Mem.create<PosTree>();
+    P->K = K;
+    P->A = A;
+    P->B = B;
+    P->Tag = Tag;
+    return P;
+  }
+
+  const Structure *leaf(Structure::Kind K, int64_t CVal) {
+    Structure *S = Mem.create<Structure>();
+    S->K = K;
+    S->Size = 1;
+    S->CVal = CVal;
+    return S;
+  }
+
+  const Structure *unary(Structure::Kind K, const PosTree *Pos,
+                         const Structure *S1) {
+    Structure *S = Mem.create<Structure>();
+    S->K = K;
+    S->BinderPos = Pos;
+    S->S1 = S1;
+    S->Size = 1 + S1->Size;
+    return S;
+  }
+
+  const Structure *binary(Structure::Kind K, const PosTree *Pos,
+                          const Structure *S1, const Structure *S2,
+                          bool LeftBigger) {
+    Structure *S = Mem.create<Structure>();
+    S->K = K;
+    S->BinderPos = Pos;
+    S->S1 = S1;
+    S->S2 = S2;
+    S->LeftBigger = LeftBigger;
+    S->Size = 1 + S1->Size + S2->Size;
+    return S;
+  }
+
+  // --- Variable map plumbing ------------------------------------------------
+
+  /// removeFromVM (Section 4.4): delete the binder's entry, returning its
+  /// position tree (null if the binder does not occur).
+  static const PosTree *removeBinder(VarMap &VM, Name Binder) {
+    auto It = VM.find(Binder);
+    if (It == VM.end())
+      return nullptr;
+    const PosTree *Pos = It->second;
+    VM.erase(It);
+    return Pos;
+  }
+
+  /// Merge the children of a binary node, producing its summary.
+  /// \p Pos is the binder position tree for SLet (already removed from
+  /// the right child's map), null for SApp.
+  ESummary combine(Structure::Kind K, const PosTree *Pos, ESummary Left,
+                   ESummary Right) {
+    ESummary Out;
+    if (!Tagged) {
+      // Section 4.6: rebuild the whole map, marking the origin of every
+      // entry with PTLeftOnly / PTRightOnly / PTBoth.
+      Out.S = binary(K, Pos, Left.S, Right.S, /*LeftBigger=*/false);
+      Out.VM = mergeNaive(Left.VM, Right.VM);
+      return Out;
+    }
+    // Section 4.8: move only the smaller map's entries, tagging them with
+    // the new structure's tag so the merge stays invertible.
+    bool LeftBigger = Left.VM.size() >= Right.VM.size();
+    Out.S = binary(K, Pos, Left.S, Right.S, LeftBigger);
+    uint32_t Tag = structureTag(Out.S);
+    VarMap &Big = LeftBigger ? Left.VM : Right.VM;
+    VarMap &Small = LeftBigger ? Right.VM : Left.VM;
+    for (const auto &[V, P] : Small) {
+      auto [It, Inserted] = Big.try_emplace(V, nullptr);
+      const PosTree *FromBig = Inserted ? nullptr : It->second;
+      It->second = posNode(PosTree::Kind::Join, FromBig, P, Tag);
+    }
+    Out.VM = std::move(Big);
+    return Out;
+  }
+
+  VarMap mergeNaive(const VarMap &L, const VarMap &R) {
+    // Keys stream out in ascending order, so end-hinted insertion keeps
+    // the merge linear in the output size.
+    VarMap Out;
+    auto LI = L.begin(), LE = L.end(), RI = R.begin(), RE = R.end();
+    while (LI != LE || RI != RE) {
+      if (RI == RE || (LI != LE && LI->first < RI->first)) {
+        Out.emplace_hint(Out.end(), LI->first,
+                         posNode(PosTree::Kind::LeftOnly, LI->second,
+                                 nullptr));
+        ++LI;
+      } else if (LI == LE || RI->first < LI->first) {
+        Out.emplace_hint(Out.end(), RI->first,
+                         posNode(PosTree::Kind::RightOnly, RI->second,
+                                 nullptr));
+        ++RI;
+      } else {
+        Out.emplace_hint(Out.end(), LI->first,
+                         posNode(PosTree::Kind::Both, LI->second,
+                                 RI->second));
+        ++LI;
+        ++RI;
+      }
+    }
+    return Out;
+  }
+};
+
+} // namespace hma
+
+ESummary SummaryBuilder::summariseNaive(const Expr *E) {
+  return SummariserImpl(*this, /*Tagged=*/false).run(E, nullptr);
+}
+
+ESummary SummaryBuilder::summariseTagged(const Expr *E) {
+  return SummariserImpl(*this, /*Tagged=*/true).run(E, nullptr);
+}
+
+std::vector<ESummary> SummaryBuilder::summariseAllTagged(const Expr *Root) {
+  std::vector<ESummary> All(Ctx.numNodes());
+  SummariserImpl(*this, /*Tagged=*/true).run(Root, &All);
+  return All;
+}
+
+//===----------------------------------------------------------------------===//
+// Rebuilding (Sections 4.2, 4.7, 4.8)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared driver for both rebuild disciplines. Frames carry the variable
+/// maps prepared for each child; expressions are assembled on a value
+/// stack.
+class Rebuilder {
+public:
+  Rebuilder(ExprContext &Ctx, bool Tagged) : Ctx(Ctx), Tagged(Tagged) {}
+
+  const Expr *run(const ESummary &Summary) {
+    Stack.push_back(Frame{Summary.S, Summary.VM, VarMap(), 0, InvalidName});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      switch (F.S->K) {
+      case Structure::Kind::SVar:
+        emitVar(F);
+        break;
+      case Structure::Kind::SConst:
+        Values.push_back(Ctx.intConst(F.S->CVal));
+        Stack.pop_back();
+        break;
+      case Structure::Kind::SLam:
+        stepLam(F);
+        break;
+      case Structure::Kind::SApp:
+      case Structure::Kind::SLet:
+        stepBinary(F);
+        break;
+      }
+    }
+    assert(Values.size() == 1 && "rebuild must yield one expression");
+    return Values.back();
+  }
+
+private:
+  struct Frame {
+    const Structure *S;
+    VarMap VM;     ///< Map for this node (consumed at stage 0).
+    VarMap VMRight; ///< Prepared map for the second child.
+    uint8_t Stage;
+    Name Binder;
+  };
+
+  ExprContext &Ctx;
+  bool Tagged;
+  std::vector<Frame> Stack;
+  std::vector<const Expr *> Values;
+
+  void emitVar(Frame &F) {
+    // findSingletonVM (Section 4.7): a well-formed SVar summary has
+    // exactly one free variable mapped to PTHere.
+    assert(F.VM.size() == 1 && "SVar summary must have a singleton map");
+    assert(F.VM.begin()->second->K == PosTree::Kind::Here &&
+           "SVar occurrence must be PTHere");
+    Values.push_back(Ctx.var(F.VM.begin()->first));
+    Stack.pop_back();
+  }
+
+  void stepLam(Frame &F) {
+    if (F.Stage == 0) {
+      F.Stage = 1;
+      F.Binder = Ctx.names().freshName("u");
+      VarMap BodyVM = std::move(F.VM);
+      if (F.S->BinderPos)
+        BodyVM.emplace(F.Binder, F.S->BinderPos);
+      Stack.push_back(Frame{F.S->S1, std::move(BodyVM), VarMap(), 0,
+                            InvalidName});
+      return;
+    }
+    const Expr *Body = Values.back();
+    Values.pop_back();
+    Values.push_back(Ctx.lam(F.Binder, Body));
+    Stack.pop_back();
+  }
+
+  void stepBinary(Frame &F) {
+    bool IsLet = F.S->K == Structure::Kind::SLet;
+    switch (F.Stage) {
+    case 0: {
+      F.Stage = 1;
+      VarMap VMLeft, VMRight;
+      if (Tagged)
+        splitTagged(F, VMLeft, VMRight);
+      else
+        splitNaive(F, VMLeft, VMRight);
+      if (IsLet) {
+        F.Binder = Ctx.names().freshName("u");
+        if (F.S->BinderPos)
+          VMRight.emplace(F.Binder, F.S->BinderPos);
+      }
+      F.VMRight = std::move(VMRight);
+      Stack.push_back(
+          Frame{F.S->S1, std::move(VMLeft), VarMap(), 0, InvalidName});
+      return;
+    }
+    case 1:
+      F.Stage = 2;
+      Stack.push_back(
+          Frame{F.S->S2, std::move(F.VMRight), VarMap(), 0, InvalidName});
+      return;
+    default: {
+      const Expr *Right = Values.back();
+      Values.pop_back();
+      const Expr *Left = Values.back();
+      Values.pop_back();
+      Values.push_back(IsLet ? Ctx.let(F.Binder, Left, Right)
+                             : Ctx.app(Left, Right));
+      Stack.pop_back();
+    }
+    }
+  }
+
+  /// Section 4.7's pickL/pickR: undo a naive merge.
+  void splitNaive(Frame &F, VarMap &L, VarMap &R) {
+    for (const auto &[V, P] : F.VM) {
+      switch (P->K) {
+      case PosTree::Kind::LeftOnly:
+        L.emplace(V, P->A);
+        break;
+      case PosTree::Kind::RightOnly:
+        R.emplace(V, P->A);
+        break;
+      case PosTree::Kind::Both:
+        L.emplace(V, P->A);
+        R.emplace(V, P->B);
+        break;
+      case PosTree::Kind::Here:
+      case PosTree::Kind::Join:
+        assert(false && "naive summary cannot contain Here/Join at a merge");
+        break;
+      }
+    }
+    F.VM.clear();
+  }
+
+  /// Section 4.8's upd_small/upd_big: undo a tagged merge. Entries whose
+  /// PTJoin carries *this* node's tag were moved here from the smaller
+  /// map; everything else belongs to the bigger side untouched.
+  void splitTagged(Frame &F, VarMap &L, VarMap &R) {
+    uint32_t Tag = structureTag(F.S);
+    VarMap Big, Small;
+    for (const auto &[V, P] : F.VM) {
+      if (P->K == PosTree::Kind::Join && P->Tag == Tag) {
+        Small.emplace(V, P->B);
+        if (P->A)
+          Big.emplace(V, P->A);
+      } else {
+        Big.emplace(V, P);
+      }
+    }
+    F.VM.clear();
+    if (F.S->LeftBigger) {
+      L = std::move(Big);
+      R = std::move(Small);
+    } else {
+      L = std::move(Small);
+      R = std::move(Big);
+    }
+  }
+};
+
+} // namespace
+
+const Expr *hma::rebuildNaive(ExprContext &Ctx, const ESummary &Summary) {
+  return Rebuilder(Ctx, /*Tagged=*/false).run(Summary);
+}
+
+const Expr *hma::rebuildTagged(ExprContext &Ctx, const ESummary &Summary) {
+  return Rebuilder(Ctx, /*Tagged=*/true).run(Summary);
+}
+
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
+bool hma::posTreeEquals(const PosTree *A, const PosTree *B) {
+  std::vector<std::pair<const PosTree *, const PosTree *>> Work;
+  Work.push_back({A, B});
+  while (!Work.empty()) {
+    auto [X, Y] = Work.back();
+    Work.pop_back();
+    if (X == Y)
+      continue;
+    if (!X || !Y || X->K != Y->K || X->Tag != Y->Tag)
+      return false;
+    Work.push_back({X->A, Y->A});
+    Work.push_back({X->B, Y->B});
+  }
+  return true;
+}
+
+bool hma::structureEquals(const Structure *A, const Structure *B) {
+  std::vector<std::pair<const Structure *, const Structure *>> Work;
+  Work.push_back({A, B});
+  while (!Work.empty()) {
+    auto [X, Y] = Work.back();
+    Work.pop_back();
+    if (X == Y)
+      continue;
+    if (!X || !Y || X->K != Y->K || X->Size != Y->Size ||
+        X->LeftBigger != Y->LeftBigger || X->CVal != Y->CVal)
+      return false;
+    if (!posTreeEquals(X->BinderPos, Y->BinderPos))
+      return false;
+    Work.push_back({X->S1, Y->S1});
+    Work.push_back({X->S2, Y->S2});
+  }
+  return true;
+}
+
+bool hma::summaryEquals(const ESummary &A, const ESummary &B) {
+  if (!structureEquals(A.S, B.S))
+    return false;
+  if (A.VM.size() != B.VM.size())
+    return false;
+  for (auto AI = A.VM.begin(), BI = B.VM.begin(), AE = A.VM.end(); AI != AE;
+       ++AI, ++BI) {
+    if (AI->first != BI->first || !posTreeEquals(AI->second, BI->second))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing (debugging aid)
+//===----------------------------------------------------------------------===//
+
+std::string hma::posTreeToString(const PosTree *P) {
+  // Work items: a node to render or a literal.
+  struct Item {
+    const PosTree *P;
+    const char *Lit;
+  };
+  std::string Out;
+  std::vector<Item> Work{{P, nullptr}};
+  while (!Work.empty()) {
+    Item It = Work.back();
+    Work.pop_back();
+    if (It.Lit) {
+      Out += It.Lit;
+      continue;
+    }
+    const PosTree *N = It.P;
+    if (!N) {
+      Out += "_";
+      continue;
+    }
+    switch (N->K) {
+    case PosTree::Kind::Here:
+      Out += "*";
+      break;
+    case PosTree::Kind::LeftOnly:
+      Out += "L(";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->A, nullptr});
+      break;
+    case PosTree::Kind::RightOnly:
+      Out += "R(";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->A, nullptr});
+      break;
+    case PosTree::Kind::Both:
+      Out += "B(";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->B, nullptr});
+      Work.push_back({nullptr, ","});
+      Work.push_back({N->A, nullptr});
+      break;
+    case PosTree::Kind::Join:
+      Out += "J#" + std::to_string(N->Tag) + "(";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->B, nullptr});
+      Work.push_back({nullptr, ","});
+      Work.push_back({N->A, nullptr});
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string hma::structureToString(const Structure *S) {
+  struct Item {
+    const Structure *S;
+    const char *Lit;
+  };
+  std::string Out;
+  std::vector<Item> Work{{S, nullptr}};
+  while (!Work.empty()) {
+    Item It = Work.back();
+    Work.pop_back();
+    if (It.Lit) {
+      Out += It.Lit;
+      continue;
+    }
+    const Structure *N = It.S;
+    if (!N) {
+      Out += "_";
+      continue;
+    }
+    switch (N->K) {
+    case Structure::Kind::SVar:
+      Out += "V";
+      break;
+    case Structure::Kind::SConst:
+      Out += "C:" + std::to_string(N->CVal);
+      break;
+    case Structure::Kind::SLam:
+      Out += "Lam[" + posTreeToString(N->BinderPos) + "](";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->S1, nullptr});
+      break;
+    case Structure::Kind::SApp:
+      Out += std::string("App") + (N->LeftBigger ? "<" : ">") + "(";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->S2, nullptr});
+      Work.push_back({nullptr, ","});
+      Work.push_back({N->S1, nullptr});
+      break;
+    case Structure::Kind::SLet:
+      Out += std::string("Let") + (N->LeftBigger ? "<" : ">") + "[" +
+             posTreeToString(N->BinderPos) + "](";
+      Work.push_back({nullptr, ")"});
+      Work.push_back({N->S2, nullptr});
+      Work.push_back({nullptr, ","});
+      Work.push_back({N->S1, nullptr});
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string hma::summaryToString(const ExprContext &Ctx, const ESummary &S) {
+  std::string Out = "{structure = " + structureToString(S.S) + ", vm = {";
+  bool First = true;
+  for (const auto &[V, P] : S.VM) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += std::string(Ctx.names().spelling(V)) + " -> " + posTreeToString(P);
+  }
+  Out += "}}";
+  return Out;
+}

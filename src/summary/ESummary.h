@@ -1,0 +1,143 @@
+//===- summary/ESummary.h - Step 1: invertible e-summaries ----------------===//
+///
+/// \file
+/// The paper's Step 1 (Section 4): a compositional, *invertible*
+/// e-summary for every expression.
+///
+/// An e-summary is a pair of
+///
+///  - a \ref Structure: the shape of the expression with variables
+///    anonymised; each binder node carries a \ref PosTree describing all
+///    occurrences of its bound variable (Section 4.3); and
+///  - a \ref VarMap: free variable -> \ref PosTree of its occurrences
+///    (Section 4.4).
+///
+/// Both merge disciplines from the paper are implemented:
+///
+///  - \ref SummaryBuilder::summariseNaive — Section 4.6. `App` merges the
+///    children's variable maps entry by entry, wrapping every position
+///    tree in PTLeftOnly / PTRightOnly / PTBoth. Quadratic overall, but
+///    the simplest correct definition.
+///  - \ref SummaryBuilder::summariseTagged — Section 4.8. `App` folds the
+///    *smaller* map into the bigger, wrapping only the moved entries in a
+///    PTJoin marked with the parent's StructureTag so the merge stays
+///    invertible. O(n log n) map operations overall (Lemma 6.1).
+///
+/// \ref rebuildNaive / \ref rebuildTagged invert the construction up to
+/// alpha-equivalence (Sections 4.2 and 4.7): this is the executable form
+/// of the paper's correctness argument, and the property tests exercise
+/// it on thousands of random expressions. Step 2 (`core/AlphaHasher.h`)
+/// replaces these trees with their hash codes; its correctness rests on
+/// the invertibility demonstrated here.
+///
+/// This reference implementation favours clarity over speed; the
+/// benchmarks use it only for the merge-discipline ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_SUMMARY_ESUMMARY_H
+#define HMA_SUMMARY_ESUMMARY_H
+
+#include "ast/Expr.h"
+#include "support/Arena.h"
+
+#include <map>
+#include <vector>
+
+namespace hma {
+
+/// Identifies a set of variable-occurrence positions inside a structure
+/// (Section 4.5), extended with the tagged join of Section 4.8.
+struct PosTree {
+  enum class Kind : uint8_t {
+    Here,      ///< The occurrence is this very node.
+    LeftOnly,  ///< Occurrences only in the left child.
+    RightOnly, ///< Occurrences only in the right child.
+    Both,      ///< Occurrences in both children.
+    Join,      ///< Section 4.8: entry moved from the smaller map.
+  };
+
+  Kind K;
+  uint32_t Tag = 0;          ///< Join only: the merging structure's tag.
+  const PosTree *A = nullptr; ///< LeftOnly/RightOnly/Both: child.
+                              ///< Join: entry from the bigger map (or null).
+  const PosTree *B = nullptr; ///< Both: right child. Join: smaller entry.
+};
+
+/// The shape of an expression, with anonymous variables (Section 4.3).
+struct Structure {
+  enum class Kind : uint8_t { SVar, SLam, SApp, SLet, SConst };
+
+  Kind K;
+  /// Section 4.8: true if the left child contributed the bigger variable
+  /// map (meaningful for SApp/SLet in tagged summaries).
+  bool LeftBigger = false;
+  /// Number of Structure nodes in this subtree; strictly greater than any
+  /// substructure's, hence usable as the StructureTag.
+  uint32_t Size = 1;
+  /// SLam/SLet: positions of the bound variable (null if unused).
+  const PosTree *BinderPos = nullptr;
+  const Structure *S1 = nullptr;
+  const Structure *S2 = nullptr;
+  int64_t CVal = 0; ///< SConst payload.
+};
+
+/// The paper's StructureTag: must differ from the tag of every
+/// substructure; we use the structure's node count.
+inline uint32_t structureTag(const Structure *S) { return S->Size; }
+
+/// Free-variable map: each free variable's occurrence positions.
+using VarMap = std::map<Name, const PosTree *>;
+
+/// An e-summary: structure plus free-variable map (Section 4.2).
+struct ESummary {
+  const Structure *S = nullptr;
+  VarMap VM;
+};
+
+/// Builds e-summaries; owns the arena behind Structure/PosTree nodes.
+class SummaryBuilder {
+public:
+  explicit SummaryBuilder(const ExprContext &Ctx) : Ctx(Ctx) {}
+
+  /// Section 4.6: merge both children's maps at App/Let.
+  ESummary summariseNaive(const Expr *E);
+
+  /// Section 4.8: fold the smaller map into the bigger one.
+  ESummary summariseTagged(const Expr *E);
+
+  /// Tagged summaries for *every* subexpression, indexed by node id.
+  /// Intended for small inputs (each node keeps a full VarMap copy).
+  std::vector<ESummary> summariseAllTagged(const Expr *Root);
+
+  const ExprContext &context() const { return Ctx; }
+
+private:
+  friend class SummariserImpl;
+  const ExprContext &Ctx;
+  Arena Mem;
+};
+
+/// Invert a naive summary: returns an expression alpha-equivalent to the
+/// summarised one (Section 4.7). Binder names are invented fresh.
+const Expr *rebuildNaive(ExprContext &Ctx, const ESummary &Summary);
+
+/// Invert a tagged summary (Section 4.8's rebuild).
+const Expr *rebuildTagged(ExprContext &Ctx, const ESummary &Summary);
+
+/// Structural equality of position trees / structures / summaries.
+/// Summary equality is the paper's subexpression-equivalence criterion:
+/// two subexpressions are alpha-equivalent iff their summaries are equal
+/// (for summaries produced by the same discipline).
+bool posTreeEquals(const PosTree *A, const PosTree *B);
+bool structureEquals(const Structure *A, const Structure *B);
+bool summaryEquals(const ESummary &A, const ESummary &B);
+
+/// Debug rendering of summaries (stable, human-readable).
+std::string posTreeToString(const PosTree *P);
+std::string structureToString(const Structure *S);
+std::string summaryToString(const ExprContext &Ctx, const ESummary &S);
+
+} // namespace hma
+
+#endif // HMA_SUMMARY_ESUMMARY_H

@@ -1,0 +1,38 @@
+//===- support/HashCode.cpp - Fixed-width hash code types ----------------===//
+///
+/// \file
+/// Out-of-line hex rendering for the hash code types.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/HashCode.h"
+
+using namespace hma;
+
+static void appendHex(std::string &Out, uint64_t V, unsigned Digits) {
+  static const char Digit[] = "0123456789abcdef";
+  for (unsigned I = Digits; I-- > 0;)
+    Out.push_back(Digit[(V >> (4 * I)) & 0xF]);
+}
+
+std::string Hash128::toHex() const {
+  std::string Out;
+  Out.reserve(32);
+  appendHex(Out, Hi, 16);
+  appendHex(Out, Lo, 16);
+  return Out;
+}
+
+std::string Hash64::toHex() const {
+  std::string Out;
+  Out.reserve(16);
+  appendHex(Out, V, 16);
+  return Out;
+}
+
+std::string Hash16::toHex() const {
+  std::string Out;
+  Out.reserve(4);
+  appendHex(Out, V, 4);
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------------------===//
+///
+/// \file
+/// Conveniences shared across the test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_TESTS_TESTUTIL_H
+#define HMA_TESTS_TESTUTIL_H
+
+#include "ast/Expr.h"
+#include "ast/Parser.h"
+
+#include "gtest/gtest.h"
+
+namespace hma {
+
+/// Parse with a hard assertion and a readable failure message.
+inline const Expr *parseT(ExprContext &Ctx, std::string_view Src) {
+  ParseResult R = parseExpr(Ctx, Src);
+  EXPECT_TRUE(R.ok()) << "parse error at offset " << R.ErrorPos << ": "
+                      << R.Error << "\n  in: " << Src;
+  return R.E;
+}
+
+} // namespace hma
+
+#endif // HMA_TESTS_TESTUTIL_H

@@ -1,0 +1,288 @@
+//===- tests/adt_test.cpp - AVL map and persistent map tests ----------------===//
+///
+/// \file
+/// Unit and randomized differential tests for the map substrates that the
+/// paper's variable maps are built on. The mutable AvlMap is checked
+/// against std::map; the PersistentMap additionally checks that old
+/// versions survive updates unchanged (the property the incremental
+/// hasher relies on).
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/AvlMap.h"
+#include "adt/PersistentMap.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace hma;
+
+using Map = AvlMap<uint32_t, uint64_t>;
+
+TEST(AvlMap, EmptyBehaviour) {
+  Map::Pool P;
+  Map M(P);
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(7), nullptr);
+  EXPECT_FALSE(M.remove(7).has_value());
+  M.forEach([](uint32_t, uint64_t) { FAIL() << "empty map has no entries"; });
+}
+
+TEST(AvlMap, InsertFindRemove) {
+  Map::Pool P;
+  Map M(P);
+  M.set(3, 30);
+  M.set(1, 10);
+  M.set(2, 20);
+  EXPECT_EQ(M.size(), 3u);
+  ASSERT_NE(M.find(2), nullptr);
+  EXPECT_EQ(*M.find(2), 20u);
+  EXPECT_EQ(M.find(4), nullptr);
+
+  std::optional<uint64_t> Removed = M.remove(1);
+  ASSERT_TRUE(Removed.has_value());
+  EXPECT_EQ(*Removed, 10u);
+  EXPECT_EQ(M.size(), 2u);
+  EXPECT_EQ(M.find(1), nullptr);
+  EXPECT_TRUE(M.checkInvariants());
+}
+
+TEST(AvlMap, AlterSeesOldValue) {
+  Map::Pool P;
+  Map M(P);
+  M.alter(5, [](uint64_t *Old) {
+    EXPECT_EQ(Old, nullptr);
+    return 50u;
+  });
+  M.alter(5, [](uint64_t *Old) {
+    EXPECT_NE(Old, nullptr);
+    EXPECT_EQ(*Old, 50u);
+    return 55u;
+  });
+  EXPECT_EQ(*M.find(5), 55u);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(AvlMap, OrderedIteration) {
+  Map::Pool P;
+  Map M(P);
+  for (uint32_t K : {9u, 2u, 7u, 1u, 8u, 3u})
+    M.set(K, K * 10);
+  std::vector<uint32_t> Keys;
+  M.forEach([&](uint32_t K, uint64_t V) {
+    Keys.push_back(K);
+    EXPECT_EQ(V, K * 10);
+  });
+  std::vector<uint32_t> Expected = {1, 2, 3, 7, 8, 9};
+  EXPECT_EQ(Keys, Expected);
+}
+
+TEST(AvlMap, MoveTransfersOwnership) {
+  Map::Pool P;
+  Map A(P);
+  A.set(1, 100);
+  Map B = std::move(A);
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_EQ(*B.find(1), 100u);
+  EXPECT_TRUE(A.empty()); // NOLINT: moved-from is specified empty
+}
+
+TEST(AvlMap, PoolRecyclesNodes) {
+  Map::Pool P;
+  {
+    Map M(P);
+    for (uint32_t I = 0; I != 1000; ++I)
+      M.set(I, I);
+    EXPECT_EQ(P.liveNodes(), 1000u);
+  }
+  EXPECT_EQ(P.liveNodes(), 0u);
+  // Reuse does not grow the pool's live count unexpectedly.
+  Map M2(P);
+  for (uint32_t I = 0; I != 500; ++I)
+    M2.set(I, I);
+  EXPECT_EQ(P.liveNodes(), 500u);
+}
+
+TEST(AvlMap, SequentialInsertStaysBalanced) {
+  // Ascending insertion is the classic unbalanced-BST killer.
+  Map::Pool P;
+  Map M(P);
+  for (uint32_t I = 0; I != 4096; ++I)
+    M.set(I, I);
+  EXPECT_TRUE(M.checkInvariants());
+  for (uint32_t I = 0; I != 4096; ++I)
+    ASSERT_NE(M.find(I), nullptr);
+}
+
+TEST(AvlMap, RandomizedDifferentialVsStdMap) {
+  Rng R(2024);
+  Map::Pool P;
+  Map M(P);
+  std::map<uint32_t, uint64_t> Ref;
+  for (int Step = 0; Step != 20000; ++Step) {
+    uint32_t Key = static_cast<uint32_t>(R.below(200));
+    switch (R.below(3)) {
+    case 0: { // insert/overwrite
+      uint64_t Val = R.next();
+      M.set(Key, Val);
+      Ref[Key] = Val;
+      break;
+    }
+    case 1: { // remove
+      std::optional<uint64_t> Got = M.remove(Key);
+      auto It = Ref.find(Key);
+      if (It == Ref.end()) {
+        EXPECT_FALSE(Got.has_value());
+      } else {
+        ASSERT_TRUE(Got.has_value());
+        EXPECT_EQ(*Got, It->second);
+        Ref.erase(It);
+      }
+      break;
+    }
+    default: { // lookup
+      uint64_t *Got = M.find(Key);
+      auto It = Ref.find(Key);
+      if (It == Ref.end())
+        EXPECT_EQ(Got, nullptr);
+      else {
+        ASSERT_NE(Got, nullptr);
+        EXPECT_EQ(*Got, It->second);
+      }
+    }
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+  }
+  EXPECT_TRUE(M.checkInvariants());
+  // Final sweep: identical contents in identical order.
+  auto It = Ref.begin();
+  M.forEach([&](uint32_t K, uint64_t V) {
+    ASSERT_NE(It, Ref.end());
+    EXPECT_EQ(K, It->first);
+    EXPECT_EQ(V, It->second);
+    ++It;
+  });
+  EXPECT_EQ(It, Ref.end());
+}
+
+//===----------------------------------------------------------------------===//
+// PersistentMap
+//===----------------------------------------------------------------------===//
+
+using PMap = PersistentMap<uint32_t, uint64_t>;
+
+TEST(PersistentMap, EmptyBehaviour) {
+  Arena A;
+  PMap M(A);
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(1), nullptr);
+  std::optional<uint64_t> Removed;
+  PMap M2 = M.remove(1, &Removed);
+  EXPECT_FALSE(Removed.has_value());
+  EXPECT_TRUE(M2.empty());
+}
+
+TEST(PersistentMap, InsertDoesNotMutateOldVersion) {
+  Arena A;
+  PMap V0(A);
+  PMap V1 = V0.insert(1, 10);
+  PMap V2 = V1.insert(2, 20);
+  PMap V3 = V2.insert(1, 11); // overwrite
+
+  EXPECT_EQ(V0.size(), 0u);
+  EXPECT_EQ(V1.size(), 1u);
+  EXPECT_EQ(V2.size(), 2u);
+  EXPECT_EQ(V3.size(), 2u);
+  EXPECT_EQ(V0.find(1), nullptr);
+  EXPECT_EQ(*V1.find(1), 10u);
+  EXPECT_EQ(*V2.find(1), 10u);
+  EXPECT_EQ(*V3.find(1), 11u);
+  EXPECT_EQ(*V3.find(2), 20u);
+}
+
+TEST(PersistentMap, RemovePersists) {
+  Arena A;
+  PMap M(A);
+  for (uint32_t I = 0; I != 100; ++I)
+    M = M.insert(I, I);
+  std::optional<uint64_t> Removed;
+  PMap M2 = M.remove(50, &Removed);
+  ASSERT_TRUE(Removed.has_value());
+  EXPECT_EQ(*Removed, 50u);
+  EXPECT_EQ(M.size(), 100u);
+  EXPECT_EQ(M2.size(), 99u);
+  EXPECT_NE(M.find(50), nullptr);
+  EXPECT_EQ(M2.find(50), nullptr);
+  EXPECT_TRUE(M.checkInvariants());
+  EXPECT_TRUE(M2.checkInvariants());
+}
+
+TEST(PersistentMap, EqualityByContents) {
+  Arena A;
+  PMap M1(A), M2(A);
+  for (uint32_t I : {3u, 1u, 2u})
+    M1 = M1.insert(I, I);
+  for (uint32_t I : {1u, 2u, 3u})
+    M2 = M2.insert(I, I);
+  EXPECT_TRUE(M1 == M2); // different insertion order, same contents
+  PMap M3 = M2.insert(4, 4);
+  EXPECT_FALSE(M1 == M3);
+}
+
+TEST(PersistentMap, RandomizedDifferentialWithSnapshots) {
+  Rng R(77);
+  Arena A;
+  PMap M(A);
+  std::map<uint32_t, uint64_t> Ref;
+  // Take snapshots along the way and verify them at the end: persistence
+  // means every snapshot still matches its reference copy.
+  std::vector<std::pair<PMap, std::map<uint32_t, uint64_t>>> Snapshots;
+
+  for (int Step = 0; Step != 4000; ++Step) {
+    uint32_t Key = static_cast<uint32_t>(R.below(100));
+    if (R.flip()) {
+      uint64_t Val = R.next();
+      M = M.insert(Key, Val);
+      Ref[Key] = Val;
+    } else {
+      M = M.remove(Key);
+      Ref.erase(Key);
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+    if (Step % 500 == 0)
+      Snapshots.emplace_back(M, Ref);
+  }
+
+  for (auto &[Snap, SnapRef] : Snapshots) {
+    EXPECT_TRUE(Snap.checkInvariants());
+    ASSERT_EQ(Snap.size(), SnapRef.size());
+    auto It = SnapRef.begin();
+    Snap.forEach([&](uint32_t K, uint64_t V) {
+      ASSERT_NE(It, SnapRef.end());
+      EXPECT_EQ(K, It->first);
+      EXPECT_EQ(V, It->second);
+      ++It;
+    });
+  }
+}
+
+TEST(PersistentMap, AlterWithCallback) {
+  Arena A;
+  PMap M(A);
+  M = M.alter(7, [](const uint64_t *Old) {
+    EXPECT_EQ(Old, nullptr);
+    return 70u;
+  });
+  PMap M2 = M.alter(7, [](const uint64_t *Old) {
+    EXPECT_NE(Old, nullptr);
+    return *Old + 1;
+  });
+  EXPECT_EQ(*M.find(7), 70u);
+  EXPECT_EQ(*M2.find(7), 71u);
+}

@@ -1,0 +1,276 @@
+//===- tests/ast_semantics_test.cpp - Uniquify / alpha-eq / eval tests ------===//
+///
+/// \file
+/// The semantic layers over the raw AST: binder uniquification
+/// (Section 2.2 preprocessing), the alpha-equivalence oracle
+/// (Section 2.1), de Bruijn rendering (Section 2.4) and the reference
+/// evaluator backing the CSE semantics tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/DeBruijn.h"
+#include "ast/Evaluator.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "ast/Uniquify.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Alpha-equivalence oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool alphaEq(ExprContext &Ctx, const char *A, const char *B) {
+  return alphaEquivalent(Ctx, parseT(Ctx, A), parseT(Ctx, B));
+}
+
+} // namespace
+
+TEST(AlphaEq, RenamedBindersAreEquivalent) {
+  ExprContext Ctx;
+  EXPECT_TRUE(alphaEq(Ctx, "(lam (x) (add x y))", "(lam (p) (add p y))"));
+  EXPECT_TRUE(alphaEq(Ctx, "(lam (x y) (x y))", "(lam (a b) (a b))"));
+  EXPECT_TRUE(alphaEq(Ctx, "(let (x 1) x)", "(let (q 1) q)"));
+}
+
+TEST(AlphaEq, FreeVariablesMustMatchBySpelling) {
+  ExprContext Ctx;
+  // The paper's Section 2.1 example: (\x.x+y) ~ (\p.p+y) but not
+  // (\q.q+z), because the free variables differ.
+  EXPECT_FALSE(alphaEq(Ctx, "(lam (x) (add x y))", "(lam (q) (add q z))"));
+  EXPECT_FALSE(alphaEq(Ctx, "x", "y"));
+  EXPECT_TRUE(alphaEq(Ctx, "x", "x"));
+}
+
+TEST(AlphaEq, BoundVsFreeNeverEquate) {
+  ExprContext Ctx;
+  EXPECT_FALSE(alphaEq(Ctx, "(lam (x) x)", "(lam (x) y)"));
+  EXPECT_FALSE(alphaEq(Ctx, "(lam (x) y)", "(lam (y) y)"));
+}
+
+TEST(AlphaEq, BinderStructureMatters) {
+  ExprContext Ctx;
+  EXPECT_FALSE(alphaEq(Ctx, "(lam (x y) x)", "(lam (x y) y)"));
+  EXPECT_TRUE(alphaEq(Ctx, "(lam (x y) y)", "(lam (a b) b)"));
+  // Lam vs Let do not equate even with identical shapes below.
+  EXPECT_FALSE(alphaEq(Ctx, "(lam (x) x)", "(let (x x0) x)"));
+}
+
+TEST(AlphaEq, LetRhsIsOutsideScope) {
+  ExprContext Ctx;
+  // x in the rhs refers to an outer/free x, not the binder.
+  EXPECT_TRUE(alphaEq(Ctx, "(let (x (f x)) x)", "(let (y (f x)) y)"));
+  EXPECT_FALSE(alphaEq(Ctx, "(let (x (f x)) x)", "(let (y (f y)) y)"));
+}
+
+TEST(AlphaEq, ConstantsCompareByValue) {
+  ExprContext Ctx;
+  EXPECT_TRUE(alphaEq(Ctx, "(add 1 2)", "(add 1 2)"));
+  EXPECT_FALSE(alphaEq(Ctx, "(add 1 2)", "(add 1 3)"));
+  EXPECT_FALSE(alphaEq(Ctx, "1", "(lam (x) x)"));
+}
+
+TEST(AlphaEq, CrossContextComparesSpellings) {
+  ExprContext A, B;
+  // Interning order differs between the two contexts on purpose.
+  B.name("zzz");
+  const Expr *EA = parseT(A, "(lam (x) (add x free))");
+  const Expr *EB = parseT(B, "(lam (y) (add y free))");
+  EXPECT_TRUE(alphaEquivalent(A, EA, B, EB));
+  const Expr *EC = parseT(B, "(lam (y) (add y other))");
+  EXPECT_FALSE(alphaEquivalent(A, EA, B, EC));
+}
+
+TEST(AlphaEq, PaperIntroLetExample) {
+  ExprContext Ctx;
+  // "let x = exp(z) in x+7" ~ "let y = exp(z) in y+7" (Section 1).
+  EXPECT_TRUE(alphaEq(Ctx, "(let (x (exp z)) (add x 7))",
+                      "(let (y (exp z)) (add y 7))"));
+}
+
+TEST(AlphaEq, DeepSpineIterative) {
+  ExprContext Ctx;
+  const Expr *A = Ctx.var("v");
+  const Expr *B = Ctx.var("v");
+  for (int I = 0; I != 300000; ++I) {
+    std::string NA = "a" + std::to_string(I), NB = "b" + std::to_string(I);
+    A = Ctx.lam(NA, Ctx.app(A, Ctx.var(NA)));
+    B = Ctx.lam(NB, Ctx.app(B, Ctx.var(NB)));
+  }
+  EXPECT_TRUE(alphaEquivalent(Ctx, A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Uniquify (Section 2.2 preprocessing)
+//===----------------------------------------------------------------------===//
+
+TEST(Uniquify, IdentityWhenAlreadyDistinct) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x y) (x y))");
+  EXPECT_EQ(uniquifyBinders(Ctx, E), E) << "no-op should not rebuild";
+}
+
+TEST(Uniquify, ProducesDistinctBindersAndPreservesAlpha) {
+  ExprContext Ctx;
+  const char *Sources[] = {
+      "(lam (x) (lam (x) x))",
+      "(f (lam (x) x) (lam (x) x))",
+      "(foo (let (x bar) (add x 2)) (let (x pub) (add x 2)))",
+      "(f x (lam (x) x))", // binder shadows a free variable
+      "(let (x 1) (let (x (add x 1)) x))",
+  };
+  for (const char *Src : Sources) {
+    const Expr *E = parseT(Ctx, Src);
+    const Expr *U = uniquifyBinders(Ctx, E);
+    EXPECT_TRUE(hasDistinctBinders(Ctx, U)) << Src;
+    EXPECT_TRUE(alphaEquivalent(Ctx, E, U)) << Src;
+  }
+}
+
+TEST(Uniquify, PaperFalsePositiveExampleSeparatesTheTwoXPlus2) {
+  ExprContext Ctx;
+  // Section 2.2: after preprocessing, the two `x+2` must no longer be
+  // syntactically identical (they refer to different binders).
+  const Expr *E = parseT(
+      Ctx, "(foo (let (x bar) (add x 2)) (let (x pub) (add x 2)))");
+  const Expr *U = uniquifyBinders(Ctx, E);
+  // U = (foo (let (x ...) ...) (let (x$k ...) ...))
+  const Expr *Let1 = U->appFun()->appArg();
+  const Expr *Let2 = U->appArg();
+  ASSERT_EQ(Let1->kind(), ExprKind::Let);
+  ASSERT_EQ(Let2->kind(), ExprKind::Let);
+  EXPECT_NE(Let1->letBinder(), Let2->letBinder());
+  EXPECT_FALSE(alphaEquivalent(Ctx, Let1->letBody(), Let2->letBody()))
+      << "the two bodies reference different binders now";
+}
+
+TEST(Uniquify, KeepsFreeVariablesIntact) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x) (lam (x) (add x y)))");
+  const Expr *U = uniquifyBinders(Ctx, E);
+  std::vector<Name> Free = freeVariables(Ctx, U);
+  std::vector<Name> Expected = {Ctx.name("add"), Ctx.name("y")};
+  EXPECT_EQ(Free, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// De Bruijn rendering (Section 2.4)
+//===----------------------------------------------------------------------===//
+
+TEST(DeBruijn, PaperExample) {
+  ExprContext Ctx;
+  // (\x.\y. x (y 7)) — adapted from the paper's \x.\y.x+y*7.
+  const Expr *E = parseT(Ctx, "(lam (x y) (x (y 7)))");
+  EXPECT_EQ(toDeBruijnString(Ctx, E), "(\\. (\\. (%1 (%0 7))))");
+}
+
+TEST(DeBruijn, FreeVariablesKeepNames) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (y) (f x (add x y)))");
+  EXPECT_EQ(toDeBruijnString(Ctx, E), "(\\. ((f x) ((add x) %0)))");
+}
+
+TEST(DeBruijn, AlphaEquivalentExpressionsRenderIdentically) {
+  ExprContext Ctx;
+  EXPECT_EQ(toDeBruijnString(Ctx, parseT(Ctx, "(lam (x) (add x 1))")),
+            toDeBruijnString(Ctx, parseT(Ctx, "(lam (y) (add y 1))")));
+}
+
+TEST(DeBruijn, LetCountsAsBinderLevel) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(let (x 5) (lam (y) (x y)))");
+  EXPECT_EQ(toDeBruijnString(Ctx, E), "(let. 5 in (\\. (%1 %0)))");
+}
+
+TEST(DeBruijn, PaperFalseNegativeExampleIndicesDiffer) {
+  ExprContext Ctx;
+  // Section 2.4: in \t. foo (\x. x t) (\y. \x. x t) the two (\x. x t)
+  // de-Bruijn-ise differently (%1 vs %2 for t).
+  const Expr *E =
+      parseT(Ctx, "(lam (t) (foo (lam (x) (x t)) (lam (y) (lam (x) (x t)))))");
+  std::string S = toDeBruijnString(Ctx, E);
+  EXPECT_NE(S.find("(%0 %1)"), std::string::npos) << S;
+  EXPECT_NE(S.find("(%0 %2)"), std::string::npos) << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t evalInt(ExprContext &Ctx, const char *Src) {
+  EvalResult R = evaluate(Ctx, parseT(Ctx, Src));
+  EXPECT_TRUE(R.isInt()) << Src << " -> " << R.Message;
+  return R.Int;
+}
+
+} // namespace
+
+TEST(Evaluator, Arithmetic) {
+  ExprContext Ctx;
+  EXPECT_EQ(evalInt(Ctx, "42"), 42);
+  EXPECT_EQ(evalInt(Ctx, "(add 1 2)"), 3);
+  EXPECT_EQ(evalInt(Ctx, "(sub 1 2)"), -1);
+  EXPECT_EQ(evalInt(Ctx, "(mul 6 7)"), 42);
+  EXPECT_EQ(evalInt(Ctx, "(div 7 2)"), 3);
+  EXPECT_EQ(evalInt(Ctx, "(neg 5)"), -5);
+  EXPECT_EQ(evalInt(Ctx, "(min 3 (max 10 2))"), 3);
+}
+
+TEST(Evaluator, LetAndLambda) {
+  ExprContext Ctx;
+  EXPECT_EQ(evalInt(Ctx, "(let (x 5) (add x x))"), 10);
+  EXPECT_EQ(evalInt(Ctx, "((lam (x) (mul x x)) 9)"), 81);
+  EXPECT_EQ(evalInt(Ctx, "((lam (f) (f (f 3))) (lam (x) (mul x 2)))"), 12);
+  // Closures capture their environment.
+  EXPECT_EQ(evalInt(Ctx, "(let (a 10) ((lam (b) (add a b)) 5))"), 15);
+  // Shadowing resolves innermost.
+  EXPECT_EQ(evalInt(Ctx, "(let (x 1) (let (x 2) x))"), 2);
+}
+
+TEST(Evaluator, PaperCseIntroExample) {
+  ExprContext Ctx;
+  // (a + (v+7)) * (v+7) == let w = v+7 in (a + w) * w, for sample values.
+  const Expr *Before =
+      parseT(Ctx, "(let (a 3) (let (v 4) (mul (add a (add v 7)) (add v 7))))");
+  const Expr *After = parseT(
+      Ctx,
+      "(let (a 3) (let (v 4) (let (w (add v 7)) (mul (add a w) w))))");
+  EvalResult R1 = evaluate(Ctx, Before), R2 = evaluate(Ctx, After);
+  ASSERT_TRUE(R1.isInt() && R2.isInt());
+  EXPECT_EQ(R1.Int, R2.Int);
+  EXPECT_EQ(R1.Int, (3 + 11) * 11);
+}
+
+TEST(Evaluator, PartialApplicationIsAValue) {
+  ExprContext Ctx;
+  EvalResult R = evaluate(Ctx, parseT(Ctx, "(add 1)"));
+  EXPECT_EQ(R.S, EvalResult::Status::Closure);
+  EXPECT_EQ(evalInt(Ctx, "((add 1) 2)"), 3);
+  EXPECT_EQ(evalInt(Ctx, "(let (inc (add 1)) (inc (inc 5)))"), 7);
+}
+
+TEST(Evaluator, Errors) {
+  ExprContext Ctx;
+  EXPECT_TRUE(evaluate(Ctx, parseT(Ctx, "(div 1 0)")).isError());
+  EXPECT_TRUE(evaluate(Ctx, parseT(Ctx, "unbound")).isError());
+  EXPECT_TRUE(evaluate(Ctx, parseT(Ctx, "(1 2)")).isError())
+      << "applying a non-function";
+  EXPECT_TRUE(evaluate(Ctx, parseT(Ctx, "(add (lam (x) x) 1)")).isError())
+      << "builtin applied to a closure";
+}
+
+TEST(Evaluator, DivergenceRunsOutOfFuel) {
+  ExprContext Ctx;
+  // Omega: (\x. x x) (\x. x x)
+  const Expr *Omega = parseT(Ctx, "((lam (x) (x x)) (lam (y) (y y)))");
+  EvalResult R = evaluate(Ctx, Omega, /*Fuel=*/100000);
+  EXPECT_TRUE(R.isError());
+}

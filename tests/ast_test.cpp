@@ -1,0 +1,341 @@
+//===- tests/ast_test.cpp - Expression AST unit tests -----------------------===//
+///
+/// \file
+/// Node construction, parser, printer round-trips, traversals and
+/// tree-shape queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expr.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Node construction
+//===----------------------------------------------------------------------===//
+
+TEST(Expr, BuildersSetKindAndPayload) {
+  ExprContext Ctx;
+  const Expr *X = Ctx.var("x");
+  EXPECT_EQ(X->kind(), ExprKind::Var);
+  EXPECT_EQ(Ctx.names().spelling(X->varName()), "x");
+  EXPECT_EQ(X->treeSize(), 1u);
+  EXPECT_EQ(X->numChildren(), 0u);
+
+  const Expr *L = Ctx.lam("x", X);
+  EXPECT_EQ(L->kind(), ExprKind::Lam);
+  EXPECT_EQ(L->lamBinder(), X->varName());
+  EXPECT_EQ(L->lamBody(), X);
+  EXPECT_EQ(L->treeSize(), 2u);
+  EXPECT_EQ(L->numChildren(), 1u);
+  EXPECT_TRUE(L->bindsInChild(0));
+
+  const Expr *A = Ctx.app(L, Ctx.intConst(7));
+  EXPECT_EQ(A->kind(), ExprKind::App);
+  EXPECT_EQ(A->appFun(), L);
+  EXPECT_EQ(A->treeSize(), 4u);
+  EXPECT_FALSE(A->bindsInChild(0));
+  EXPECT_FALSE(A->bindsInChild(1));
+
+  const Expr *Let = Ctx.let("y", Ctx.intConst(1), Ctx.var("y"));
+  EXPECT_EQ(Let->kind(), ExprKind::Let);
+  EXPECT_FALSE(Let->bindsInChild(0)) << "let binder must not scope the rhs";
+  EXPECT_TRUE(Let->bindsInChild(1));
+  EXPECT_EQ(Let->treeSize(), 3u);
+}
+
+TEST(Expr, IdsAreDenseAndUnique) {
+  ExprContext Ctx;
+  const Expr *A = Ctx.var("a");
+  const Expr *B = Ctx.var("b");
+  const Expr *C = Ctx.app(A, B);
+  std::set<uint32_t> Ids = {A->id(), B->id(), C->id()};
+  EXPECT_EQ(Ids.size(), 3u);
+  EXPECT_EQ(Ctx.numNodes(), 3u);
+  for (uint32_t Id : Ids)
+    EXPECT_LT(Id, Ctx.numNodes());
+}
+
+TEST(Expr, CurriedAppSugar) {
+  ExprContext Ctx;
+  const Expr *F = Ctx.var("f");
+  const Expr *E = Ctx.app(F, {Ctx.var("a"), Ctx.var("b"), Ctx.var("c")});
+  // ((f a) b) c
+  EXPECT_EQ(E->kind(), ExprKind::App);
+  EXPECT_EQ(E->appFun()->kind(), ExprKind::App);
+  EXPECT_EQ(E->appFun()->appFun()->appFun(), F);
+  EXPECT_EQ(E->treeSize(), 7u);
+}
+
+TEST(Expr, CloneProducesDisjointEqualTree) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x) (let (y (add x 1)) (mul y y)))");
+  const Expr *C = Ctx.clone(E);
+  EXPECT_NE(E, C);
+  EXPECT_EQ(E->treeSize(), C->treeSize());
+  EXPECT_EQ(printExpr(Ctx, E), printExpr(Ctx, C));
+  // No node sharing.
+  std::set<const Expr *> Nodes;
+  preorder(E, [&](const Expr *N) { Nodes.insert(N); });
+  preorder(C, [&](const Expr *N) { EXPECT_EQ(Nodes.count(N), 0u); });
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, Atoms) {
+  ExprContext Ctx;
+  EXPECT_EQ(parseT(Ctx, "x")->kind(), ExprKind::Var);
+  const Expr *K = parseT(Ctx, "42");
+  EXPECT_EQ(K->kind(), ExprKind::Const);
+  EXPECT_EQ(K->constValue(), 42);
+  EXPECT_EQ(parseT(Ctx, "-17")->constValue(), -17);
+  // '-' alone and 'x-1' are symbols, not numbers.
+  EXPECT_EQ(parseT(Ctx, "-")->kind(), ExprKind::Var);
+  EXPECT_EQ(parseT(Ctx, "x-1")->kind(), ExprKind::Var);
+}
+
+TEST(Parser, ApplicationLeftAssociative) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(f a b)");
+  ASSERT_EQ(E->kind(), ExprKind::App);
+  EXPECT_EQ(E->appArg()->varName(), Ctx.name("b"));
+  EXPECT_EQ(E->appFun()->kind(), ExprKind::App);
+  EXPECT_EQ(E->appFun()->appFun()->varName(), Ctx.name("f"));
+}
+
+TEST(Parser, GroupingParens) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "((x))");
+  EXPECT_EQ(E->kind(), ExprKind::Var);
+}
+
+TEST(Parser, LambdaMultiBinderSugar) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x y) (x y))");
+  ASSERT_EQ(E->kind(), ExprKind::Lam);
+  EXPECT_EQ(Ctx.names().spelling(E->lamBinder()), "x");
+  ASSERT_EQ(E->lamBody()->kind(), ExprKind::Lam);
+  EXPECT_EQ(Ctx.names().spelling(E->lamBody()->lamBinder()), "y");
+}
+
+TEST(Parser, LetForm) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(let (w (add v 7)) (mul (add a w) w))");
+  ASSERT_EQ(E->kind(), ExprKind::Let);
+  EXPECT_EQ(Ctx.names().spelling(E->letBinder()), "w");
+  EXPECT_EQ(E->letBound()->treeSize(), 5u);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "; leading comment\n (add ; infix\n 1\n\t2)");
+  EXPECT_EQ(E->treeSize(), 5u);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  ExprContext Ctx;
+  struct Case {
+    const char *Src;
+    const char *MessagePart;
+  };
+  const Case Cases[] = {
+      {"", "end of input"},
+      {")", "unexpected ')'"},
+      {"(", "unexpected end of input"},
+      {"()", "empty application"},
+      {"(f a", "unterminated"},
+      {"x y", "trailing input"},
+      {"(lam x)", "'('"},
+      {"(lam () x)", "at least one binder"},
+      {"(let (5 x) y)", "variable name"},
+      {"lam", "keyword"},
+  };
+  for (const Case &C : Cases) {
+    ParseResult R = parseExpr(Ctx, C.Src);
+    EXPECT_FALSE(R.ok()) << C.Src;
+    EXPECT_NE(R.Error.find(C.MessagePart), std::string::npos)
+        << "source: " << C.Src << "\n  got error: " << R.Error;
+  }
+}
+
+TEST(Parser, DepthGuardRejectsPathologicalNesting) {
+  ExprContext Ctx;
+  std::string Deep(30000, '(');
+  Deep += "x";
+  Deep += std::string(30000, ')');
+  ParseResult R = parseExpr(Ctx, Deep);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("deep"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, BasicForms) {
+  ExprContext Ctx;
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "x")), "x");
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "42")), "42");
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "(f a b)")), "(f a b)");
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "(lam (x) x)")), "(lam (x) x)");
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "(lam (x y) x)")), "(lam (x y) x)");
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "(let (x 1) x)")), "(let (x 1) x)");
+}
+
+TEST(Printer, NoLambdaCollapseOption) {
+  ExprContext Ctx;
+  PrintOptions Opts;
+  Opts.CollapseLambdas = false;
+  EXPECT_EQ(printExpr(Ctx, parseT(Ctx, "(lam (x y) x)"), Opts),
+            "(lam (x) (lam (y) x))");
+}
+
+TEST(Printer, RoundTripReparsesIdentically) {
+  ExprContext Ctx;
+  const char *Sources[] = {
+      "(lam (x) (add x 1))",
+      "(let (w (add v 7)) (mul (add a w) w))",
+      "(f (g (h x)) (lam (p q) (p (q x))) -3)",
+      "(let (a 1) (let (b 2) (add a b)))",
+  };
+  for (const char *Src : Sources) {
+    const Expr *E1 = parseT(Ctx, Src);
+    std::string P1 = printExpr(Ctx, E1);
+    const Expr *E2 = parseT(Ctx, P1);
+    EXPECT_EQ(P1, printExpr(Ctx, E2)) << "unstable print for " << Src;
+    EXPECT_EQ(E1->treeSize(), E2->treeSize());
+  }
+}
+
+TEST(Printer, MultilineModeParsesBack) {
+  ExprContext Ctx;
+  const Expr *E =
+      parseT(Ctx, "(let (a (add x 1)) (let (b (mul a a)) (add a b)))");
+  PrintOptions Opts;
+  Opts.Multiline = true;
+  std::string Pretty = printExpr(Ctx, E, Opts);
+  EXPECT_NE(Pretty.find('\n'), std::string::npos);
+  const Expr *Back = parseT(Ctx, Pretty);
+  EXPECT_EQ(printExpr(Ctx, Back), printExpr(Ctx, E));
+}
+
+//===----------------------------------------------------------------------===//
+// Traversals and shape queries
+//===----------------------------------------------------------------------===//
+
+TEST(Traversal, PostorderVisitsChildrenFirst) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "((a b) (c d))");
+  std::vector<const Expr *> Order;
+  postorder(E, [&](const Expr *N) { Order.push_back(N); });
+  ASSERT_EQ(Order.size(), 7u);
+  // Children precede parents.
+  std::set<const Expr *> SeenSet;
+  for (const Expr *N : Order) {
+    for (unsigned I = 0; I != N->numChildren(); ++I)
+      EXPECT_TRUE(SeenSet.count(N->child(I)));
+    SeenSet.insert(N);
+  }
+  EXPECT_EQ(Order.back(), E);
+}
+
+TEST(Traversal, PostorderWorklistMatchesPostorder) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x) (let (y (f x)) (g y y)))");
+  std::vector<const Expr *> A, B;
+  postorder(E, [&](const Expr *N) { A.push_back(N); });
+  PostorderWorklist Work(E);
+  while (const Expr *N = Work.next())
+    B.push_back(N);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Traversal, DeepSpineDoesNotOverflow) {
+  // A million-node left spine exercises every iterative path.
+  ExprContext Ctx;
+  const Expr *E = Ctx.var("x");
+  for (int I = 0; I != 500000; ++I)
+    E = Ctx.app(E, Ctx.var("y"));
+  EXPECT_EQ(E->treeSize(), 1000001u);
+  EXPECT_EQ(treeHeight(E), 500001u);
+  size_t Count = 0;
+  postorder(E, [&](const Expr *) { ++Count; });
+  EXPECT_EQ(Count, 1000001u);
+}
+
+TEST(Traversal, TreeHeight) {
+  ExprContext Ctx;
+  EXPECT_EQ(treeHeight(parseT(Ctx, "x")), 1u);
+  EXPECT_EQ(treeHeight(parseT(Ctx, "(f x)")), 2u);
+  EXPECT_EQ(treeHeight(parseT(Ctx, "(lam (a) (f (g a)))")), 4u);
+}
+
+TEST(Traversal, FreeVariables) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(lam (x) (add x (mul y z)))");
+  std::vector<Name> Free = freeVariables(Ctx, E);
+  std::vector<Name> Expected = {Ctx.name("add"), Ctx.name("mul"),
+                                Ctx.name("y"), Ctx.name("z")};
+  EXPECT_EQ(Free, Expected);
+}
+
+TEST(Traversal, FreeVariablesLetScoping) {
+  ExprContext Ctx;
+  // The let-bound x is not free in the body, but x *is* free in the rhs.
+  const Expr *E = parseT(Ctx, "(let (x (f x)) x)");
+  std::vector<Name> Free = freeVariables(Ctx, E);
+  std::vector<Name> Expected = {Ctx.name("f"), Ctx.name("x")};
+  EXPECT_EQ(Free, Expected);
+}
+
+TEST(Traversal, HasDistinctBinders) {
+  ExprContext Ctx;
+  EXPECT_TRUE(hasDistinctBinders(Ctx, parseT(Ctx, "(lam (x y) (x y))")));
+  EXPECT_FALSE(hasDistinctBinders(Ctx, parseT(Ctx, "(lam (x) (lam (x) x))")))
+      << "shadowing binder";
+  EXPECT_FALSE(
+      hasDistinctBinders(Ctx, parseT(Ctx, "(f (lam (x) x) (lam (x) x))")))
+      << "repeated binder in siblings";
+  EXPECT_FALSE(hasDistinctBinders(Ctx, parseT(Ctx, "(f x (lam (x) x))")))
+      << "binder shadows a free variable";
+}
+
+TEST(Traversal, DfsInfoAncestryAndLca) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "((a b) (c d))");
+  DfsInfo Dfs(Ctx, E);
+  const Expr *Left = E->appFun();
+  const Expr *Right = E->appArg();
+  const Expr *A = Left->appFun();
+  const Expr *D = Right->appArg();
+
+  EXPECT_TRUE(Dfs.isAncestorOf(E, A));
+  EXPECT_TRUE(Dfs.isAncestorOf(Left, A));
+  EXPECT_FALSE(Dfs.isAncestorOf(Right, A));
+  EXPECT_TRUE(Dfs.isAncestorOf(A, A));
+  EXPECT_EQ(Dfs.parent(A), Left);
+  EXPECT_EQ(Dfs.parent(E), nullptr);
+  EXPECT_EQ(Dfs.depth(E), 0u);
+  EXPECT_EQ(Dfs.depth(A), 2u);
+  EXPECT_EQ(Dfs.lowestCommonAncestor(A, D), E);
+  EXPECT_EQ(Dfs.lowestCommonAncestor(A, Left), Left);
+}
+
+TEST(Traversal, IsTreeDetectsSharing) {
+  ExprContext Ctx;
+  const Expr *X = Ctx.var("x");
+  const Expr *Shared = Ctx.app(Ctx.var("f"), X);
+  EXPECT_TRUE(isTree(Ctx, Shared));
+  const Expr *Dag = Ctx.app(Shared, Shared);
+  EXPECT_FALSE(isTree(Ctx, Dag));
+}

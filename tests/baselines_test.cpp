@@ -1,0 +1,236 @@
+//===- tests/baselines_test.cpp - Baseline hasher tests ---------------------===//
+///
+/// \file
+/// Table 1's characterisation, executable: Structural has false
+/// negatives; De Bruijn has both false negatives and false positives
+/// (reproduced on the paper's own Section 2.4 counterexamples); Locally
+/// Nameless is correct (matches the oracle partition) but re-walks
+/// lambda bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DeBruijnHasher.h"
+#include "baselines/LocallyNamelessHasher.h"
+#include "baselines/StructuralHasher.h"
+
+#include "core/AlphaHasher.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/RandomExpr.h"
+
+#include "ast/Uniquify.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+const Expr *prep(ExprContext &Ctx, const char *Src) {
+  return uniquifyBinders(Ctx, parseT(Ctx, Src));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structural baseline (Section 2.3)
+//===----------------------------------------------------------------------===//
+
+TEST(Structural, DetectsSyntacticEquality) {
+  ExprContext Ctx;
+  StructuralHasher<Hash128> H(Ctx);
+  EXPECT_EQ(H.hashRoot(parseT(Ctx, "(add x 1)")),
+            H.hashRoot(parseT(Ctx, "(add x 1)")));
+  EXPECT_NE(H.hashRoot(parseT(Ctx, "(add x 1)")),
+            H.hashRoot(parseT(Ctx, "(add x 2)")));
+}
+
+TEST(Structural, FalseNegativeOnRenamedBinder) {
+  // The defining failure (Table 1: no true negatives... specifically,
+  // "True neg." means it misses alpha-equal pairs): \x.x+1 vs \y.y+1.
+  ExprContext Ctx;
+  StructuralHasher<Hash128> H(Ctx);
+  EXPECT_NE(H.hashRoot(parseT(Ctx, "(lam (x) (add x 1))")),
+            H.hashRoot(parseT(Ctx, "(lam (y) (add y 1))")))
+      << "structural hashing must be name-sensitive";
+}
+
+TEST(Structural, PerNodeHashesAreSyntactic) {
+  ExprContext Ctx;
+  const Expr *E = prep(Ctx, "(mul (add v 7) (add v 7))");
+  StructuralHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(E);
+  EXPECT_EQ(Hashes[E->appFun()->appArg()->id()],
+            Hashes[E->appArg()->id()])
+      << "identical subtrees share a hash";
+}
+
+//===----------------------------------------------------------------------===//
+// De Bruijn baseline (Section 2.4): the paper's two counterexamples
+//===----------------------------------------------------------------------===//
+
+TEST(DeBruijn, PaperFalseNegative) {
+  // \t. foo (\x.x t) (\y.\x.x t): the two (\x.x t) are alpha-equivalent
+  // but de Bruijn hashing gives them different hashes (%1 vs %2 for t).
+  ExprContext Ctx;
+  const Expr *Root = prep(
+      Ctx, "(lam (t) (foo (lam (x) (x t)) (lam (y) (lam (x2) (x2 t)))))");
+  DeBruijnHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(Root);
+
+  // Locate the two inner lambdas.
+  const Expr *Body = Root->lamBody();           // ((foo L1) L2')
+  const Expr *L1 = Body->appFun()->appArg();    // (lam (x) (x t))
+  const Expr *L2 = Body->appArg()->lamBody();   // (lam (x2) (x2 t))
+  ASSERT_EQ(L1->kind(), ExprKind::Lam);
+  ASSERT_EQ(L2->kind(), ExprKind::Lam);
+  ASSERT_TRUE(alphaEquivalent(Ctx, L1, L2)) << "sanity: oracle equates them";
+  EXPECT_NE(Hashes[L1->id()], Hashes[L2->id()])
+      << "de Bruijn should exhibit the paper's false negative";
+
+  // "Ours" must equate them.
+  AlphaHasher<Hash128> Ours(Ctx);
+  std::vector<Hash128> OursHashes = Ours.hashAll(Root);
+  EXPECT_EQ(OursHashes[L1->id()], OursHashes[L2->id()]);
+}
+
+TEST(DeBruijn, PaperFalsePositive) {
+  // \t. foo (\x.t*(x+1)) (\y.\x.y*(x+1)): under de Bruijn both inner
+  // lambdas look like \.%1*(%0+1), but they are NOT alpha-equivalent.
+  ExprContext Ctx;
+  const Expr *Root = prep(Ctx, "(lam (t) (foo "
+                               "(lam (x) (mul t (add x 1))) "
+                               "(lam (y) (lam (x2) (mul y (add x2 1))))))");
+  DeBruijnHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(Root);
+
+  const Expr *Body = Root->lamBody();
+  const Expr *L1 = Body->appFun()->appArg();  // (lam (x) (mul t (add x 1)))
+  const Expr *L2 = Body->appArg()->lamBody(); // (lam (x2) (mul y (add x2 1)))
+  ASSERT_EQ(L1->kind(), ExprKind::Lam);
+  ASSERT_EQ(L2->kind(), ExprKind::Lam);
+  ASSERT_FALSE(alphaEquivalent(Ctx, L1, L2)) << "sanity: not equivalent";
+  EXPECT_EQ(Hashes[L1->id()], Hashes[L2->id()])
+      << "de Bruijn should exhibit the paper's false positive";
+
+  // "Ours" must distinguish them.
+  AlphaHasher<Hash128> Ours(Ctx);
+  std::vector<Hash128> OursHashes = Ours.hashAll(Root);
+  EXPECT_NE(OursHashes[L1->id()], OursHashes[L2->id()]);
+}
+
+TEST(DeBruijn, WholeExpressionRenamingInvariance) {
+  // At the root (closed expressions), de Bruijn IS alpha-invariant; its
+  // failures are about subexpressions in context.
+  ExprContext Ctx;
+  DeBruijnHasher<Hash128> H(Ctx);
+  EXPECT_EQ(H.hashRoot(prep(Ctx, "(lam (x) (add x 1))")),
+            H.hashRoot(prep(Ctx, "(lam (y) (add y 1))")));
+}
+
+//===----------------------------------------------------------------------===//
+// Locally nameless baseline (Section 2.5): correct, but re-walks bodies
+//===----------------------------------------------------------------------===//
+
+class LocallyNamelessPartitionTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LocallyNamelessPartitionTest, MatchesOraclePartition) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(555 + Size);
+  for (int Rep = 0; Rep != 6; ++Rep) {
+    const Expr *E = (Rep % 2 == 0) ? genBalanced(Ctx, R, Size)
+                                   : genUnbalanced(Ctx, R, Size);
+    LocallyNamelessHasher<Hash128> H(Ctx);
+    EXPECT_EQ(partitionIds(E, H.hashAll(E)), oraclePartitionIds(Ctx, E))
+        << "size " << Size << " rep " << Rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LocallyNamelessPartitionTest,
+                         ::testing::Values(2, 5, 16, 48, 120));
+
+TEST(LocallyNameless, AgreesWithOursOnPartitions) {
+  ExprContext Ctx;
+  Rng R(777);
+  for (int Rep = 0; Rep != 10; ++Rep) {
+    const Expr *E = genBalanced(Ctx, R, 200);
+    LocallyNamelessHasher<Hash128> LN(Ctx);
+    AlphaHasher<Hash128> Ours(Ctx);
+    EXPECT_EQ(partitionIds(E, LN.hashAll(E)),
+              partitionIds(E, Ours.hashAll(E)))
+        << "both correct algorithms must induce the same partition";
+  }
+}
+
+TEST(LocallyNameless, RewalkCostGrowsQuadraticallyOnBinderSpines) {
+  // A chain of n lambdas makes LN re-walk ~n^2/2 nodes (the Figure 2
+  // right-panel blow-up); on a lambda-free tree it re-walks nothing.
+  ExprContext Ctx;
+  const Expr *Spine = Ctx.var("v");
+  for (int I = 0; I != 2000; ++I)
+    Spine = Ctx.lam("s" + std::to_string(I), Spine);
+  LocallyNamelessHasher<Hash128> H(Ctx);
+  H.hashRoot(Spine);
+  EXPECT_GT(H.rewalkedNodes(), 1000u * 2000u / 2)
+      << "must re-walk each body per enclosing binder";
+
+  const Expr *Flat = parseT(Ctx, "(f (g a b) (h c d))");
+  LocallyNamelessHasher<Hash128> H2(Ctx);
+  H2.hashRoot(Flat);
+  EXPECT_EQ(H2.rewalkedNodes(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1 false/true positive/negative characterisation, empirically
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Count, over all pairs of subexpressions, how often a hasher's verdict
+/// disagrees with the oracle.
+template <typename Hasher>
+std::pair<int, int> countErrors(ExprContext &Ctx, const Expr *Root) {
+  Hasher H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(Root);
+  std::vector<uint32_t> Ours = partitionIds(Root, Hashes);
+  std::vector<uint32_t> Oracle = oraclePartitionIds(Ctx, Root);
+  int FalsePos = 0, FalseNeg = 0;
+  for (size_t I = 0; I != Ours.size(); ++I)
+    for (size_t J = I + 1; J != Ours.size(); ++J) {
+      bool SaysEqual = Ours[I] == Ours[J];
+      bool IsEqual = Oracle[I] == Oracle[J];
+      FalsePos += SaysEqual && !IsEqual;
+      FalseNeg += !SaysEqual && IsEqual;
+    }
+  return {FalsePos, FalseNeg};
+}
+
+} // namespace
+
+TEST(Table1, ErrorProfilesOnRandomExpressions) {
+  ExprContext Ctx;
+  Rng R(2468);
+  int StructFN = 0, DbFP = 0, DbFN = 0;
+  for (int Rep = 0; Rep != 12; ++Rep) {
+    const Expr *E = genBalanced(Ctx, R, 80);
+    auto [SFP, SFN] = countErrors<StructuralHasher<Hash128>>(Ctx, E);
+    EXPECT_EQ(SFP, 0) << "with distinct binders, structural has no FPs";
+    StructFN += SFN;
+    auto [DFP, DFN] = countErrors<DeBruijnHasher<Hash128>>(Ctx, E);
+    DbFP += DFP;
+    DbFN += DFN;
+    auto [LFP, LFN] = countErrors<LocallyNamelessHasher<Hash128>>(Ctx, E);
+    EXPECT_EQ(LFP, 0) << "locally nameless is correct";
+    EXPECT_EQ(LFN, 0);
+    auto [OFP, OFN] = countErrors<AlphaHasher<Hash128>>(Ctx, E);
+    EXPECT_EQ(OFP, 0) << "ours is correct";
+    EXPECT_EQ(OFN, 0);
+  }
+  EXPECT_GT(StructFN, 0) << "structural must miss some alpha-equal pairs";
+  EXPECT_GT(DbFN, 0) << "de Bruijn must miss some alpha-equal pairs";
+  // De Bruijn false positives need the right shape (bound-above vars at
+  // matching offsets); they are exercised deterministically in
+  // DeBruijn.PaperFalsePositive above, so no assertion here.
+  (void)DbFP;
+}

@@ -1,0 +1,282 @@
+//===- tests/core_hasher_test.cpp - AlphaHasher (Step 2) tests --------------===//
+///
+/// \file
+/// The headline algorithm: hash equality must coincide with
+/// alpha-equivalence (Theorem 6.7, at 128 bits collisions are
+/// negligible); per-node hashes must induce exactly the partition the
+/// Step-1 summaries induce; map-operation counts must obey Lemma 6.2's
+/// O(n log n) bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlphaHasher.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Uniquify.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/MLModels.h"
+#include "gen/RandomExpr.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace hma;
+
+namespace {
+
+const Expr *prep(ExprContext &Ctx, const char *Src) {
+  return uniquifyBinders(Ctx, parseT(Ctx, Src));
+}
+
+Hash128 hashOf(ExprContext &Ctx, const char *Src) {
+  AlphaHasher<Hash128> H(Ctx);
+  return H.hashRoot(prep(Ctx, Src));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hand-picked equalities and inequalities
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaHasher, RenamedBindersHashEqual) {
+  ExprContext Ctx;
+  EXPECT_EQ(hashOf(Ctx, "(lam (x) (add x 1))"),
+            hashOf(Ctx, "(lam (y) (add y 1))"));
+  EXPECT_EQ(hashOf(Ctx, "(let (x (exp z)) (add x 7))"),
+            hashOf(Ctx, "(let (y (exp z)) (add y 7))"));
+  EXPECT_EQ(hashOf(Ctx, "(lam (x y) (x (y x)))"),
+            hashOf(Ctx, "(lam (a b) (a (b a)))"));
+}
+
+TEST(AlphaHasher, DifferentFreeVariablesHashDifferent) {
+  ExprContext Ctx;
+  EXPECT_NE(hashOf(Ctx, "(lam (x) (add x y))"),
+            hashOf(Ctx, "(lam (q) (add q z))"));
+  EXPECT_NE(hashOf(Ctx, "x"), hashOf(Ctx, "y"));
+}
+
+TEST(AlphaHasher, StructuralDifferencesHashDifferent) {
+  ExprContext Ctx;
+  EXPECT_NE(hashOf(Ctx, "(lam (x) (x (x x)))"),
+            hashOf(Ctx, "(lam (x) ((x x) x))"));
+  EXPECT_NE(hashOf(Ctx, "(add x x)"), hashOf(Ctx, "(add x y)"));
+  EXPECT_NE(hashOf(Ctx, "(lam (x y) x)"), hashOf(Ctx, "(lam (x y) y)"));
+  EXPECT_NE(hashOf(Ctx, "(lam (x) x)"), hashOf(Ctx, "(let (x g0) x)"));
+  EXPECT_NE(hashOf(Ctx, "7"), hashOf(Ctx, "8"));
+  EXPECT_NE(hashOf(Ctx, "(lam (x) y)"), hashOf(Ctx, "(lam (x) x)"));
+}
+
+TEST(AlphaHasher, UnusedBinderMatters) {
+  // \x.\y.y and \y.y are different; \x.y ~ \z.y though.
+  ExprContext Ctx;
+  EXPECT_NE(hashOf(Ctx, "(lam (x y) y)"), hashOf(Ctx, "(lam (y) y)"));
+  EXPECT_EQ(hashOf(Ctx, "(lam (x) free)"), hashOf(Ctx, "(lam (z) free)"));
+}
+
+TEST(AlphaHasher, LetRhsScopingRespected) {
+  ExprContext Ctx;
+  EXPECT_EQ(hashOf(Ctx, "(let (x (f x0)) x)"),
+            hashOf(Ctx, "(let (y (f x0)) y)"));
+  EXPECT_NE(hashOf(Ctx, "(let (x (f x0)) x)"),
+            hashOf(Ctx, "(let (y (f y0)) y)"));
+}
+
+TEST(AlphaHasher, SeedChangesHashesButNotPartition) {
+  ExprContext Ctx;
+  Rng R(5);
+  const Expr *E = genBalanced(Ctx, R, 100);
+  AlphaHasher<Hash128> H1(Ctx, HashSchema(1));
+  AlphaHasher<Hash128> H2(Ctx, HashSchema(2));
+  std::vector<Hash128> V1 = H1.hashAll(E), V2 = H2.hashAll(E);
+  EXPECT_NE(V1[E->id()], V2[E->id()]) << "different seeds, same hash";
+  EXPECT_EQ(partitionIds(E, V1), partitionIds(E, V2))
+      << "the induced partition must be seed-independent";
+}
+
+TEST(AlphaHasher, DeterministicAcrossRunsAndContexts) {
+  ExprContext A, B;
+  B.name("occupy_id_zero"); // skew interning order
+  Hash128 HA = AlphaHasher<Hash128>(A).hashRoot(
+      uniquifyBinders(A, parseT(A, "(lam (x) (add x free))")));
+  Hash128 HB = AlphaHasher<Hash128>(B).hashRoot(
+      uniquifyBinders(B, parseT(B, "(lam (y) (add y free))")));
+  EXPECT_EQ(HA, HB) << "hashes must depend on spellings, not intern order";
+}
+
+//===----------------------------------------------------------------------===//
+// Per-node partition vs the oracle and vs Step-1 summaries
+//===----------------------------------------------------------------------===//
+
+class AlphaHasherPartitionTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AlphaHasherPartitionTest, MatchesOraclePartition) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(999 + Size);
+  for (int Rep = 0; Rep != 8; ++Rep) {
+    const Expr *E = (Rep % 2 == 0) ? genBalanced(Ctx, R, Size)
+                                   : genUnbalanced(Ctx, R, Size);
+    AlphaHasher<Hash128> H(Ctx);
+    std::vector<Hash128> Hashes = H.hashAll(E);
+    EXPECT_EQ(partitionIds(E, Hashes), oraclePartitionIds(Ctx, E))
+        << "size " << Size << " rep " << Rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlphaHasherPartitionTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 90, 160));
+
+TEST(AlphaHasher, PartitionMatchesOracleOnLetHeavyPrograms) {
+  ExprContext Ctx;
+  Rng R(31337);
+  for (int Rep = 0; Rep != 10; ++Rep) {
+    const Expr *E = uniquifyBinders(Ctx, genArithmetic(Ctx, R, 120));
+    AlphaHasher<Hash128> H(Ctx);
+    EXPECT_EQ(partitionIds(E, H.hashAll(E)), oraclePartitionIds(Ctx, E));
+  }
+}
+
+TEST(AlphaHasher, BertDiscoversRepeatedStructure) {
+  // Layers carry layer-specific weights (free variables), so whole-layer
+  // blocks are *not* alpha-equivalent -- but the unrolled attention
+  // arithmetic repeats heavily within and across heads. The hasher must
+  // surface that repetition (the ML-preprocessing use case of Section 1).
+  ExprContext Ctx;
+  const Expr *E = buildBert(Ctx, 3);
+  AlphaHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(E);
+  PartitionStats S = partitionStats(E, Hashes);
+  EXPECT_LT(S.NumClasses, S.NumSubexpressions * 3 / 4)
+      << "at least a quarter of subexpressions should be repeats";
+  EXPECT_GE(S.LargestClass, 3u);
+}
+
+TEST(AlphaHasher, TwoBertInstancesShareEverything) {
+  // Two separately built models are node-disjoint but alpha-equivalent;
+  // every subexpression of one must hash equal to its twin in the other
+  // (structure sharing across compilation units).
+  ExprContext Ctx;
+  const Expr *M1 = buildBert(Ctx, 2);
+  const Expr *M2 = buildBert(Ctx, 2);
+  ASSERT_NE(M1, M2);
+  AlphaHasher<Hash128> H(Ctx);
+  EXPECT_EQ(H.hashRoot(M1), H.hashRoot(M2));
+}
+
+//===----------------------------------------------------------------------===//
+// Lemma 6.2: O(n log n) variable-map operations
+//===----------------------------------------------------------------------===//
+
+class AlphaHasherComplexityTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(AlphaHasherComplexityTest, MapOpsWithinLemmaBound) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(4242);
+  for (bool Balanced : {true, false}) {
+    const Expr *E = Balanced ? genBalanced(Ctx, R, Size)
+                             : genUnbalanced(Ctx, R, Size);
+    AlphaHasher<Hash128> H(Ctx);
+    H.hashRoot(E);
+    double N = Size;
+    double Bound = 2.0 * N * std::log2(N + 1) + 4 * N + 16;
+    EXPECT_LE(H.stats().totalMapOps(), Bound)
+        << (Balanced ? "balanced" : "unbalanced") << " n=" << Size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlphaHasherComplexityTest,
+                         ::testing::Values(64, 512, 4096, 32768));
+
+TEST(AlphaHasher, UnbalancedMergeIsLinearish) {
+  // On a pure binder spine the smaller map always has O(1) entries, so
+  // alters should be ~n, far below the n log n worst case.
+  ExprContext Ctx;
+  Rng R(5);
+  const Expr *E = genUnbalanced(Ctx, R, 50000);
+  AlphaHasher<Hash128> H(Ctx);
+  H.hashRoot(E);
+  EXPECT_LE(H.stats().MapAlters, 2u * 50000)
+      << "spine merges must touch only the leaf-sized map";
+}
+
+//===----------------------------------------------------------------------===//
+// Stats and API details
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaHasher, StatsCountOperations) {
+  ExprContext Ctx;
+  const Expr *E = prep(Ctx, "(lam (x) (add x x))");
+  AlphaHasher<Hash128> H(Ctx);
+  H.hashRoot(E);
+  // 3 Var leaves -> 3 singletons; 1 Lam -> 1 remove; 2 Apps.
+  EXPECT_EQ(H.stats().MapSingletons, 3u);
+  EXPECT_EQ(H.stats().MapRemoves, 1u);
+  EXPECT_GE(H.stats().MapAlters, 1u);
+  H.resetStats();
+  EXPECT_EQ(H.stats().totalMapOps(), 0u);
+}
+
+TEST(AlphaHasher, HashAllCoversExactlyTheTree) {
+  ExprContext Ctx;
+  const Expr *Other = parseT(Ctx, "(unrelated tree)");
+  const Expr *E = prep(Ctx, "(lam (x) (f x))");
+  AlphaHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(E);
+  ASSERT_EQ(Hashes.size(), Ctx.numNodes());
+  preorder(E, [&](const Expr *N) {
+    EXPECT_FALSE(Hashes[N->id()].isZero()) << "missing hash in the tree";
+  });
+  preorder(Other, [&](const Expr *N) {
+    EXPECT_TRUE(Hashes[N->id()].isZero()) << "hash leaked outside the tree";
+  });
+}
+
+TEST(AlphaHasher, HashRootAgreesWithHashAll) {
+  ExprContext Ctx;
+  Rng R(11);
+  const Expr *E = genBalanced(Ctx, R, 333);
+  AlphaHasher<Hash128> H(Ctx);
+  std::vector<Hash128> All = H.hashAll(E);
+  EXPECT_EQ(H.hashRoot(E), All[E->id()]);
+}
+
+TEST(AlphaHasher, DeepSpineMillionNodes) {
+  ExprContext Ctx;
+  Rng R(6);
+  const Expr *E = genUnbalanced(Ctx, R, 1000001);
+  AlphaHasher<Hash128> H(Ctx);
+  Hash128 Root = H.hashRoot(E);
+  EXPECT_FALSE(Root.isZero());
+}
+
+//===----------------------------------------------------------------------===//
+// All three hash widths instantiate and agree on the partition
+//===----------------------------------------------------------------------===//
+
+template <typename H> class AlphaHasherWidthTest : public ::testing::Test {};
+using Widths = ::testing::Types<Hash128, Hash64, Hash16>;
+TYPED_TEST_SUITE(AlphaHasherWidthTest, Widths);
+
+TYPED_TEST(AlphaHasherWidthTest, RenamingInvariantAtEveryWidth) {
+  ExprContext Ctx;
+  const Expr *A = uniquifyBinders(Ctx, parseT(Ctx, "(lam (x) (add x 1))"));
+  const Expr *B = uniquifyBinders(Ctx, parseT(Ctx, "(lam (y) (add y 1))"));
+  AlphaHasher<TypeParam> H(Ctx);
+  EXPECT_EQ(H.hashRoot(A), H.hashRoot(B));
+}
+
+TYPED_TEST(AlphaHasherWidthTest, RandomRenamingsAgree) {
+  ExprContext Ctx;
+  Rng R(123);
+  AlphaHasher<TypeParam> H(Ctx);
+  for (int Rep = 0; Rep != 20; ++Rep) {
+    const Expr *E = genBalanced(Ctx, R, 50);
+    const Expr *Renamed = alphaRename(Ctx, R, E);
+    EXPECT_EQ(H.hashRoot(E), H.hashRoot(Renamed));
+  }
+}

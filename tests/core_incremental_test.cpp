@@ -1,0 +1,170 @@
+//===- tests/core_incremental_test.cpp - IncrementalHasher tests ------------===//
+///
+/// \file
+/// Section 6.3: after a local rewrite, incremental rehashing must produce
+/// *bit-identical* hashes to a from-scratch AlphaHasher run on the new
+/// tree, while touching only the rewrite spine (O(h^2 + h*f) work).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/IncrementalHasher.h"
+
+#include "core/AlphaHasher.h"
+#include "gen/RandomExpr.h"
+
+#include "ast/Traversal.h"
+#include "ast/Uniquify.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+/// From-scratch hash of \p Root for cross-checking.
+Hash128 freshHash(ExprContext &Ctx, const Expr *Root) {
+  AlphaHasher<Hash128> H(Ctx);
+  return H.hashRoot(Root);
+}
+
+} // namespace
+
+TEST(Incremental, InitialHashesMatchBatchHasher) {
+  ExprContext Ctx;
+  Rng R(21);
+  const Expr *Root = genBalanced(Ctx, R, 500);
+  AlphaHasher<Hash128> Batch(Ctx);
+  std::vector<Hash128> Expected = Batch.hashAll(Root);
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+  preorder(Root, [&](const Expr *E) {
+    EXPECT_EQ(Inc.hashOf(E), Expected[E->id()]) << "node " << E->id();
+  });
+}
+
+TEST(Incremental, LeafReplacementMatchesFullRehash) {
+  ExprContext Ctx;
+  const Expr *Root =
+      uniquifyBinders(Ctx, parseT(Ctx, "(lam (x) (mul (add x 1) (add x 1)))"));
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+
+  // Replace the constant 1 in the left (add x 1) with 2.
+  const Expr *Mul = Root->lamBody();
+  const Expr *Target = Mul->appFun()->appArg()->appArg(); // the left "1"
+  ASSERT_EQ(Target->kind(), ExprKind::Const);
+  const Expr *NewRoot = Inc.replaceSubtree(Target, Ctx.intConst(2));
+
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, NewRoot));
+  // The result must be (lam (x) (mul (add x 2) (add x 1))).
+  const Expr *Check = uniquifyBinders(
+      Ctx, parseT(Ctx, "(lam (p) (mul (add p 2) (add p 1)))"));
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, Check));
+}
+
+TEST(Incremental, ReplacementChangingFreeVariables) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(
+      Ctx, parseT(Ctx, "(lam (a) (lam (b) (f (g a) (h b))))"));
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+
+  // Replace (g a) with (g b): changes which binder is referenced.
+  const Expr *Inner = Root->lamBody()->lamBody(); // (f (g a) (h b))
+  const Expr *Target = Inner->appFun()->appArg(); // (g a)
+  Name B = Root->lamBody()->lamBinder();
+  const Expr *NewRoot =
+      Inc.replaceSubtree(Target, Ctx.app(Ctx.var("g"), Ctx.var(B)));
+
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, NewRoot));
+  const Expr *Check = uniquifyBinders(
+      Ctx, parseT(Ctx, "(lam (p) (lam (q) (f (g q) (h q))))"));
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, Check));
+}
+
+TEST(Incremental, RootReplacement) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(Ctx, parseT(Ctx, "(f x y)"));
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+  const Expr *New = uniquifyBinders(Ctx, parseT(Ctx, "(lam (z) z)"));
+  const Expr *NewRoot = Inc.replaceSubtree(Root, New);
+  EXPECT_EQ(NewRoot, New);
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, New));
+}
+
+TEST(Incremental, ChainedRewritesStayConsistent) {
+  ExprContext Ctx;
+  Rng R(33);
+  const Expr *Root = genBalanced(Ctx, R, 400);
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+
+  for (int Step = 0; Step != 25; ++Step) {
+    // Pick a random node of the *current* tree and replace it with a
+    // fresh closed arithmetic expression (no new free variables, fresh
+    // binders: the distinct-binder invariant is preserved).
+    const Expr *Target = pickRandomNode(R, Inc.root());
+    const Expr *Replacement =
+        genArithmetic(Ctx, R, 1 + static_cast<uint32_t>(R.below(12)));
+    const Expr *NewRoot = Inc.replaceSubtree(Target, Replacement);
+
+    ASSERT_EQ(Inc.rootHash(), freshHash(Ctx, NewRoot))
+        << "divergence after step " << Step;
+    // Every node of the current tree must be queryable and correct.
+    if (Step % 10 == 0) {
+      AlphaHasher<Hash128> Batch(Ctx);
+      std::vector<Hash128> Expected = Batch.hashAll(NewRoot);
+      preorder(NewRoot, [&](const Expr *E) {
+        ASSERT_EQ(Inc.hashOf(E), Expected[E->id()]);
+      });
+    }
+  }
+}
+
+TEST(Incremental, RewriteTouchesOnlyTheSpine) {
+  // On a deep spine, replacing a node near the bottom must rehash ~depth
+  // ancestors and nothing else; replacing near the top must be ~free.
+  ExprContext Ctx;
+  Rng R(71);
+  const Expr *Root = genUnbalanced(Ctx, R, 20001);
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+
+  // Walk down ~100 steps from the root.
+  const Expr *Shallow = Root;
+  for (int I = 0; I != 100 && Shallow->numChildren(); ++I)
+    Shallow = Shallow->child(Shallow->numChildren() - 1);
+  Inc.replaceSubtree(Shallow, Ctx.intConst(7));
+  const IncrementalStats &S = Inc.lastStats();
+  EXPECT_LE(S.PathNodesRehashed, 101u);
+  EXPECT_LE(S.FreshNodesHashed, 2u);
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, Inc.root()));
+}
+
+TEST(Incremental, CostScalesWithDepthNotTreeSize) {
+  ExprContext Ctx;
+  Rng R(72);
+  // Balanced tree: depth ~ log n, so a rewrite should rehash only a few
+  // dozen nodes even in a 30k-node tree.
+  const Expr *Root = genBalanced(Ctx, R, 30001);
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+  uint64_t MaxPath = 0;
+  for (int Step = 0; Step != 10; ++Step) {
+    const Expr *Target = pickRandomNode(R, Inc.root());
+    Inc.replaceSubtree(Target, Ctx.intConst(Step));
+    MaxPath = std::max(MaxPath, Inc.lastStats().PathNodesRehashed);
+  }
+  EXPECT_LT(MaxPath, 200u) << "balanced depth is logarithmic (Section 6.3)";
+  EXPECT_EQ(Inc.rootHash(), freshHash(Ctx, Inc.root()));
+}
+
+TEST(Incremental, HashOfInnerNodesAfterRewrite) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(
+      Ctx, parseT(Ctx, "(f (g (h one)) (k two))"));
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+  const Expr *Target = Root->appFun()->appArg(); // (g (h one))
+  const Expr *NewRoot =
+      Inc.replaceSubtree(Target->appArg(), Ctx.var("three")); // h's arg
+  // Untouched sibling keeps its hash; rebuilt ancestors get new ones.
+  AlphaHasher<Hash128> Batch(Ctx);
+  std::vector<Hash128> Expected = Batch.hashAll(NewRoot);
+  preorder(NewRoot, [&](const Expr *E) {
+    EXPECT_EQ(Inc.hashOf(E), Expected[E->id()]);
+  });
+}

@@ -1,0 +1,147 @@
+//===- tests/core_linear_test.cpp - Appendix C variant tests ----------------===//
+///
+/// \file
+/// The affine-transform (lazy map transformation) variant: its affine
+/// algebra must be exactly invertible, and the hasher must induce the
+/// same partition of subexpressions as the StructureTag algorithm and
+/// the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/LinearMapHasher.h"
+
+#include "core/AlphaHasher.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/RandomExpr.h"
+
+#include "ast/Uniquify.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Affine transform algebra
+//===----------------------------------------------------------------------===//
+
+template <typename H> class AffineTest : public ::testing::Test {};
+using AffineWidths = ::testing::Types<Hash16, Hash64, Hash128>;
+TYPED_TEST_SUITE(AffineTest, AffineWidths);
+
+TYPED_TEST(AffineTest, InverseReallyInverts) {
+  using AT = AffineTransform<TypeParam>;
+  Rng R(1);
+  for (int I = 0; I != 200; ++I) {
+    AT F = AT::fromSeed(R.next(), R.next(), R.next(), R.next());
+    typename AT::U X = static_cast<typename AT::U>(R.next());
+    EXPECT_EQ(F.applyInverse(F.apply(X)), X);
+    EXPECT_EQ(F.apply(F.applyInverse(X)), X);
+  }
+}
+
+TYPED_TEST(AffineTest, CompositionMatchesSequentialApplication) {
+  using AT = AffineTransform<TypeParam>;
+  Rng R(2);
+  for (int I = 0; I != 100; ++I) {
+    AT F = AT::fromSeed(R.next(), R.next(), R.next(), R.next());
+    AT G = AT::fromSeed(R.next(), R.next(), R.next(), R.next());
+    AT FG = F;
+    FG.composeAfter(G); // FG = G after F
+    typename AT::U X = static_cast<typename AT::U>(R.next());
+    EXPECT_EQ(FG.apply(X), G.apply(F.apply(X)));
+    EXPECT_EQ(FG.applyInverse(G.apply(F.apply(X))), X)
+        << "composed inverse must track the composed forward";
+  }
+}
+
+TYPED_TEST(AffineTest, IdentityIsNeutral) {
+  using AT = AffineTransform<TypeParam>;
+  AT Id = AT::identity();
+  typename AT::U X = 12345;
+  EXPECT_EQ(Id.apply(X), X);
+  EXPECT_EQ(Id.applyInverse(X), X);
+  AT F = AT::fromSeed(9, 8, 7, 6);
+  AT FId = F;
+  FId.composeAfter(Id);
+  EXPECT_EQ(FId.apply(X), F.apply(X));
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing behaviour
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Hash128 linHash(ExprContext &Ctx, const char *Src) {
+  LinearMapHasher<Hash128> H(Ctx);
+  return H.hashRoot(uniquifyBinders(Ctx, parseT(Ctx, Src)));
+}
+
+} // namespace
+
+TEST(LinearMapHasher, RenamingInvariance) {
+  ExprContext Ctx;
+  EXPECT_EQ(linHash(Ctx, "(lam (x) (add x 1))"),
+            linHash(Ctx, "(lam (y) (add y 1))"));
+  EXPECT_EQ(linHash(Ctx, "(let (x (exp z)) (add x 7))"),
+            linHash(Ctx, "(let (y (exp z)) (add y 7))"));
+}
+
+TEST(LinearMapHasher, Distinguishes) {
+  ExprContext Ctx;
+  EXPECT_NE(linHash(Ctx, "(lam (x) (add x y))"),
+            linHash(Ctx, "(lam (q) (add q z))"));
+  EXPECT_NE(linHash(Ctx, "(add x x)"), linHash(Ctx, "(add x y)"));
+  EXPECT_NE(linHash(Ctx, "(lam (x) (x (x x)))"),
+            linHash(Ctx, "(lam (x) ((x x) x))"));
+}
+
+class LinearPartitionTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LinearPartitionTest, MatchesOracleAndTaggedAlgorithm) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(808 + Size);
+  for (int Rep = 0; Rep != 6; ++Rep) {
+    const Expr *E = (Rep % 2 == 0) ? genBalanced(Ctx, R, Size)
+                                   : genUnbalanced(Ctx, R, Size);
+    LinearMapHasher<Hash128> Lin(Ctx);
+    AlphaHasher<Hash128> Tagged(Ctx);
+    std::vector<uint32_t> LinIds = partitionIds(E, Lin.hashAll(E));
+    EXPECT_EQ(LinIds, oraclePartitionIds(Ctx, E))
+        << "size " << Size << " rep " << Rep;
+    EXPECT_EQ(LinIds, partitionIds(E, Tagged.hashAll(E)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearPartitionTest,
+                         ::testing::Values(2, 5, 16, 48, 130));
+
+TEST(LinearMapHasher, LetHeavyPrograms) {
+  ExprContext Ctx;
+  Rng R(99);
+  for (int Rep = 0; Rep != 8; ++Rep) {
+    const Expr *E = uniquifyBinders(Ctx, genArithmetic(Ctx, R, 150));
+    LinearMapHasher<Hash128> Lin(Ctx);
+    EXPECT_EQ(partitionIds(E, Lin.hashAll(E)), oraclePartitionIds(Ctx, E));
+  }
+}
+
+TEST(LinearMapHasher, DeepSpine) {
+  ExprContext Ctx;
+  Rng R(3);
+  const Expr *E = genUnbalanced(Ctx, R, 300001);
+  LinearMapHasher<Hash128> H(Ctx);
+  EXPECT_FALSE(H.hashRoot(E).isZero());
+}
+
+TEST(LinearMapHasher, SeedIndependentPartition) {
+  ExprContext Ctx;
+  Rng R(15);
+  const Expr *E = genBalanced(Ctx, R, 120);
+  LinearMapHasher<Hash128> H1(Ctx, HashSchema(10));
+  LinearMapHasher<Hash128> H2(Ctx, HashSchema(20));
+  std::vector<Hash128> V1 = H1.hashAll(E), V2 = H2.hashAll(E);
+  EXPECT_NE(V1[E->id()], V2[E->id()]);
+  EXPECT_EQ(partitionIds(E, V1), partitionIds(E, V2));
+}

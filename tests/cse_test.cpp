@@ -1,0 +1,207 @@
+//===- tests/cse_test.cpp - CSE modulo alpha tests --------------------------===//
+///
+/// \file
+/// The motivating application (Section 1): all three intro examples, the
+/// Section 2.2 false-positive guard, and randomized semantics
+/// preservation against the reference evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cse/CSE.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Evaluator.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "ast/Uniquify.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/RandomExpr.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+/// Count nodes of each kind (diagnostics).
+size_t countKind(const Expr *Root, ExprKind K) {
+  size_t N = 0;
+  preorder(Root, [&](const Expr *E) { N += E->kind() == K; });
+  return N;
+}
+
+} // namespace
+
+TEST(CSE, PaperIntroExampleSharedAddition) {
+  // (a + (v+7)) * (v+7)  ==>  let w = v+7 in (a + w) * w
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(mul (add a (add v 7)) (add v 7))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_EQ(R.LetsInserted, 1u);
+  EXPECT_EQ(R.OccurrencesReplaced, 2u);
+  EXPECT_LT(R.SizeAfter, R.SizeBefore);
+  // Shape check: a let whose bound expression is alpha-equal to (add v 7).
+  ASSERT_EQ(R.Root->kind(), ExprKind::Let);
+  EXPECT_TRUE(
+      alphaEquivalent(Ctx, R.Root->letBound(), parseT(Ctx, "(add v 7)")));
+  // Semantics: equal under sample bindings.
+  const Expr *Before = parseT(
+      Ctx, "(let (a 3) (let (v 4) (mul (add a (add v 7)) (add v 7))))");
+  const Expr *After =
+      Ctx.let("a", Ctx.intConst(3),
+              Ctx.let("v", Ctx.intConst(4), Ctx.clone(R.Root)));
+  // R.Root references free a/v; rebinding via outer lets must evaluate
+  // equal. (clone: R.Root shares no binders with Before.)
+  EvalResult V1 = evaluate(Ctx, Before), V2 = evaluate(Ctx, After);
+  ASSERT_TRUE(V1.isInt() && V2.isInt()) << V1.Message << V2.Message;
+  EXPECT_EQ(V1.Int, V2.Int);
+}
+
+TEST(CSE, PaperIntroExampleAlphaEquivalentLets) {
+  // (a + (let x = exp(z) in x+7)) * (let y = exp(z) in y+7)
+  //   ==> let w = (let x = exp(z) in x+7) in (a + w) * w
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(mul (add a (let (x (exp z)) (add x 7))) "
+                              "(let (y (exp z)) (add y 7)))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_EQ(R.LetsInserted, 1u);
+  EXPECT_EQ(R.OccurrencesReplaced, 2u);
+  ASSERT_EQ(R.Root->kind(), ExprKind::Let);
+  EXPECT_TRUE(alphaEquivalent(Ctx, R.Root->letBound(),
+                              parseT(Ctx, "(let (q (exp z)) (add q 7))")));
+}
+
+TEST(CSE, PaperIntroExampleLambdas) {
+  // foo (\x.x+7) (\y.y+7)  ==>  let h = \x.x+7 in foo h h
+  ExprContext Ctx;
+  const Expr *E = parseT(
+      Ctx, "(foo (lam (x) (add x 7)) (lam (y) (add y 7)))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_EQ(R.LetsInserted, 1u);
+  EXPECT_EQ(R.OccurrencesReplaced, 2u);
+  ASSERT_EQ(R.Root->kind(), ExprKind::Let);
+  EXPECT_TRUE(alphaEquivalent(Ctx, R.Root->letBound(),
+                              parseT(Ctx, "(lam (p) (add p 7))")));
+  // Body must be (foo h h) with both occurrences the same variable.
+  const Expr *Body = R.Root->letBody();
+  ASSERT_EQ(Body->kind(), ExprKind::App);
+  EXPECT_EQ(Body->appArg()->kind(), ExprKind::Var);
+  EXPECT_EQ(Body->appFun()->appArg()->kind(), ExprKind::Var);
+  EXPECT_EQ(Body->appArg()->varName(), Body->appFun()->appArg()->varName());
+}
+
+TEST(CSE, Section22FalsePositiveIsNotRewritten) {
+  // foo (let x=bar in x+2) (let x=pub in x+2): the two x+2 are unrelated;
+  // CSE must not share them (uniquification renames them apart). The two
+  // *lets* differ too (bar vs pub), so nothing profitable repeats.
+  ExprContext Ctx;
+  const Expr *E = parseT(
+      Ctx, "(foo (let (x bar) (add x 2)) (let (x pub) (add x 2)))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_EQ(R.LetsInserted, 0u);
+  EXPECT_EQ(R.OccurrencesReplaced, 0u);
+  EXPECT_TRUE(alphaEquivalent(Ctx, R.Root, E)) << "must be untouched";
+}
+
+TEST(CSE, HoistsToLowestCommonAncestorUnderBinder) {
+  // The repeated (mul t t) uses the lambda-bound t: the let must be
+  // inserted *inside* the lambda, not above it.
+  ExprContext Ctx;
+  const Expr *E =
+      parseT(Ctx, "(lam (t) (add (mul t t) (sub (mul t t) one)))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_EQ(R.LetsInserted, 1u);
+  ASSERT_EQ(R.Root->kind(), ExprKind::Lam) << "lambda stays outermost";
+  EXPECT_EQ(R.Root->lamBody()->kind(), ExprKind::Let);
+  EXPECT_TRUE(hasDistinctBinders(Ctx, R.Root));
+}
+
+TEST(CSE, NestedSharingAcrossRounds) {
+  // (f (g (h k)) (g (h k)) (h k)): round 1 shares (g (h k)); the inner
+  // (h k) of the hoisted copy then shares with the third occurrence.
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(f (g (h k)) (g (h k)) (h k))");
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_GE(R.LetsInserted, 2u);
+  EXPECT_GE(R.Rounds, 2u);
+  // All (h k) computations collapse to one.
+  size_t HCount = 0;
+  preorder(R.Root, [&](const Expr *N) {
+    if (N->kind() == ExprKind::Var && Ctx.names().spelling(N->varName()) == "h")
+      ++HCount;
+  });
+  EXPECT_EQ(HCount, 1u);
+}
+
+TEST(CSE, MinSizeRespected) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(f (g x) (g x))");
+  CSEOptions Opts;
+  Opts.MinSize = 10; // (g x) has size 3: too small now
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E, Opts);
+  EXPECT_EQ(R.LetsInserted, 0u);
+}
+
+TEST(CSE, MinOccurrencesRespected) {
+  ExprContext Ctx;
+  const Expr *E = parseT(Ctx, "(f (g x y) (g x y) (g x y))");
+  CSEOptions Opts;
+  Opts.MinOccurrences = 4;
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E, Opts);
+  EXPECT_EQ(R.LetsInserted, 0u);
+  Opts.MinOccurrences = 3;
+  R = eliminateCommonSubexpressions(Ctx, E, Opts);
+  EXPECT_EQ(R.LetsInserted, 1u);
+  EXPECT_EQ(R.OccurrencesReplaced, 3u);
+}
+
+TEST(CSE, ResultAlwaysHasDistinctBindersAndIsTree) {
+  ExprContext Ctx;
+  Rng R(1212);
+  for (int Rep = 0; Rep != 20; ++Rep) {
+    const Expr *E = genArithmetic(Ctx, R, 80);
+    CSEResult Res = eliminateCommonSubexpressions(Ctx, E);
+    EXPECT_TRUE(isTree(Ctx, Res.Root)) << "rep " << Rep;
+    EXPECT_TRUE(hasDistinctBinders(Ctx, Res.Root)) << "rep " << Rep;
+    EXPECT_LE(Res.SizeAfter, Res.SizeBefore);
+  }
+}
+
+TEST(CSE, PreservesEvaluationOnRandomArithmetic) {
+  // The paper's whole point: the rewrite must be semantics-preserving
+  // while catching alpha-equivalent (not just identical) repeats.
+  ExprContext Ctx;
+  Rng R(2323);
+  int Rewritten = 0;
+  for (int Rep = 0; Rep != 60; ++Rep) {
+    const Expr *E = genArithmetic(Ctx, R, 30 + (Rep % 5) * 40);
+    EvalResult Before = evaluate(Ctx, E);
+    ASSERT_TRUE(Before.isInt()) << Before.Message;
+    CSEResult Res = eliminateCommonSubexpressions(Ctx, E);
+    EvalResult After = evaluate(Ctx, Res.Root);
+    ASSERT_TRUE(After.isInt())
+        << After.Message << "\n" << printExpr(Ctx, Res.Root);
+    EXPECT_EQ(Before.Int, After.Int) << "rep " << Rep;
+    Rewritten += Res.LetsInserted != 0;
+  }
+  EXPECT_GT(Rewritten, 5) << "generator should produce shareable repeats";
+}
+
+TEST(CSE, LargeLetChainFindsRepeats) {
+  // A BERT-ish chain with repeated per-step arithmetic: CSE should fire
+  // and shrink the program.
+  ExprContext Ctx;
+  std::string Src = "(let (s0 (add x0 one)) ";
+  for (int I = 1; I != 20; ++I)
+    Src += "(let (s" + std::to_string(I) + " (mul (add x" +
+           std::to_string(I) + " one) (add x" + std::to_string(I) +
+           " one))) ";
+  Src += "done";
+  Src += std::string(20, ')');
+  const Expr *E = parseT(Ctx, Src);
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_GE(R.LetsInserted, 19u) << "each (add xI one) repeats twice";
+  EXPECT_LT(R.SizeAfter, R.SizeBefore);
+  EXPECT_EQ(countKind(R.Root, ExprKind::Let), 20u + R.LetsInserted);
+}

@@ -1,0 +1,154 @@
+//===- tests/fuzz_test.cpp - Randomized robustness tests ----------------------===//
+///
+/// \file
+/// Failure injection: the parser and the deserializer face arbitrary
+/// bytes (random garbage, bit-flipped valid inputs, truncations) and
+/// must reject them gracefully -- library code never throws, crashes or
+/// reads out of bounds (run under ASan in sanitizer builds).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "ast/Serialize.h"
+#include "gen/RandomExpr.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+std::string randomBytes(Rng &R, size_t Len) {
+  std::string S;
+  S.reserve(Len);
+  for (size_t I = 0; I != Len; ++I)
+    S.push_back(static_cast<char>(R.below(256)));
+  return S;
+}
+
+std::string randomTokenSoup(Rng &R, size_t Tokens) {
+  static const char *Pool[] = {"(",  ")",   "lam", "let", "x",  "y",
+                               "42", "-7",  "(x",  "))",  "((", "f",
+                               " ",  "\n",  ";c\n", "-"};
+  std::string S;
+  for (size_t I = 0; I != Tokens; ++I) {
+    S += Pool[R.below(std::size(Pool))];
+    S.push_back(' ');
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(Fuzz, ParserSurvivesRandomBytes) {
+  Rng R(0xF00D);
+  for (int Rep = 0; Rep != 500; ++Rep) {
+    ExprContext Ctx;
+    ParseResult Result = parseExpr(Ctx, randomBytes(R, 1 + R.below(200)));
+    if (Result.ok())
+      EXPECT_GE(Result.E->treeSize(), 1u);
+    else
+      EXPECT_FALSE(Result.Error.empty());
+  }
+}
+
+TEST(Fuzz, ParserSurvivesTokenSoup) {
+  Rng R(0xBEEF);
+  for (int Rep = 0; Rep != 500; ++Rep) {
+    ExprContext Ctx;
+    ParseResult Result = parseExpr(Ctx, randomTokenSoup(R, 1 + R.below(60)));
+    if (Result.ok()) {
+      // Whatever parsed must round-trip through the printer.
+      std::string Printed = printExpr(Ctx, Result.E);
+      ParseResult Again = parseExpr(Ctx, Printed);
+      ASSERT_TRUE(Again.ok()) << Printed;
+      EXPECT_EQ(Printed, printExpr(Ctx, Again.E));
+    }
+  }
+}
+
+TEST(Fuzz, PrinterParserRoundTripOnRandomExpressions) {
+  ExprContext Ctx;
+  Rng R(0xCAFE);
+  for (int Rep = 0; Rep != 60; ++Rep) {
+    const Expr *E = (Rep % 3 == 0)   ? genBalanced(Ctx, R, 1 + Rep * 3)
+                    : (Rep % 3 == 1) ? genUnbalanced(Ctx, R, 1 + Rep * 3)
+                                     : genArithmetic(Ctx, R, 1 + Rep * 3);
+    for (bool Multiline : {false, true}) {
+      PrintOptions Opts;
+      Opts.Multiline = Multiline;
+      std::string Printed = printExpr(Ctx, E, Opts);
+      ParseResult Back = parseExpr(Ctx, Printed);
+      ASSERT_TRUE(Back.ok())
+          << "failed to reparse: " << Back.Error << "\n" << Printed;
+      EXPECT_EQ(printExpr(Ctx, Back.E), printExpr(Ctx, E));
+    }
+  }
+}
+
+TEST(Fuzz, DeserializerSurvivesRandomBytes) {
+  Rng R(0xD15EA5E);
+  for (int Rep = 0; Rep != 500; ++Rep) {
+    ExprContext Ctx;
+    DeserializeResult Result =
+        deserializeExpr(Ctx, randomBytes(R, R.below(150)));
+    if (!Result.ok()) {
+      EXPECT_FALSE(Result.Error.empty());
+    }
+  }
+}
+
+TEST(Fuzz, DeserializerSurvivesMutatedValidInput) {
+  ExprContext Source;
+  Rng R(0x5EED);
+  const Expr *E = genArithmetic(Source, R, 120);
+  const std::string Good = serializeExpr(Source, E);
+
+  int StillValid = 0;
+  for (int Rep = 0; Rep != 400; ++Rep) {
+    std::string Bad = Good;
+    switch (R.below(3)) {
+    case 0: // flip a random bit
+      Bad[R.below(Bad.size())] ^= char(1 << R.below(8));
+      break;
+    case 1: // truncate
+      Bad.resize(R.below(Bad.size()));
+      break;
+    default: // duplicate a tail chunk
+      Bad += Bad.substr(Bad.size() / 2);
+      break;
+    }
+    ExprContext Ctx;
+    DeserializeResult Result = deserializeExpr(Ctx, Bad);
+    if (Result.ok()) {
+      ++StillValid; // some mutations are benign (e.g. a constant bit)
+      EXPECT_GE(Result.E->treeSize(), 1u);
+    }
+  }
+  // Most mutations must be caught.
+  EXPECT_LT(StillValid, 200);
+}
+
+TEST(Fuzz, SerializeRoundTripUnderReinterning) {
+  // Chained: generate -> serialize -> load into context B -> serialize
+  // from B -> load into C: all renderings identical.
+  Rng R(0xABCD);
+  for (int Rep = 0; Rep != 20; ++Rep) {
+    ExprContext A;
+    const Expr *E = genBalanced(A, R, 64);
+    std::string B1 = serializeExpr(A, E);
+    ExprContext B;
+    B.name("skew1");
+    DeserializeResult RB = deserializeExpr(B, B1);
+    ASSERT_TRUE(RB.ok());
+    std::string B2 = serializeExpr(B, RB.E);
+    ExprContext C;
+    C.name("skew2");
+    C.name("skew3");
+    DeserializeResult RC = deserializeExpr(C, B2);
+    ASSERT_TRUE(RC.ok());
+    EXPECT_EQ(printExpr(A, E), printExpr(C, RC.E));
+  }
+}

@@ -1,0 +1,215 @@
+//===- tests/gen_test.cpp - Workload generator tests ------------------------===//
+///
+/// \file
+/// The benchmark workloads must themselves be trustworthy: exact sizes,
+/// distinct binders, well-scoped variables, the documented shapes
+/// (balanced vs spine), adversarial pairs that are never alpha-equivalent,
+/// ML models matching the paper's node counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/MLModels.h"
+#include "gen/RandomExpr.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Evaluator.h"
+#include "ast/Traversal.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <unordered_set>
+
+using namespace hma;
+
+namespace {
+
+/// Every variable occurrence is either bound by an enclosing binder or
+/// one of the generator's known free names.
+void expectWellScoped(ExprContext &Ctx, const Expr *Root,
+                      bool AllowFree = true) {
+  std::vector<Name> Free = freeVariables(Ctx, Root);
+  for (Name N : Free) {
+    std::string_view S = Ctx.names().spelling(N);
+    EXPECT_TRUE(AllowFree && S.size() >= 2 && S[0] == 'g')
+        << "unexpected free variable: " << S;
+  }
+}
+
+} // namespace
+
+class GenSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GenSizeTest, BalancedExactSizeAndInvariants) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(Size);
+  const Expr *E = genBalanced(Ctx, R, Size);
+  EXPECT_EQ(E->treeSize(), Size);
+  EXPECT_TRUE(hasDistinctBinders(Ctx, E));
+  EXPECT_TRUE(isTree(Ctx, E));
+  expectWellScoped(Ctx, E);
+}
+
+TEST_P(GenSizeTest, UnbalancedExactSizeAndInvariants) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(Size * 31);
+  const Expr *E = genUnbalanced(Ctx, R, Size);
+  EXPECT_EQ(E->treeSize(), Size);
+  EXPECT_TRUE(hasDistinctBinders(Ctx, E));
+  EXPECT_TRUE(isTree(Ctx, E));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GenSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 20, 100, 1000,
+                                           10000));
+
+TEST(Gen, BalancedIsShallowUnbalancedIsDeep) {
+  ExprContext Ctx;
+  Rng R(8);
+  const Expr *Bal = genBalanced(Ctx, R, 10000);
+  const Expr *Unbal = genUnbalanced(Ctx, R, 10000);
+  EXPECT_LT(treeHeight(Bal), 400u) << "balanced should have ~log depth";
+  EXPECT_GT(treeHeight(Unbal), 3000u) << "unbalanced should be a spine";
+}
+
+TEST(Gen, DeterministicPerSeed) {
+  ExprContext Ctx;
+  Rng R1(55), R2(55), R3(56);
+  const Expr *A = genBalanced(Ctx, R1, 200);
+  const Expr *B = genBalanced(Ctx, R2, 200);
+  const Expr *C = genBalanced(Ctx, R3, 200);
+  // Same seed: structurally identical up to the fresh-name counter, so
+  // alpha-equivalent. Different seed: almost surely not.
+  EXPECT_TRUE(alphaEquivalent(Ctx, A, B));
+  EXPECT_FALSE(alphaEquivalent(Ctx, A, C));
+}
+
+TEST(Gen, AdversarialPairsAreNeverAlphaEquivalent) {
+  ExprContext Ctx;
+  Rng R(404);
+  for (uint32_t Size : {8u, 16u, 100u, 1000u}) {
+    auto [E1, E2] = genAdversarialPair(Ctx, R, Size);
+    EXPECT_EQ(E1->treeSize(), Size);
+    EXPECT_EQ(E2->treeSize(), Size);
+    EXPECT_TRUE(hasDistinctBinders(Ctx, E1));
+    EXPECT_TRUE(hasDistinctBinders(Ctx, E2));
+    EXPECT_FALSE(alphaEquivalent(Ctx, E1, E2))
+        << "adversarial pairs must differ semantically at size " << Size;
+  }
+}
+
+TEST(Gen, AdversarialPairsShareTheirWrapper) {
+  // Identical wrappers: replacing e2's core with e1's must give e1.
+  ExprContext Ctx;
+  Rng R(405);
+  auto [E1, E2] = genAdversarialPair(Ctx, R, 64);
+  // Walk both spines down: the structures must match until the cores.
+  const Expr *A = E1, *B = E2;
+  while (A->treeSize() > 6) {
+    ASSERT_EQ(A->kind(), B->kind());
+    if (A->kind() == ExprKind::Lam) {
+      EXPECT_EQ(A->lamBinder(), B->lamBinder());
+      A = A->lamBody();
+      B = B->lamBody();
+      continue;
+    }
+    ASSERT_EQ(A->kind(), ExprKind::App);
+    if (A->appFun()->treeSize() == 1) {
+      EXPECT_EQ(A->appFun()->varName(), B->appFun()->varName());
+      A = A->appArg();
+      B = B->appArg();
+    } else {
+      EXPECT_EQ(A->appArg()->varName(), B->appArg()->varName());
+      A = A->appFun();
+      B = B->appFun();
+    }
+  }
+  // Cores: \x. x (x x)  vs  \x. (x x) x.
+  EXPECT_EQ(A->lamBody()->appArg()->treeSize(), 3u);
+  EXPECT_EQ(B->lamBody()->appFun()->treeSize(), 3u);
+}
+
+TEST(Gen, ArithmeticProgramsEvaluateToIntegers) {
+  ExprContext Ctx;
+  Rng R(909);
+  for (int Rep = 0; Rep != 50; ++Rep) {
+    const Expr *E = genArithmetic(Ctx, R, 10 + Rep * 7);
+    EXPECT_TRUE(isTree(Ctx, E));
+    EvalResult V = evaluate(Ctx, E);
+    EXPECT_TRUE(V.isInt()) << "rep " << Rep << ": " << V.Message;
+  }
+}
+
+TEST(Gen, AlphaRenamePreservesEquivalenceChangesSpelling) {
+  ExprContext Ctx;
+  Rng R(313);
+  const Expr *E = genBalanced(Ctx, R, 300);
+  const Expr *Renamed = alphaRename(Ctx, R, E);
+  EXPECT_TRUE(alphaEquivalent(Ctx, E, Renamed));
+  EXPECT_TRUE(hasDistinctBinders(Ctx, Renamed));
+  // At least one binder name must actually change.
+  std::unordered_set<Name> Original;
+  preorder(E, [&](const Expr *N) {
+    if (N->binder() != InvalidName)
+      Original.insert(N->binder());
+  });
+  bool AnyChanged = false;
+  preorder(Renamed, [&](const Expr *N) {
+    if (N->binder() != InvalidName && !Original.count(N->binder()))
+      AnyChanged = true;
+  });
+  EXPECT_TRUE(AnyChanged);
+}
+
+TEST(Gen, PickRandomNodeIsUniformish) {
+  ExprContext Ctx;
+  Rng R(27);
+  const Expr *E = genBalanced(Ctx, R, 50);
+  std::unordered_set<const Expr *> Seen;
+  for (int I = 0; I != 400; ++I)
+    Seen.insert(pickRandomNode(R, E));
+  EXPECT_GT(Seen.size(), 35u) << "should reach most of the 50 nodes";
+}
+
+//===----------------------------------------------------------------------===//
+// ML model builders (Table 2 / Figure 3 workloads)
+//===----------------------------------------------------------------------===//
+
+TEST(MLModels, NodeCountsMatchTable2) {
+  ExprContext Ctx;
+  EXPECT_EQ(buildMnistCnn(Ctx)->treeSize(), MnistCnnNodeCount);
+  EXPECT_EQ(buildGmm(Ctx)->treeSize(), GmmNodeCount);
+  EXPECT_EQ(buildBert(Ctx, 12)->treeSize(), Bert12NodeCount);
+}
+
+TEST(MLModels, BertScalesLinearlyInLayers) {
+  ExprContext Ctx;
+  uint32_t N1 = buildBert(Ctx, 1)->treeSize();
+  uint32_t N2 = buildBert(Ctx, 2)->treeSize();
+  uint32_t N4 = buildBert(Ctx, 4)->treeSize();
+  EXPECT_EQ(N4 - N2, 2 * (N2 - N1)) << "affine in layer count";
+  EXPECT_EQ(bertNodeCount(1), N1);
+  EXPECT_EQ(bertNodeCount(2), N2);
+  EXPECT_EQ(bertNodeCount(4), N4);
+}
+
+TEST(MLModels, AllModelsSatisfyHasherPreconditions) {
+  ExprContext Ctx;
+  for (const Expr *E :
+       {buildMnistCnn(Ctx), buildGmm(Ctx), buildBert(Ctx, 2)}) {
+    EXPECT_TRUE(hasDistinctBinders(Ctx, E));
+    EXPECT_TRUE(isTree(Ctx, E));
+  }
+}
+
+TEST(MLModels, ModelsAreLetChains) {
+  // The realistic shape claim: overwhelmingly Let spines (unrolled ANF).
+  ExprContext Ctx;
+  const Expr *E = buildGmm(Ctx);
+  size_t Lets = 0;
+  preorder(E, [&](const Expr *N) { Lets += N->kind() == ExprKind::Let; });
+  EXPECT_GT(Lets, E->treeSize() / 8u);
+  EXPECT_GT(treeHeight(E), E->treeSize() / 8u) << "deep let spine";
+}

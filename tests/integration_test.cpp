@@ -1,0 +1,140 @@
+//===- tests/integration_test.cpp - End-to-end pipeline tests ---------------===//
+///
+/// \file
+/// Whole-pipeline runs across module boundaries: parse -> uniquify ->
+/// hash -> group -> CSE -> evaluate; all four hashing algorithms on the
+/// ML workloads; cross-algorithm partition agreement where correctness
+/// demands it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DeBruijnHasher.h"
+#include "baselines/LocallyNamelessHasher.h"
+#include "baselines/StructuralHasher.h"
+#include "core/AlphaHasher.h"
+#include "core/IncrementalHasher.h"
+#include "core/LinearMapHasher.h"
+#include "cse/CSE.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/MLModels.h"
+#include "gen/RandomExpr.h"
+
+#include "ast/Evaluator.h"
+#include "ast/Printer.h"
+#include "ast/Uniquify.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+TEST(Integration, ParseHashGroupCseEvaluate) {
+  ExprContext Ctx;
+  // A realistic numeric kernel with alpha-equivalent repeats under
+  // different binder names.
+  const Expr *E = parseT(Ctx, R"((let (norm1 (let (s (add (mul x x) (mul y y))) (div s two)))
+       (let (norm2 (let (t (add (mul x x) (mul y y))) (div t two)))
+         (add (mul norm1 norm2) (add (mul x x) (mul y y))))))");
+  const Expr *U = uniquifyBinders(Ctx, E);
+  ASSERT_TRUE(hasDistinctBinders(Ctx, U));
+
+  AlphaHasher<Hash128> H(Ctx);
+  std::vector<Hash128> Hashes = H.hashAll(U);
+  auto Classes = groupSubexpressionsByHash(U, Hashes);
+  EXPECT_TRUE(classesMatchOracle(Ctx, Classes));
+
+  // The two norm computations are alpha-equivalent despite s/t.
+  PartitionStats S = partitionStats(U, Hashes);
+  EXPECT_GE(S.LargestClass, 3u) << "(mul x x) appears three times";
+
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  EXPECT_GE(R.LetsInserted, 2u)
+      << "must share the norm block and (add (mul x x) (mul y y))";
+  EXPECT_LT(R.SizeAfter, R.SizeBefore);
+
+  // Close over the free variables and compare evaluation results.
+  auto Close = [&](const Expr *Body) {
+    return Ctx.let("x", Ctx.intConst(3),
+                   Ctx.let("y", Ctx.intConst(5),
+                           Ctx.let("two", Ctx.intConst(2),
+                                   Ctx.clone(Body))));
+  };
+  EvalResult Before = evaluate(Ctx, Close(E));
+  EvalResult After = evaluate(Ctx, Close(R.Root));
+  ASSERT_TRUE(Before.isInt()) << Before.Message;
+  ASSERT_TRUE(After.isInt()) << After.Message;
+  EXPECT_EQ(Before.Int, After.Int);
+}
+
+TEST(Integration, AllHashersRunOnMlWorkloads) {
+  ExprContext Ctx;
+  for (const Expr *E :
+       {buildMnistCnn(Ctx), buildGmm(Ctx), buildBert(Ctx, 2)}) {
+    StructuralHasher<Hash128> St(Ctx);
+    DeBruijnHasher<Hash128> Db(Ctx);
+    LocallyNamelessHasher<Hash128> Ln(Ctx);
+    AlphaHasher<Hash128> Ours(Ctx);
+    LinearMapHasher<Hash128> Lin(Ctx);
+
+    std::vector<Hash128> VSt = St.hashAll(E);
+    std::vector<Hash128> VDb = Db.hashAll(E);
+    std::vector<Hash128> VLn = Ln.hashAll(E);
+    std::vector<Hash128> VOurs = Ours.hashAll(E);
+    std::vector<Hash128> VLin = Lin.hashAll(E);
+
+    // Both correct algorithms and the Appendix C variant agree.
+    EXPECT_EQ(partitionIds(E, VLn), partitionIds(E, VOurs));
+    EXPECT_EQ(partitionIds(E, VLin), partitionIds(E, VOurs));
+
+    // Coarseness ordering: ours refines structural-with-names? No --
+    // but every *syntactically identical* pair must also be
+    // hash-equal under ours (syntactic equality implies alpha-eq).
+    std::vector<uint32_t> PSt = partitionIds(E, VSt);
+    std::vector<uint32_t> POurs = partitionIds(E, VOurs);
+    for (size_t I = 0; I != PSt.size(); ++I)
+      for (size_t J = I + 1; J < PSt.size(); J += 97) // sampled pairs
+        if (PSt[I] == PSt[J]) {
+          EXPECT_EQ(POurs[I], POurs[J])
+              << "syntactic equality must imply alpha hash equality";
+        }
+  }
+}
+
+TEST(Integration, IncrementalTracksRepeatedCseRewrites) {
+  // Simulate a compiler loop: hash, rewrite a site, rehash incrementally,
+  // and cross-check against batch hashing every round.
+  ExprContext Ctx;
+  Rng R(31415);
+  const Expr *Root = uniquifyBinders(Ctx, genArithmetic(Ctx, R, 300));
+  IncrementalHasher<Hash128> Inc(Ctx, Root);
+  for (int Round = 0; Round != 10; ++Round) {
+    const Expr *Site = pickRandomNode(R, Inc.root());
+    const Expr *Replacement = genArithmetic(Ctx, R, 9);
+    const Expr *NewRoot = Inc.replaceSubtree(Site, Replacement);
+    AlphaHasher<Hash128> Batch(Ctx);
+    ASSERT_EQ(Inc.rootHash(), Batch.hashRoot(NewRoot)) << Round;
+  }
+}
+
+TEST(Integration, CseOnBertFindsSubstantialSharing) {
+  ExprContext Ctx;
+  const Expr *E = buildBert(Ctx, 2);
+  CSEOptions Opts;
+  Opts.MinSize = 4;
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E, Opts);
+  EXPECT_GT(R.LetsInserted, 10u);
+  EXPECT_LT(R.SizeAfter, R.SizeBefore);
+  EXPECT_TRUE(hasDistinctBinders(Ctx, R.Root));
+}
+
+TEST(Integration, HashStabilityAcrossLibraryBoundaries) {
+  // A hash computed in one context must match the same expression parsed
+  // in another context, after a CSE round-trip print/reparse.
+  ExprContext A, B;
+  const Expr *EA =
+      uniquifyBinders(A, parseT(A, "(lam (u) (add (mul u u) (mul u u)))"));
+  std::string Printed = printExpr(A, EA);
+  const Expr *EB = uniquifyBinders(B, parseT(B, Printed));
+  Hash128 HA = AlphaHasher<Hash128>(A).hashRoot(EA);
+  Hash128 HB = AlphaHasher<Hash128>(B).hashRoot(EB);
+  EXPECT_EQ(HA, HB);
+}

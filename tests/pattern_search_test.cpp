@@ -1,0 +1,104 @@
+//===- tests/pattern_search_test.cpp - Subtree search tests -------------------===//
+///
+/// \file
+/// findAlphaEquivalent: exactness against the oracle, binder-name
+/// blindness, and scale behaviour on the ML workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eqclass/PatternSearch.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Traversal.h"
+#include "ast/Uniquify.h"
+#include "gen/MLModels.h"
+#include "gen/RandomExpr.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+TEST(PatternSearch, FindsRenamedOccurrences) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(
+      Ctx, parseT(Ctx, "(f (lam (x) (add x 7)) (g (lam (y) (add y 7))) "
+                       "(lam (z) (add z 8)))"));
+  const Expr *Pattern =
+      uniquifyBinders(Ctx, parseT(Ctx, "(lam (p) (add p 7))"));
+  std::vector<const Expr *> Matches = findAlphaEquivalent(Ctx, Root, Pattern);
+  ASSERT_EQ(Matches.size(), 2u);
+  for (const Expr *M : Matches) {
+    EXPECT_EQ(M->kind(), ExprKind::Lam);
+    EXPECT_TRUE(alphaEquivalent(Ctx, M, Pattern));
+  }
+}
+
+TEST(PatternSearch, NoMatchesForAbsentPattern) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(Ctx, parseT(Ctx, "(f (add a 1) b)"));
+  const Expr *Pattern = parseT(Ctx, "(mul a 1)");
+  EXPECT_TRUE(findAlphaEquivalent(Ctx, Root, Pattern).empty());
+}
+
+TEST(PatternSearch, RootCanMatch) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(Ctx, parseT(Ctx, "(lam (x) x)"));
+  const Expr *Pattern = uniquifyBinders(Ctx, parseT(Ctx, "(lam (q) q)"));
+  std::vector<const Expr *> Matches = findAlphaEquivalent(Ctx, Root, Pattern);
+  ASSERT_EQ(Matches.size(), 1u);
+  EXPECT_EQ(Matches.front(), Root);
+}
+
+TEST(PatternSearch, FreeVariablesConstrainMatches) {
+  ExprContext Ctx;
+  const Expr *Root = uniquifyBinders(
+      Ctx, parseT(Ctx, "(pair (lam (x) (add x y)) (lam (p) (add p z)))"));
+  const Expr *PatY = uniquifyBinders(Ctx, parseT(Ctx, "(lam (a) (add a y))"));
+  const Expr *PatZ = uniquifyBinders(Ctx, parseT(Ctx, "(lam (a) (add a z))"));
+  EXPECT_EQ(findAlphaEquivalent(Ctx, Root, PatY).size(), 1u);
+  EXPECT_EQ(findAlphaEquivalent(Ctx, Root, PatZ).size(), 1u);
+}
+
+TEST(PatternSearch, AgreesWithOracleExhaustively) {
+  ExprContext Ctx;
+  Rng R(192837);
+  for (int Rep = 0; Rep != 10; ++Rep) {
+    const Expr *Root = genBalanced(Ctx, R, 80);
+    // Use a random subtree of Root itself as the pattern.
+    const Expr *Pattern = pickRandomNode(R, Root);
+    std::vector<const Expr *> Matches =
+        findAlphaEquivalent(Ctx, Root, Pattern);
+    // Oracle reference: every subtree, compared directly.
+    std::vector<const Expr *> Expected;
+    preorder(Root, [&](const Expr *E) {
+      if (alphaEquivalent(Ctx, E, Pattern))
+        Expected.push_back(E);
+    });
+    EXPECT_EQ(Matches, Expected) << "rep " << Rep;
+    EXPECT_FALSE(Matches.empty()) << "the pattern itself always matches";
+  }
+}
+
+TEST(PatternSearch, FindsRepeatedAttentionArithmeticInBert) {
+  ExprContext Ctx;
+  const Expr *Model = buildBert(Ctx, 2);
+  // The per-position weight computation (div ex sm) repeats across
+  // positions, heads and layers with different variable names... but
+  // identical free-variable *sets* only within a head. Search for one
+  // concrete instance and expect exactly its own occurrence.
+  const Expr *Pattern = nullptr;
+  preorder(Model, [&](const Expr *E) {
+    if (Pattern || E->kind() != ExprKind::App)
+      return;
+    if (E->treeSize() == 5 && E->appFun()->kind() == ExprKind::App &&
+        E->appFun()->appFun()->kind() == ExprKind::Var &&
+        Ctx.names().spelling(E->appFun()->appFun()->varName()) == "div")
+      Pattern = E;
+  });
+  ASSERT_NE(Pattern, nullptr);
+  std::vector<const Expr *> Matches = findAlphaEquivalent(Ctx, Model, Pattern);
+  EXPECT_GE(Matches.size(), 1u);
+  for (const Expr *M : Matches)
+    EXPECT_TRUE(alphaEquivalent(Ctx, M, Pattern));
+}

@@ -1,0 +1,250 @@
+//===- tests/summary_test.cpp - Step 1 e-summary tests ----------------------===//
+///
+/// \file
+/// The invertible e-summaries of Section 4: summarise / rebuild
+/// round-trips, summary-equality vs the alpha-equivalence oracle, and
+/// agreement between the naive (Section 4.6) and tagged (Section 4.8)
+/// merge disciplines. These tests are the executable form of the paper's
+/// correctness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "summary/ESummary.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "ast/Uniquify.h"
+#include "gen/RandomExpr.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+const Expr *prep(ExprContext &Ctx, const char *Src) {
+  return uniquifyBinders(Ctx, parseT(Ctx, Src));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structure / PosTree basics
+//===----------------------------------------------------------------------===//
+
+TEST(Summary, VarSummaryIsSingleton) {
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S = B.summariseTagged(parseT(Ctx, "x"));
+  EXPECT_EQ(S.S->K, Structure::Kind::SVar);
+  ASSERT_EQ(S.VM.size(), 1u);
+  EXPECT_EQ(S.VM.begin()->first, Ctx.name("x"));
+  EXPECT_EQ(S.VM.begin()->second->K, PosTree::Kind::Here);
+}
+
+TEST(Summary, LambdaRemovesItsBinder) {
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S = B.summariseTagged(parseT(Ctx, "(lam (x) (f x))"));
+  ASSERT_EQ(S.S->K, Structure::Kind::SLam);
+  EXPECT_NE(S.S->BinderPos, nullptr) << "x occurs in the body";
+  ASSERT_EQ(S.VM.size(), 1u);
+  EXPECT_EQ(S.VM.begin()->first, Ctx.name("f"));
+}
+
+TEST(Summary, UnusedBinderHasNoPosTree) {
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S = B.summariseTagged(parseT(Ctx, "(lam (x) y)"));
+  ASSERT_EQ(S.S->K, Structure::Kind::SLam);
+  EXPECT_EQ(S.S->BinderPos, nullptr);
+}
+
+TEST(Summary, StructureIgnoresVariableIdentity) {
+  // (add x y) and (add x x) have the same structure but different maps
+  // (Section 4.2's <hole> intuition).
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S1 = B.summariseTagged(parseT(Ctx, "(add x y)"));
+  ESummary S2 = B.summariseTagged(parseT(Ctx, "(add x x)"));
+  EXPECT_TRUE(structureEquals(S1.S, S2.S));
+  EXPECT_FALSE(summaryEquals(S1, S2));
+}
+
+TEST(Summary, PosTreeIdentifiesOccurrences) {
+  // Section 4.5's example: occurrences of "x" in App (App f x) x.
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S = B.summariseNaive(parseT(Ctx, "((f x) x)"));
+  const PosTree *P = S.VM.at(Ctx.name("x"));
+  EXPECT_EQ(posTreeToString(P), "B(R(*),*)")
+      << "PTBoth (PTRightOnly PTHere) PTHere";
+}
+
+TEST(Summary, StructureTagIsStrictlyGreaterThanChildren) {
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  ESummary S = B.summariseTagged(
+      prep(Ctx, "((lam (x) (x (x x))) (lam (y) (y (y y))))"));
+  // Walk the structure: every parent tag exceeds its children's.
+  std::vector<const Structure *> Work{S.S};
+  while (!Work.empty()) {
+    const Structure *N = Work.back();
+    Work.pop_back();
+    for (const Structure *C : {N->S1, N->S2}) {
+      if (!C)
+        continue;
+      EXPECT_GT(structureTag(N), structureTag(C));
+      Work.push_back(C);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Summary equality == alpha-equivalence (hand-picked cases)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSummaryEq(ExprContext &Ctx, const char *A, const char *B,
+                     bool Expected) {
+  SummaryBuilder Builder(Ctx);
+  const Expr *EA = prep(Ctx, A);
+  const Expr *EB = prep(Ctx, B);
+  EXPECT_EQ(summaryEquals(Builder.summariseTagged(EA),
+                          Builder.summariseTagged(EB)),
+            Expected)
+      << A << " vs " << B << " (tagged)";
+  EXPECT_EQ(summaryEquals(Builder.summariseNaive(EA),
+                          Builder.summariseNaive(EB)),
+            Expected)
+      << A << " vs " << B << " (naive)";
+  EXPECT_EQ(alphaEquivalent(Ctx, EA, EB), Expected)
+      << A << " vs " << B << " (oracle disagrees with the test case!)";
+}
+
+} // namespace
+
+TEST(Summary, EqualityMatchesAlphaEquivalence) {
+  ExprContext Ctx;
+  expectSummaryEq(Ctx, "(lam (x) (add x y))", "(lam (p) (add p y))", true);
+  expectSummaryEq(Ctx, "(lam (x) (add x y))", "(lam (q) (add q z))", false);
+  expectSummaryEq(Ctx, "(lam (x y) (x y))", "(lam (a b) (a b))", true);
+  expectSummaryEq(Ctx, "(lam (x y) (x y))", "(lam (a b) (b a))", false);
+  expectSummaryEq(Ctx, "(let (x (exp z)) (add x 7))",
+                  "(let (y (exp z)) (add y 7))", true);
+  expectSummaryEq(Ctx, "(add x x)", "(add x y)", false);
+  expectSummaryEq(Ctx, "7", "7", true);
+  expectSummaryEq(Ctx, "7", "8", false);
+}
+
+//===----------------------------------------------------------------------===//
+// Rebuild: the inversion property (Sections 4.2 / 4.7 / 4.8)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectRoundTrip(ExprContext &Ctx, const Expr *E) {
+  SummaryBuilder B(Ctx);
+  const Expr *RNaive = rebuildNaive(Ctx, B.summariseNaive(E));
+  EXPECT_TRUE(alphaEquivalent(Ctx, E, RNaive))
+      << "naive rebuild not alpha-equivalent for "
+      << printExpr(Ctx, E).substr(0, 200);
+  const Expr *RTagged = rebuildTagged(Ctx, B.summariseTagged(E));
+  EXPECT_TRUE(alphaEquivalent(Ctx, E, RTagged))
+      << "tagged rebuild not alpha-equivalent for "
+      << printExpr(Ctx, E).substr(0, 200);
+}
+
+} // namespace
+
+TEST(SummaryRebuild, HandPickedRoundTrips) {
+  ExprContext Ctx;
+  const char *Sources[] = {
+      "x",
+      "42",
+      "(lam (x) x)",
+      "(lam (x) y)",
+      "(lam (x) (x x))",
+      "(f x y)",
+      "(lam (x) ((lam (b) ((x b) x)) x))", // Figure 1's example shape
+      "(let (w (add v 7)) (mul (add a w) w))",
+      "(let (x (f x)) x)",
+      "(lam (t) (foo (lam (x) (x t)) (lam (y) (lam (x2) (x2 t)))))",
+      "(foo (lam (x) (add x 7)) (lam (y) (add y 7)))",
+  };
+  for (const char *Src : Sources)
+    expectRoundTrip(Ctx, prep(Ctx, Src));
+}
+
+TEST(SummaryRebuild, RandomBalancedRoundTrips) {
+  ExprContext Ctx;
+  Rng R(42);
+  for (uint32_t Size : {1u, 2u, 3u, 5u, 17u, 64u, 200u})
+    for (int Rep = 0; Rep != 10; ++Rep)
+      expectRoundTrip(Ctx, genBalanced(Ctx, R, Size));
+}
+
+TEST(SummaryRebuild, RandomUnbalancedRoundTrips) {
+  ExprContext Ctx;
+  Rng R(43);
+  for (uint32_t Size : {2u, 9u, 33u, 150u})
+    for (int Rep = 0; Rep != 10; ++Rep)
+      expectRoundTrip(Ctx, genUnbalanced(Ctx, R, Size));
+}
+
+TEST(SummaryRebuild, RebuiltHasDistinctBinders) {
+  ExprContext Ctx;
+  SummaryBuilder B(Ctx);
+  const Expr *E = prep(Ctx, "(lam (x) (lam (y) (f (x y) (lam (z) (z x)))))");
+  const Expr *R = rebuildTagged(Ctx, B.summariseTagged(E));
+  EXPECT_TRUE(hasDistinctBinders(Ctx, R));
+}
+
+//===----------------------------------------------------------------------===//
+// Property: summary equality <=> alpha-equivalence on random pairs
+//===----------------------------------------------------------------------===//
+
+class SummaryPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SummaryPropertyTest, EqualityCoincidesWithOracle) {
+  uint32_t Size = GetParam();
+  ExprContext Ctx;
+  Rng R(1000 + Size);
+  SummaryBuilder B(Ctx);
+  for (int Rep = 0; Rep != 20; ++Rep) {
+    const Expr *E1 = genBalanced(Ctx, R, Size);
+    // Mix of: alpha-renamed copy (must equate), and independent draw
+    // (almost surely must not).
+    const Expr *E2 = (Rep % 2 == 0) ? alphaRename(Ctx, R, E1)
+                                    : genBalanced(Ctx, R, Size);
+    bool Oracle = alphaEquivalent(Ctx, E1, E2);
+    bool Tagged = summaryEquals(B.summariseTagged(E1), B.summariseTagged(E2));
+    bool Naive = summaryEquals(B.summariseNaive(E1), B.summariseNaive(E2));
+    EXPECT_EQ(Tagged, Oracle) << "tagged summary disagrees at size " << Size;
+    EXPECT_EQ(Naive, Oracle) << "naive summary disagrees at size " << Size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SummaryPropertyTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+//===----------------------------------------------------------------------===//
+// Per-subexpression summaries
+//===----------------------------------------------------------------------===//
+
+TEST(Summary, SummariseAllMatchesPerNodeSummarise) {
+  ExprContext Ctx;
+  Rng R(7);
+  const Expr *Root = genBalanced(Ctx, R, 60);
+  SummaryBuilder B(Ctx);
+  std::vector<ESummary> All = B.summariseAllTagged(Root);
+  // Every node's stored summary equals a fresh summarisation of it.
+  postorder(Root, [&](const Expr *E) {
+    SummaryBuilder Fresh(Ctx);
+    EXPECT_TRUE(summaryEquals(All[E->id()], Fresh.summariseTagged(E)))
+        << "node id " << E->id();
+  });
+}

@@ -1,0 +1,299 @@
+//===- tests/support_test.cpp - support library unit tests ------------------===//
+///
+/// \file
+/// Hash codes, the mixing engine, the salt schema, RNG, arena, interner.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/HashCode.h"
+#include "support/HashSchema.h"
+#include "support/Interner.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Hash code value types
+//===----------------------------------------------------------------------===//
+
+TEST(HashCode, XorIsSelfInverse128) {
+  Hash128 A(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  Hash128 B(0xDEADBEEFCAFEF00DULL, 0x0F1E2D3C4B5A6978ULL);
+  EXPECT_EQ((A ^ B) ^ B, A);
+  EXPECT_EQ((A ^ B) ^ A, B);
+  EXPECT_EQ(A ^ A, Hash128());
+}
+
+TEST(HashCode, XorIsCommutativeAssociative) {
+  Hash64 A(1), B(2), C(3);
+  EXPECT_EQ(A ^ B, B ^ A);
+  EXPECT_EQ((A ^ B) ^ C, A ^ (B ^ C));
+}
+
+TEST(HashCode, OrderingAndEquality) {
+  Hash128 A(1, 2), B(1, 3), C(2, 0);
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(B < C);
+  EXPECT_TRUE(A < C);
+  EXPECT_FALSE(A < A);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A, Hash128(1, 2));
+}
+
+TEST(HashCode, HexRendering) {
+  EXPECT_EQ(Hash128(0, 0).toHex(), std::string(32, '0'));
+  EXPECT_EQ(Hash128(0x1, 0xF).toHex(),
+            "0000000000000001000000000000000f");
+  EXPECT_EQ(Hash64(0xDEADBEEFULL).toHex(), "00000000deadbeef");
+  EXPECT_EQ(Hash16(0xBEEF).toHex(), "beef");
+}
+
+TEST(HashCode, IsZero) {
+  EXPECT_TRUE(Hash128().isZero());
+  EXPECT_FALSE(Hash128(0, 1).isZero());
+  EXPECT_TRUE(Hash16().isZero());
+}
+
+//===----------------------------------------------------------------------===//
+// MixEngine
+//===----------------------------------------------------------------------===//
+
+TEST(MixEngine, DeterministicForSameInput) {
+  MixEngine A(42), B(42);
+  A.addWord(7);
+  B.addWord(7);
+  EXPECT_EQ(A.finish<Hash128>(), B.finish<Hash128>());
+}
+
+TEST(MixEngine, SaltChangesResult) {
+  MixEngine A(1), B(2);
+  A.addWord(7);
+  B.addWord(7);
+  EXPECT_NE(A.finish<Hash128>(), B.finish<Hash128>());
+}
+
+TEST(MixEngine, OrderSensitive) {
+  MixEngine A(0), B(0);
+  A.addWord(1);
+  A.addWord(2);
+  B.addWord(2);
+  B.addWord(1);
+  EXPECT_NE(A.finish<Hash128>(), B.finish<Hash128>());
+}
+
+TEST(MixEngine, NoTrivialCollisionsOnCounter) {
+  // 100k sequential words through one salt: all 128-bit outputs distinct,
+  // and the low 16 bits look uniform (no empty buckets over 64k draws).
+  std::set<Hash128> Seen;
+  for (uint64_t I = 0; I != 100000; ++I) {
+    MixEngine E(123);
+    E.addWord(I);
+    EXPECT_TRUE(Seen.insert(E.finish<Hash128>()).second) << "at " << I;
+  }
+}
+
+TEST(MixEngine, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (unsigned Bit = 0; Bit != 64; ++Bit) {
+    MixEngine A(9), B(9);
+    A.addWord(0);
+    B.addWord(1ULL << Bit);
+    Hash128 HA = A.finish<Hash128>(), HB = B.finish<Hash128>();
+    int Flipped = __builtin_popcountll(HA.Hi ^ HB.Hi) +
+                  __builtin_popcountll(HA.Lo ^ HB.Lo);
+    EXPECT_GT(Flipped, 32) << "weak avalanche at bit " << Bit;
+    EXPECT_LT(Flipped, 96) << "weak avalanche at bit " << Bit;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// HashSchema
+//===----------------------------------------------------------------------===//
+
+TEST(HashSchema, SaltsAreDistinctPerTag) {
+  HashSchema S(7);
+  std::set<uint64_t> Salts;
+  for (unsigned I = 0; I != unsigned(CombinerTag::NumTags); ++I)
+    Salts.insert(S.salt(static_cast<CombinerTag>(I)));
+  EXPECT_EQ(Salts.size(), size_t(CombinerTag::NumTags));
+}
+
+TEST(HashSchema, SeedChangesEverySalt) {
+  HashSchema A(1), B(2);
+  for (unsigned I = 0; I != unsigned(CombinerTag::NumTags); ++I)
+    EXPECT_NE(A.salt(static_cast<CombinerTag>(I)),
+              B.salt(static_cast<CombinerTag>(I)));
+}
+
+TEST(HashSchema, CombineDistinguishesTagAndArity) {
+  HashSchema S;
+  Hash128 X(3, 4);
+  EXPECT_NE(S.combine<Hash128>(CombinerTag::StructApp, X),
+            S.combine<Hash128>(CombinerTag::StructLamSome, X));
+  EXPECT_NE(S.combine<Hash128>(CombinerTag::StructApp, X),
+            S.combine<Hash128>(CombinerTag::StructApp, X, X));
+}
+
+TEST(HashSchema, HashBytesMatchesContentNotChunking) {
+  HashSchema S;
+  // Same content -> same hash; different length or content -> different.
+  std::string A = "variable_name_x";
+  Hash128 H1 = S.hashBytes<Hash128>(CombinerTag::NameLeaf, A.data(), A.size());
+  std::string B = A;
+  Hash128 H2 = S.hashBytes<Hash128>(CombinerTag::NameLeaf, B.data(), B.size());
+  EXPECT_EQ(H1, H2);
+  std::string C = "variable_name_y";
+  EXPECT_NE(H1,
+            S.hashBytes<Hash128>(CombinerTag::NameLeaf, C.data(), C.size()));
+  std::string D = "variable_name_x ";
+  EXPECT_NE(H1,
+            S.hashBytes<Hash128>(CombinerTag::NameLeaf, D.data(), D.size()));
+}
+
+TEST(HashSchema, HashBytesPrefixSafety) {
+  // "ab" + "c" vs "abc" padding confusion: hash includes the length.
+  HashSchema S;
+  const char *A = "abc\0\0\0\0\0";
+  Hash128 H1 = S.hashBytes<Hash128>(CombinerTag::NameLeaf, A, 3);
+  Hash128 H2 = S.hashBytes<Hash128>(CombinerTag::NameLeaf, A, 5);
+  EXPECT_NE(H1, H2);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(5), B(5), C(6);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next(), VB = B.next();
+    EXPECT_EQ(VA, VB);
+    (void)C.next();
+  }
+  Rng A2(5), C2(6);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Rng R(99);
+  std::vector<int> Counts(10, 0);
+  for (int I = 0; I != 10000; ++I) {
+    uint64_t V = R.below(10);
+    ASSERT_LT(V, 10u);
+    ++Counts[V];
+  }
+  for (int I = 0; I != 10; ++I)
+    EXPECT_GT(Counts[I], 800) << "bucket " << I << " suspiciously rare";
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    ASSERT_GE(V, -2);
+    ASSERT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng A(5);
+  Rng B = A.split();
+  // The parent and child streams should differ immediately.
+  EXPECT_NE(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AlignmentRespected) {
+  Arena A;
+  for (size_t Align : {1, 2, 4, 8, 16, 32}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "misaligned for " << Align;
+  }
+}
+
+TEST(Arena, ManySmallAllocationsDistinct) {
+  Arena A;
+  std::unordered_set<void *> Seen;
+  for (int I = 0; I != 10000; ++I) {
+    void *P = A.allocate(16, 8);
+    EXPECT_TRUE(Seen.insert(P).second);
+  }
+  EXPECT_GE(A.bytesAllocated(), 160000u);
+}
+
+TEST(Arena, LargeAllocationSpansSlab) {
+  Arena A;
+  // Bigger than the initial slab: must still succeed.
+  void *P = A.allocate(1 << 20, 8);
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(Arena, CopyStringStable) {
+  Arena A;
+  std::string Source = "hello world";
+  std::string_view Copy = A.copyString(Source);
+  Source.assign("clobbered!!");
+  EXPECT_EQ(Copy, "hello world");
+  EXPECT_EQ(A.copyString("").size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(Interner, InternIsIdempotent) {
+  StringInterner I;
+  Name A = I.intern("foo");
+  Name B = I.intern("foo");
+  Name C = I.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(I.spelling(A), "foo");
+  EXPECT_EQ(I.spelling(C), "bar");
+  EXPECT_EQ(I.size(), 2u);
+}
+
+TEST(Interner, SpellingSurvivesRehash) {
+  StringInterner I;
+  Name First = I.intern("zero");
+  std::string_view FirstSpelling = I.spelling(First);
+  for (int K = 0; K != 10000; ++K)
+    I.intern("name" + std::to_string(K));
+  EXPECT_EQ(I.spelling(First), FirstSpelling);
+  EXPECT_EQ(I.spelling(First), "zero");
+}
+
+TEST(Interner, FreshNamesNeverCollide) {
+  StringInterner I;
+  I.intern("x$0"); // occupy the obvious candidate
+  Name F1 = I.freshName("x");
+  Name F2 = I.freshName("x");
+  EXPECT_NE(F1, F2);
+  EXPECT_NE(I.spelling(F1), "x$0");
+  EXPECT_NE(I.spelling(F2), "x$0");
+}
+
+TEST(Interner, ContainsDoesNotIntern) {
+  StringInterner I;
+  EXPECT_FALSE(I.contains("ghost"));
+  EXPECT_EQ(I.size(), 0u);
+  I.intern("ghost");
+  EXPECT_TRUE(I.contains("ghost"));
+}

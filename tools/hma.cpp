@@ -1,0 +1,238 @@
+//===- tools/hma.cpp - Command-line driver ------------------------------------===//
+///
+/// \file
+/// A small command-line front end over the library:
+///
+///   hma hash    [file]                  root + per-subexpression hashes
+///   hma classes [file]                  repeated alpha-equivalence classes
+///   hma cse     [file]                  rewrite and print
+///   hma eval    [file]                  run the reference evaluator
+///   hma debruijn [file]                 de Bruijn rendering (Section 2.4)
+///   hma gen --family balanced|unbalanced|arith --size N [--seed S]
+///   hma bench-expr [file]               hash with all four algorithms
+///
+/// Expressions are read from the file argument or stdin. Exit status is
+/// non-zero on parse/usage errors, with a byte-offset diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/DeBruijn.h"
+#include "ast/Evaluator.h"
+#include "ast/Parser.h"
+#include "ast/Printer.h"
+#include "ast/Uniquify.h"
+#include "baselines/DeBruijnHasher.h"
+#include "baselines/LocallyNamelessHasher.h"
+#include "baselines/StructuralHasher.h"
+#include "core/AlphaHasher.h"
+#include "cse/CSE.h"
+#include "eqclass/EquivClasses.h"
+#include "gen/RandomExpr.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace hma;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hma <command> [file]\n"
+      "  hash       print the alpha-hash of the expression and of every\n"
+      "             repeated subexpression\n"
+      "  classes    print all alpha-equivalence classes with >= 2 members\n"
+      "  cse        eliminate common subexpressions and print the result\n"
+      "  eval       evaluate (builtins: add sub mul div neg min max)\n"
+      "  debruijn   print the de Bruijn rendering\n"
+      "  gen        --family balanced|unbalanced|arith --size N [--seed S]\n"
+      "  bench-expr time all four hashing algorithms on the input\n"
+      "Expressions are read from [file] or stdin.\n");
+  return 2;
+}
+
+bool readInput(const char *Path, std::string &Out) {
+  if (Path) {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      return false;
+    }
+    Out.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+    return true;
+  }
+  std::ostringstream Buf;
+  Buf << std::cin.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+const Expr *parseInput(ExprContext &Ctx, const std::string &Src) {
+  ParseResult R = parseExpr(Ctx, Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error at byte %zu: %s\n", R.ErrorPos,
+                 R.Error.c_str());
+    return nullptr;
+  }
+  return R.E;
+}
+
+int cmdHash(ExprContext &Ctx, const Expr *E) {
+  E = uniquifyBinders(Ctx, E);
+  AlphaHasher<Hash128> Hasher(Ctx);
+  std::vector<Hash128> Hashes = Hasher.hashAll(E);
+  std::printf("%s  %s\n", Hashes[E->id()].toHex().c_str(),
+              printExpr(Ctx, E).c_str());
+  for (const auto &Class : groupSubexpressionsByHash(E, Hashes)) {
+    if (Class.size() < 2 || Class.front() == E)
+      continue;
+    std::printf("%s  %zux  %s\n",
+                Hashes[Class.front()->id()].toHex().c_str(), Class.size(),
+                printExpr(Ctx, Class.front()).c_str());
+  }
+  return 0;
+}
+
+int cmdClasses(ExprContext &Ctx, const Expr *E) {
+  E = uniquifyBinders(Ctx, E);
+  AlphaHasher<Hash128> Hasher(Ctx);
+  std::vector<Hash128> Hashes = Hasher.hashAll(E);
+  PartitionStats Stats = partitionStats(E, Hashes);
+  std::printf("%zu subexpressions, %zu classes, %zu repeated\n",
+              Stats.NumSubexpressions, Stats.NumClasses,
+              Stats.NumRepeatedClasses);
+  for (const auto &Class : groupSubexpressionsByHash(E, Hashes)) {
+    if (Class.size() < 2)
+      continue;
+    std::printf("  %zux  %s\n", Class.size(),
+                printExpr(Ctx, Class.front()).c_str());
+  }
+  return 0;
+}
+
+int cmdCse(ExprContext &Ctx, const Expr *E) {
+  CSEResult R = eliminateCommonSubexpressions(Ctx, E);
+  std::printf("%s\n", printExpr(Ctx, R.Root).c_str());
+  std::fprintf(stderr, "; %u -> %u nodes, %u lets, %u occurrences, %u "
+                       "rounds\n",
+               R.SizeBefore, R.SizeAfter, R.LetsInserted,
+               R.OccurrencesReplaced, R.Rounds);
+  return 0;
+}
+
+int cmdEval(ExprContext &Ctx, const Expr *E) {
+  EvalResult R = evaluate(Ctx, E);
+  switch (R.S) {
+  case EvalResult::Status::Int:
+    std::printf("%lld\n", static_cast<long long>(R.Int));
+    return 0;
+  case EvalResult::Status::Closure:
+    std::printf("<closure>\n");
+    return 0;
+  case EvalResult::Status::Error:
+    std::fprintf(stderr, "evaluation error: %s\n", R.Message.c_str());
+    return 1;
+  }
+  return 1;
+}
+
+int cmdDeBruijn(ExprContext &Ctx, const Expr *E) {
+  std::printf("%s\n", toDeBruijnString(Ctx, E).c_str());
+  return 0;
+}
+
+int cmdGen(ExprContext &Ctx, int Argc, char **Argv) {
+  const char *Family = "balanced";
+  uint32_t Size = 100;
+  uint64_t Seed = 0;
+  for (int I = 2; I < Argc; ++I) {
+    auto Want = [&](const char *Flag) {
+      return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
+    };
+    if (Want("--family"))
+      Family = Argv[++I];
+    else if (Want("--size"))
+      Size = static_cast<uint32_t>(std::atoll(Argv[++I]));
+    else if (Want("--seed"))
+      Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else
+      return usage();
+  }
+  Rng R(Seed);
+  const Expr *E = nullptr;
+  if (std::strcmp(Family, "balanced") == 0)
+    E = genBalanced(Ctx, R, Size);
+  else if (std::strcmp(Family, "unbalanced") == 0)
+    E = genUnbalanced(Ctx, R, Size);
+  else if (std::strcmp(Family, "arith") == 0)
+    E = genArithmetic(Ctx, R, Size);
+  else
+    return usage();
+  std::printf("%s\n", printExpr(Ctx, E).c_str());
+  return 0;
+}
+
+template <typename Hasher>
+double timeHashAll(const ExprContext &Ctx, const Expr *E) {
+  auto Start = std::chrono::steady_clock::now();
+  Hasher H(Ctx);
+  H.hashAll(E);
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+int cmdBenchExpr(ExprContext &Ctx, const Expr *E) {
+  E = uniquifyBinders(Ctx, E);
+  std::printf("n = %u nodes\n", E->treeSize());
+  std::printf("%-18s %10.3f ms\n", "Structural*",
+              timeHashAll<StructuralHasher<Hash128>>(Ctx, E) * 1e3);
+  std::printf("%-18s %10.3f ms\n", "De Bruijn*",
+              timeHashAll<DeBruijnHasher<Hash128>>(Ctx, E) * 1e3);
+  std::printf("%-18s %10.3f ms\n", "Locally Nameless",
+              timeHashAll<LocallyNamelessHasher<Hash128>>(Ctx, E) * 1e3);
+  std::printf("%-18s %10.3f ms\n", "Ours",
+              timeHashAll<AlphaHasher<Hash128>>(Ctx, E) * 1e3);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  ExprContext Ctx;
+  const char *Cmd = Argv[1];
+
+  if (std::strcmp(Cmd, "gen") == 0)
+    return cmdGen(Ctx, Argc, Argv);
+
+  const char *Path = Argc >= 3 ? Argv[2] : nullptr;
+  std::string Source;
+  if (!readInput(Path, Source))
+    return 1;
+  const Expr *E = parseInput(Ctx, Source);
+  if (!E)
+    return 1;
+
+  if (std::strcmp(Cmd, "hash") == 0)
+    return cmdHash(Ctx, E);
+  if (std::strcmp(Cmd, "classes") == 0)
+    return cmdClasses(Ctx, E);
+  if (std::strcmp(Cmd, "cse") == 0)
+    return cmdCse(Ctx, E);
+  if (std::strcmp(Cmd, "eval") == 0)
+    return cmdEval(Ctx, E);
+  if (std::strcmp(Cmd, "debruijn") == 0)
+    return cmdDeBruijn(Ctx, E);
+  if (std::strcmp(Cmd, "bench-expr") == 0)
+    return cmdBenchExpr(Ctx, E);
+  return usage();
+}
