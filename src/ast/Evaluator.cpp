@@ -7,6 +7,8 @@
 
 #include "ast/Evaluator.h"
 
+#include "support/Sanitizers.h"
+
 #include "adt/PersistentMap.h"
 
 #include <algorithm>
@@ -47,7 +49,9 @@ public:
   }
 
 private:
-  static constexpr unsigned MaxDepth = 4096;
+  // Up to two frames per level (eval + apply); scaled down under ASan
+  // so the guard fires before the sanitizer-inflated stack runs out.
+  static constexpr unsigned MaxDepth = scaledStackDepth(4096);
 
   const ExprContext &Ctx;
   uint64_t Fuel;

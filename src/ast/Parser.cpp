@@ -7,6 +7,8 @@
 
 #include "ast/Parser.h"
 
+#include "support/Sanitizers.h"
+
 #include <cassert>
 #include <cctype>
 #include <cstdio>
@@ -47,7 +49,9 @@ public:
   }
 
 private:
-  static constexpr unsigned MaxDepth = 20000;
+  // Two stack frames per nesting level; scaled down under ASan so the
+  // guard fires before the (sanitizer-inflated) stack runs out.
+  static constexpr unsigned MaxDepth = scaledStackDepth(20000);
 
   ExprContext &Ctx;
   std::string_view Src;

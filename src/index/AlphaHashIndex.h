@@ -1,0 +1,387 @@
+//===- index/AlphaHashIndex.h - Interning modulo alpha-equivalence ---------===//
+///
+/// \file
+/// A concurrent, sharded, content-addressed store of expressions keyed by
+/// their alpha-hash: the serving-layer use the paper's algorithm was built
+/// for (Section 1's "hash table keyed by hashes modulo alpha").
+///
+/// Design:
+///
+///  - **Sharding.** Entries are spread across N shards (N rounded up to a
+///    power of two) by the low bits of a mix of the alpha-hash. Each shard
+///    owns a mutex, an \ref ExprContext holding its canonical
+///    representatives, and a hash-to-entries table -- striped locking, so
+///    concurrent ingest of a well-spread corpus rarely contends.
+///
+///  - **Hash-then-verify.** Theorem 6.7 bounds the collision probability
+///    (<= 5(|e1|+|e2|)/2^b), but an interning service must be *correct*,
+///    not probably-correct: on a hash hit the index falls back to the
+///    exact \ref alphaEquivalent oracle before merging, and counts how
+///    often the fallback ran and how often it refuted a hash match (a
+///    *verified collision*). At b=128 verified collisions are expected to
+///    be zero forever; the b=16 instantiation exercises the machinery for
+///    real (see tests/index_test.cpp).
+///
+///  - **Cross-context ingest.** Expressions arrive from arbitrary
+///    contexts (worker-thread contexts, deserialised corpora). Hash codes
+///    are stable across contexts with equal schema seeds, and
+///    \ref alphaEquivalent compares across contexts by spelling, so the
+///    only cross-context copy needed is for a *new* class's canonical
+///    representative, which travels through `ast/Serialize` bytes into
+///    the owning shard's context.
+///
+///  - **Batch ingest.** \ref insertBatch hashes many serialised
+///    expressions on a \ref ThreadPool; workers keep private contexts
+///    (recycled every chunk to bound arena growth) and only touch shared
+///    state through shard mutexes. The resulting class set is independent
+///    of the thread count (tested).
+///
+/// The class is templated over the hash code type with the same rationale
+/// as \ref AlphaHasher: collision handling must be exercised by running
+/// the genuine data flow at a narrow width, not by truncating after the
+/// fact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_ALPHAHASHINDEX_H
+#define HMA_INDEX_ALPHAHASHINDEX_H
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Expr.h"
+#include "ast/Serialize.h"
+#include "ast/Uniquify.h"
+#include "core/AlphaHasher.h"
+#include "index/ThreadPool.h"
+#include "support/HashCode.h"
+#include "support/HashSchema.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hma {
+
+/// Aggregated ingest/collision counters for an \ref AlphaHashIndex.
+struct IndexStats {
+  uint64_t Inserted = 0;       ///< Successful ingest operations.
+  uint64_t NewClasses = 0;     ///< Inserts that created a class.
+  uint64_t Duplicates = 0;     ///< Inserts merged into an existing class.
+  uint64_t FallbackChecks = 0; ///< Exact alpha-equivalence checks run.
+  uint64_t VerifiedCollisions = 0; ///< Hash hits refuted by the oracle.
+  uint64_t DecodeErrors = 0;   ///< Corpus blobs that failed to deserialise.
+
+  IndexStats &operator+=(const IndexStats &O) {
+    Inserted += O.Inserted;
+    NewClasses += O.NewClasses;
+    Duplicates += O.Duplicates;
+    FallbackChecks += O.FallbackChecks;
+    VerifiedCollisions += O.VerifiedCollisions;
+    DecodeErrors += O.DecodeErrors;
+    return *this;
+  }
+};
+
+/// A thread-safe interning service for expressions modulo
+/// alpha-equivalence, keyed by their alpha-hash.
+template <typename H = Hash128> class AlphaHashIndex {
+public:
+  struct Options {
+    /// Number of lock stripes; rounded up to a power of two. More shards
+    /// means less ingest contention and more fixed memory.
+    unsigned Shards = 64;
+    /// Seed for the hash combiner family (must match across every
+    /// producer whose hashes are compared against this index).
+    uint64_t Seed = HashSchema::DefaultSeed;
+  };
+
+  /// Result of a membership query.
+  struct LookupResult {
+    H Hash{};           ///< Alpha-hash of the queried expression.
+    uint64_t Count = 0; ///< Members ingested into the matching class.
+    std::string CanonicalBytes; ///< Serialised canonical representative.
+  };
+
+  /// One equivalence class, as exported by \ref snapshot.
+  struct ClassSummary {
+    H Hash{};
+    uint64_t Count = 0;
+    std::string CanonicalBytes;
+  };
+
+  /// Outcome of a batch ingest.
+  struct BatchResult {
+    uint64_t Ingested = 0;     ///< Blobs successfully hashed and inserted.
+    uint64_t DecodeErrors = 0; ///< Blobs rejected by the deserialiser.
+  };
+
+  /// Upper bound on lock stripes; beyond this the fixed per-shard cost
+  /// (mutex + context) dwarfs any contention win.
+  static constexpr unsigned MaxShards = 1u << 16;
+
+  explicit AlphaHashIndex(Options Opts = Options())
+      : Opts(Opts), Schema(Opts.Seed) {
+    unsigned Want = std::clamp(Opts.Shards, 1u, MaxShards);
+    unsigned N = 1;
+    while (N < Want)
+      N <<= 1;
+    ShardMask = N - 1;
+    ShardsArr = std::make_unique<Shard[]>(N);
+  }
+
+  AlphaHashIndex(const AlphaHashIndex &) = delete;
+  AlphaHashIndex &operator=(const AlphaHashIndex &) = delete;
+
+  unsigned numShards() const { return ShardMask + 1; }
+  const HashSchema &schema() const { return Schema; }
+
+  //===--------------------------------------------------------------------===//
+  // Ingest
+  //===--------------------------------------------------------------------===//
+
+  /// Intern \p Root (owned by \p Ctx). Returns its alpha-hash. \p Ctx is
+  /// mutable because hashing requires distinct binders, which may force a
+  /// uniquifying rewrite. Thread-safe with respect to the index, but
+  /// callers must not share \p Ctx across threads.
+  H insert(ExprContext &Ctx, const Expr *Root) {
+    Root = uniquifyBinders(Ctx, Root);
+    AlphaHasher<H> Hasher(Ctx, Schema);
+    H Hash = Hasher.hashRoot(Root);
+    insertHashed(Ctx, Root, Hash);
+    return Hash;
+  }
+
+  /// Intern one expression in `ast/Serialize` format. Returns the hash,
+  /// or std::nullopt (with \p Error set, if non-null) on a decode error.
+  std::optional<H> insertSerialized(std::string_view Bytes,
+                                    std::string *Error = nullptr) {
+    ExprContext Ctx;
+    DeserializeResult R = deserializeExpr(Ctx, Bytes);
+    if (!R.ok()) {
+      if (Error)
+        *Error = R.Error;
+      shardFor(H{}).bumpDecodeError();
+      return std::nullopt;
+    }
+    return insert(Ctx, R.E);
+  }
+
+  /// Intern a whole corpus of serialised expressions, hashing on
+  /// \p Threads workers (<= 1 means inline on the caller). The resulting
+  /// class set, counts and stats (other than scheduling-dependent
+  /// tie-breaks of which member became canonical) do not depend on
+  /// \p Threads.
+  BatchResult insertBatch(const std::vector<std::string> &Blobs,
+                          unsigned Threads) {
+    // Hashing parallelism is useful regardless of shard count, but an
+    // absurd caller value must not translate into thousands of threads
+    // (or overflow the chunk arithmetic below).
+    Threads = std::clamp(Threads, 1u, 1024u);
+    // One task per chunk: big enough to amortise scheduling, small enough
+    // to spread a 10k-expression corpus over 8 workers.
+    const size_t Chunk =
+        std::clamp<size_t>(Blobs.size() / (size_t(8) * Threads), 16, 512);
+    std::mutex ResultMu;
+    BatchResult Result;
+    ThreadPool Pool(Threads);
+    for (size_t Begin = 0; Begin < Blobs.size(); Begin += Chunk) {
+      size_t End = std::min(Begin + Chunk, Blobs.size());
+      Pool.run([this, &Blobs, &ResultMu, &Result, Begin, End] {
+        // Private context per chunk: bounds arena growth and keeps
+        // workers lock-free outside the shard critical sections.
+        ExprContext Ctx;
+        AlphaHasher<H> Hasher(Ctx, Schema);
+        BatchResult Local;
+        for (size_t I = Begin; I != End; ++I) {
+          DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+          if (!R.ok()) {
+            ++Local.DecodeErrors;
+            shardFor(H{}).bumpDecodeError();
+            continue;
+          }
+          const Expr *Root = uniquifyBinders(Ctx, R.E);
+          insertHashed(Ctx, Root, Hasher.hashRoot(Root));
+          ++Local.Ingested;
+        }
+        std::lock_guard<std::mutex> Lock(ResultMu);
+        Result.Ingested += Local.Ingested;
+        Result.DecodeErrors += Local.DecodeErrors;
+      });
+    }
+    Pool.wait();
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Queries
+  //===--------------------------------------------------------------------===//
+
+  /// Find the class of \p Root, if it has been interned.
+  std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root) {
+    Root = uniquifyBinders(Ctx, Root);
+    AlphaHasher<H> Hasher(Ctx, Schema);
+    H Hash = Hasher.hashRoot(Root);
+    Shard &S = shardFor(Hash);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.ByHash.find(Hash);
+    if (It == S.ByHash.end())
+      return std::nullopt;
+    for (uint32_t Id : It->second) {
+      const Entry &E = S.Entries[Id];
+      ++S.Stats.FallbackChecks;
+      if (alphaEquivalent(Ctx, Root, S.Ctx, E.Canon))
+        return LookupResult{Hash, E.Count, E.Bytes};
+      ++S.Stats.VerifiedCollisions;
+    }
+    return std::nullopt;
+  }
+
+  /// Membership query in `ast/Serialize` format.
+  std::optional<LookupResult> lookupSerialized(std::string_view Bytes) {
+    ExprContext Ctx;
+    DeserializeResult R = deserializeExpr(Ctx, Bytes);
+    if (!R.ok())
+      return std::nullopt;
+    return lookup(Ctx, R.E);
+  }
+
+  bool contains(ExprContext &Ctx, const Expr *Root) {
+    return lookup(Ctx, Root).has_value();
+  }
+
+  /// Number of distinct alpha-equivalence classes interned.
+  size_t numClasses() const {
+    size_t N = 0;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      N += ShardsArr[I].Entries.size();
+    }
+    return N;
+  }
+
+  /// Total successful ingest operations (duplicates included).
+  uint64_t totalInserted() const { return stats().Inserted; }
+
+  /// Aggregate counters across all shards.
+  IndexStats stats() const {
+    IndexStats Total;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      Total += ShardsArr[I].Stats;
+    }
+    return Total;
+  }
+
+  /// Number of classes per shard (for load-balance diagnostics).
+  std::vector<size_t> shardLoads() const {
+    std::vector<size_t> Loads(numShards());
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      Loads[I] = ShardsArr[I].Entries.size();
+    }
+    return Loads;
+  }
+
+  /// Export every class, sorted by (hash, canonical bytes) so the result
+  /// is a canonical value suitable for equality comparison across runs.
+  std::vector<ClassSummary> snapshot() const {
+    std::vector<ClassSummary> Out;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      for (const Entry &E : ShardsArr[I].Entries)
+        Out.push_back(ClassSummary{E.Hash, E.Count, E.Bytes});
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const ClassSummary &A, const ClassSummary &B) {
+                if (A.Hash != B.Hash)
+                  return A.Hash < B.Hash;
+                return A.CanonicalBytes < B.CanonicalBytes;
+              });
+    return Out;
+  }
+
+private:
+  /// One interned equivalence class.
+  struct Entry {
+    H Hash{};
+    const Expr *Canon = nullptr; ///< Lives in the owning shard's context.
+    std::string Bytes;           ///< Serialised canonical representative.
+    uint64_t Count = 0;          ///< Ingested members (first one included).
+  };
+
+  /// One lock stripe: a mutex, the context owning this stripe's canonical
+  /// representatives, and the hash table over them.
+  struct Shard {
+    mutable std::mutex Mu;
+    ExprContext Ctx;
+    std::deque<Entry> Entries; ///< Stable ids; deque avoids relocation.
+    std::unordered_map<H, std::vector<uint32_t>, HashCodeHasher> ByHash;
+    IndexStats Stats;
+
+    void bumpDecodeError() {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.DecodeErrors;
+    }
+  };
+
+  Shard &shardFor(H Hash) const {
+    // Re-mix before masking: the low bits of the alpha-hash are already
+    // well distributed, but re-mixing keeps the stripe choice independent
+    // of the ByHash bucket choice.
+    size_t Mixed = detail::splitmix64(HashCodeHasher{}(Hash));
+    return ShardsArr[Mixed & ShardMask];
+  }
+
+  /// Core ingest: \p Root (owned by \p SrcCtx, binders distinct) with its
+  /// already-computed alpha-hash. Returns true if a new class was created.
+  bool insertHashed(const ExprContext &SrcCtx, const Expr *Root, H Hash) {
+    Shard &S = shardFor(Hash);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ++S.Stats.Inserted;
+
+    auto [It, Fresh] = S.ByHash.try_emplace(Hash);
+    if (!Fresh) {
+      // Hash hit: Theorem 6.7 says this is almost surely a duplicate, but
+      // interning must not merge inequivalent terms -- verify exactly.
+      for (uint32_t Id : It->second) {
+        Entry &E = S.Entries[Id];
+        ++S.Stats.FallbackChecks;
+        if (alphaEquivalent(SrcCtx, Root, S.Ctx, E.Canon)) {
+          ++E.Count;
+          ++S.Stats.Duplicates;
+          return false;
+        }
+        ++S.Stats.VerifiedCollisions;
+      }
+    }
+
+    // New class: the canonical representative crosses into the shard's
+    // context via its serialised form.
+    Entry E;
+    E.Hash = Hash;
+    E.Bytes = serializeExpr(SrcCtx, Root);
+    DeserializeResult R = deserializeExpr(S.Ctx, E.Bytes);
+    assert(R.ok() && "round-trip of a live expression cannot fail");
+    E.Canon = R.E;
+    E.Count = 1;
+    S.Entries.push_back(std::move(E));
+    It->second.push_back(static_cast<uint32_t>(S.Entries.size() - 1));
+    ++S.Stats.NewClasses;
+    return true;
+  }
+
+  Options Opts;
+  HashSchema Schema;
+  unsigned ShardMask = 0;
+  std::unique_ptr<Shard[]> ShardsArr;
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_ALPHAHASHINDEX_H

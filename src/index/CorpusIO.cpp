@@ -1,0 +1,129 @@
+//===- index/CorpusIO.cpp - Corpus container format --------------------------===//
+
+#include "index/CorpusIO.h"
+
+#include "ast/Expr.h"
+#include "ast/Parser.h"
+#include "ast/Serialize.h"
+
+#include <cstdint>
+
+using namespace hma;
+
+namespace {
+
+constexpr char Magic[4] = {'H', 'M', 'A', 'C'};
+
+void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(V | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool getVarint(std::string_view Bytes, size_t &Pos, uint64_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return false;
+    uint8_t B = static_cast<uint8_t>(Bytes[Pos++]);
+    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      return true;
+  }
+  return false; // over-long varint
+}
+
+CorpusLoadResult fail(std::string Error, size_t Pos) {
+  CorpusLoadResult R;
+  R.Error = std::move(Error);
+  R.ErrorPos = Pos;
+  return R;
+}
+
+} // namespace
+
+bool hma::isBinaryCorpus(std::string_view Bytes) {
+  return Bytes.size() >= sizeof(Magic) &&
+         Bytes.compare(0, sizeof(Magic),
+                       std::string_view(Magic, sizeof(Magic))) == 0;
+}
+
+std::string hma::packCorpus(const std::vector<std::string> &Blobs) {
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  putVarint(Out, Blobs.size());
+  for (const std::string &B : Blobs) {
+    putVarint(Out, B.size());
+    Out += B;
+  }
+  return Out;
+}
+
+CorpusLoadResult hma::unpackCorpus(std::string_view Bytes) {
+  if (!isBinaryCorpus(Bytes))
+    return fail("missing corpus magic 'HMAC'", 0);
+  size_t Pos = sizeof(Magic);
+  uint64_t Count;
+  if (!getVarint(Bytes, Pos, Count))
+    return fail("truncated corpus count", Pos);
+  // A member blob is several bytes; reject absurd counts before reserving.
+  if (Count > Bytes.size())
+    return fail("corpus count exceeds stream size", Pos);
+  CorpusLoadResult R;
+  R.Blobs.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t Len;
+    if (!getVarint(Bytes, Pos, Len))
+      return fail("truncated member length", Pos);
+    if (Len > Bytes.size() - Pos)
+      return fail("member length overruns stream", Pos);
+    R.Blobs.emplace_back(Bytes.substr(Pos, Len));
+    Pos += Len;
+  }
+  if (Pos != Bytes.size())
+    return fail("trailing bytes after last member", Pos);
+  return R;
+}
+
+CorpusLoadResult hma::loadTextCorpus(std::string_view Source) {
+  CorpusLoadResult R;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    std::string_view Line = Source.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    Pos = Eol == std::string_view::npos ? Source.size() : Eol + 1;
+    ++LineNo;
+
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string_view::npos || Line[First] == ';')
+      continue;
+
+    // A context per line keeps peak memory at one expression, not one
+    // corpus; ids and names never leave this scope.
+    ExprContext Ctx;
+    ParseResult P = parseExpr(Ctx, Line);
+    if (!P.ok())
+      return fail("line " + std::to_string(LineNo) + ": " + P.Error, LineNo);
+    R.Blobs.push_back(serializeExpr(Ctx, P.E));
+  }
+  return R;
+}
+
+CorpusLoadResult hma::loadCorpus(std::string_view Bytes) {
+  if (!isBinaryCorpus(Bytes))
+    return loadTextCorpus(Bytes);
+  CorpusLoadResult Binary = unpackCorpus(Bytes);
+  if (Binary.ok())
+    return Binary;
+  // "HMAC" is also a valid identifier, so a text corpus can begin with
+  // the magic (e.g. a line `(HMAC key)`). If the envelope does not
+  // actually parse, try text; only if both fail report the binary
+  // diagnostic (a corrupt container is the likelier intent).
+  CorpusLoadResult Text = loadTextCorpus(Bytes);
+  return Text.ok() ? std::move(Text) : std::move(Binary);
+}

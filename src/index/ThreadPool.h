@@ -1,0 +1,120 @@
+//===- index/ThreadPool.h - Small fixed-size worker pool -------------------===//
+///
+/// \file
+/// A minimal thread pool for the index's batch ingest path.
+///
+/// The alpha-hash of one expression is an inherently sequential postorder
+/// fold, but a *corpus* is embarrassingly parallel: each expression can be
+/// deserialised, uniquified and hashed on its own worker, with cross-worker
+/// coordination confined to the index's per-shard mutexes. This pool is the
+/// smallest thing that supports that pattern:
+///
+///  - a fixed number of workers, started once and joined in the destructor;
+///  - \ref run enqueues a task; \ref wait blocks until the queue drains and
+///    every in-flight task has finished;
+///  - a pool constructed with 0 or 1 threads runs every task inline on the
+///    caller's thread, giving a deterministic, thread-free baseline that
+///    benchmarks and tests compare against.
+///
+/// Tasks must not throw (library code is exception-free) and must not call
+/// back into \ref run on the same pool from a worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_THREADPOOL_H
+#define HMA_INDEX_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hma {
+
+/// Fixed-size worker pool with inline execution at <= 1 thread.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads) {
+    if (NumThreads <= 1)
+      return; // inline mode
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I != NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    if (Workers.empty())
+      return;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    QueueCV.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Number of worker threads (0 means tasks run inline on the caller).
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueue \p Task. Inline pools execute it before returning.
+  void run(std::function<void()> Task) {
+    if (Workers.empty()) {
+      Task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Queue.push_back(std::move(Task));
+      ++Outstanding;
+    }
+    QueueCV.notify_one();
+  }
+
+  /// Block until every task enqueued so far has completed.
+  void wait() {
+    if (Workers.empty())
+      return;
+    std::unique_lock<std::mutex> Lock(Mu);
+    IdleCV.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        QueueCV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        if (--Outstanding == 0)
+          IdleCV.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable QueueCV;
+  std::condition_variable IdleCV;
+  std::deque<std::function<void()>> Queue;
+  size_t Outstanding = 0;
+  bool Stopping = false;
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_THREADPOOL_H

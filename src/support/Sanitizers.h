@@ -1,0 +1,38 @@
+//===- support/Sanitizers.h - Sanitizer build detection --------------------===//
+///
+/// \file
+/// Detects address-sanitized builds (GCC's __SANITIZE_ADDRESS__ or
+/// Clang's __has_feature) so that recursion-depth guards can be
+/// calibrated for ASan's inflated stack frames. A depth that leaves
+/// comfortable headroom in a release build can overflow an 8 MiB stack
+/// under ASan, whose redzones grow frames by an order of magnitude --
+/// the guard must fire *before* the signal, under every build mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_SUPPORT_SANITIZERS_H
+#define HMA_SUPPORT_SANITIZERS_H
+
+#if defined(__SANITIZE_ADDRESS__)
+#define HMA_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HMA_ASAN_BUILD 1
+#endif
+#endif
+
+#ifndef HMA_ASAN_BUILD
+#define HMA_ASAN_BUILD 0
+#endif
+
+namespace hma {
+
+/// Scale a recursion-depth budget for the current build mode: ASan
+/// frames are roughly an order of magnitude larger than release frames.
+constexpr unsigned scaledStackDepth(unsigned ReleaseDepth) {
+  return HMA_ASAN_BUILD ? ReleaseDepth / 16 : ReleaseDepth;
+}
+
+} // namespace hma
+
+#endif // HMA_SUPPORT_SANITIZERS_H

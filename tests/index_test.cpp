@@ -1,0 +1,248 @@
+//===- tests/index_test.cpp - AlphaHashIndex semantics ----------------------===//
+///
+/// \file
+/// The interning service's contract: alpha-equivalent expressions land in
+/// one class, inequivalent ones never merge -- even when their hashes
+/// collide (the b=16 instantiation forces that case through the real data
+/// flow, proving the AlphaEquivalence fallback is load-bearing).
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/AlphaHashIndex.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Serialize.h"
+#include "gen/RandomExpr.h"
+#include "index/CorpusIO.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace hma;
+
+TEST(AlphaHashIndex, AlphaEquivalentExpressionsMerge) {
+  AlphaHashIndex<> Index;
+  ExprContext Ctx;
+  const Expr *A = parseT(Ctx, "(lam (x) (x x))");
+  const Expr *B = parseT(Ctx, "(lam (y) (y y))");
+  const Expr *C = parseT(Ctx, "(lam (x) (x (x x)))");
+
+  Hash128 HA = Index.insert(Ctx, A);
+  Hash128 HB = Index.insert(Ctx, B);
+  Hash128 HC = Index.insert(Ctx, C);
+
+  EXPECT_EQ(HA, HB);
+  EXPECT_NE(HA, HC);
+  EXPECT_EQ(Index.numClasses(), 2u);
+  EXPECT_EQ(Index.totalInserted(), 3u);
+
+  auto Hit = Index.lookup(Ctx, B);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Count, 2u);
+  EXPECT_EQ(Hit->Hash, HA);
+
+  IndexStats S = Index.stats();
+  EXPECT_EQ(S.NewClasses, 2u);
+  EXPECT_EQ(S.Duplicates, 1u);
+  EXPECT_EQ(S.VerifiedCollisions, 0u);
+}
+
+TEST(AlphaHashIndex, CanonicalBytesDecodeToEquivalentExpression) {
+  AlphaHashIndex<> Index;
+  ExprContext Ctx;
+  const Expr *A = parseT(Ctx, "(let (x (lam (y) y)) (x x))");
+  Index.insert(Ctx, A);
+
+  auto Hit = Index.lookup(Ctx, A);
+  ASSERT_TRUE(Hit.has_value());
+  ExprContext CanonCtx;
+  DeserializeResult R = deserializeExpr(CanonCtx, Hit->CanonicalBytes);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(alphaEquivalent(Ctx, A, CanonCtx, R.E));
+}
+
+TEST(AlphaHashIndex, LookupOfAbsentExpressionFails) {
+  AlphaHashIndex<> Index;
+  ExprContext Ctx;
+  Index.insert(Ctx, parseT(Ctx, "(lam (x) x)"));
+  EXPECT_FALSE(Index.contains(Ctx, parseT(Ctx, "(lam (x) (x x))")));
+  // Free variables compare by spelling: `a` is not `b`.
+  Index.insert(Ctx, parseT(Ctx, "(f a)"));
+  EXPECT_TRUE(Index.contains(Ctx, parseT(Ctx, "(f a)")));
+  EXPECT_FALSE(Index.contains(Ctx, parseT(Ctx, "(f b)")));
+}
+
+TEST(AlphaHashIndex, SerializedIngestMatchesDirectIngest) {
+  ExprContext Gen;
+  Rng R(101);
+  std::vector<std::string> Blobs;
+  for (int I = 0; I != 50; ++I) {
+    const Expr *E = genBalanced(Gen, R, 32);
+    Blobs.push_back(serializeExpr(Gen, E));
+    // Every expression also appears alpha-renamed: 50 classes, 100 members.
+    Blobs.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+  }
+
+  AlphaHashIndex<> Direct;
+  {
+    ExprContext Ctx;
+    for (const std::string &B : Blobs) {
+      DeserializeResult D = deserializeExpr(Ctx, B);
+      ASSERT_TRUE(D.ok());
+      Direct.insert(Ctx, D.E);
+    }
+  }
+
+  AlphaHashIndex<> Batched;
+  auto Result = Batched.insertBatch(Blobs, /*Threads=*/1);
+  EXPECT_EQ(Result.Ingested, Blobs.size());
+  EXPECT_EQ(Result.DecodeErrors, 0u);
+
+  auto A = Direct.snapshot();
+  auto B = Batched.snapshot();
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(A.size(), 50u);
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Hash, B[I].Hash);
+    EXPECT_EQ(A[I].Count, B[I].Count);
+    EXPECT_EQ(A[I].Count, 2u);
+  }
+}
+
+TEST(AlphaHashIndex, DecodeErrorsAreCountedNotFatal) {
+  AlphaHashIndex<> Index;
+  ExprContext Ctx;
+  std::vector<std::string> Blobs;
+  Blobs.push_back(serializeExpr(Ctx, parseT(Ctx, "(lam (x) x)")));
+  Blobs.push_back("garbage that is not HMA1");
+  Blobs.push_back(serializeExpr(Ctx, parseT(Ctx, "(lam (x) (x x))")));
+
+  auto Result = Index.insertBatch(Blobs, 1);
+  EXPECT_EQ(Result.Ingested, 2u);
+  EXPECT_EQ(Result.DecodeErrors, 1u);
+  EXPECT_EQ(Index.numClasses(), 2u);
+  EXPECT_EQ(Index.stats().DecodeErrors, 1u);
+
+  std::string Error;
+  EXPECT_FALSE(Index.insertSerialized("more garbage", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(AlphaHashIndex, ShardCountRoundsUpAndSpreadsLoad) {
+  AlphaHashIndex<> Index({/*Shards=*/48, HashSchema::DefaultSeed});
+  EXPECT_EQ(Index.numShards(), 64u);
+
+  ExprContext Gen;
+  Rng R(77);
+  std::vector<std::string> Blobs;
+  for (int I = 0; I != 512; ++I)
+    Blobs.push_back(serializeExpr(Gen, genBalanced(Gen, R, 24)));
+  Index.insertBatch(Blobs, 1);
+
+  std::vector<size_t> Loads = Index.shardLoads();
+  size_t Occupied = 0;
+  for (size_t L : Loads)
+    Occupied += L != 0;
+  // 512 classes over 64 well-mixed stripes: every stripe should be hit
+  // (P[some stripe empty] ~ 64 * (63/64)^512 ~ 2e-2... allow a couple).
+  EXPECT_GE(Occupied, Loads.size() - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Forced collisions at b=16: the fallback is what keeps interning exact.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Birthday-search two non-alpha-equivalent expressions whose *16-bit*
+/// alpha-hashes collide. ~300 draws over 2^16 buckets suffices whp; the
+/// generous cap keeps the test deterministic-failure-free.
+std::pair<const Expr *, const Expr *> findColliding16(ExprContext &Ctx,
+                                                      Rng &R,
+                                                      AlphaHasher<Hash16> &H) {
+  std::map<Hash16, const Expr *> Seen;
+  for (int T = 0; T != 20000; ++T) {
+    const Expr *E = genBalanced(Ctx, R, 48);
+    Hash16 Code = H.hashRoot(E);
+    auto [It, Fresh] = Seen.emplace(Code, E);
+    if (!Fresh && !alphaEquivalent(Ctx, E, It->second))
+      return {It->second, E};
+  }
+  return {nullptr, nullptr};
+}
+
+} // namespace
+
+TEST(AlphaHashIndex16, HashCollisionDoesNotMergeInequivalentClasses) {
+  ExprContext Ctx;
+  Rng R(1618);
+  AlphaHashIndex<Hash16> Index;
+  AlphaHasher<Hash16> H(Ctx, Index.schema());
+
+  auto [A, B] = findColliding16(Ctx, R, H);
+  ASSERT_NE(A, nullptr) << "no 16-bit collision found -- width suspect";
+  ASSERT_EQ(H.hashRoot(A), H.hashRoot(B));
+  ASSERT_FALSE(alphaEquivalent(Ctx, A, B));
+
+  Index.insert(Ctx, A);
+  Index.insert(Ctx, B);
+
+  // Two classes under one hash: the exact check refused the merge.
+  EXPECT_EQ(Index.numClasses(), 2u);
+  IndexStats S = Index.stats();
+  EXPECT_GE(S.FallbackChecks, 1u);
+  EXPECT_GE(S.VerifiedCollisions, 1u);
+  EXPECT_EQ(S.Duplicates, 0u);
+
+  // Each expression still resolves to its own class, count 1.
+  auto HitA = Index.lookup(Ctx, A);
+  auto HitB = Index.lookup(Ctx, B);
+  ASSERT_TRUE(HitA.has_value());
+  ASSERT_TRUE(HitB.has_value());
+  EXPECT_EQ(HitA->Count, 1u);
+  EXPECT_EQ(HitB->Count, 1u);
+  EXPECT_NE(HitA->CanonicalBytes, HitB->CanonicalBytes);
+
+  // Re-inserting either one merges into the right class despite the
+  // shared hash bucket.
+  Index.insert(Ctx, B);
+  EXPECT_EQ(Index.numClasses(), 2u);
+  EXPECT_EQ(Index.lookup(Ctx, B)->Count, 2u);
+  EXPECT_EQ(Index.lookup(Ctx, A)->Count, 1u);
+}
+
+TEST(AlphaHashIndex16, ManyCollidingInsertsStayExact) {
+  // Stress the multi-entry-per-hash path: intern a few hundred random
+  // expressions at b=16 (where buckets genuinely collide) and check the
+  // class count equals the number of distinct classes per the oracle.
+  ExprContext Ctx;
+  Rng R(2718);
+  AlphaHashIndex<Hash16> Index({/*Shards=*/4, HashSchema::DefaultSeed});
+
+  std::vector<const Expr *> Pool;
+  for (int I = 0; I != 150; ++I)
+    Pool.push_back(genBalanced(Ctx, R, 40));
+  // Duplicate half of them, alpha-renamed.
+  for (int I = 0; I != 75; ++I)
+    Pool.push_back(alphaRename(Ctx, R, Pool[static_cast<size_t>(I) * 2]));
+
+  for (const Expr *E : Pool)
+    Index.insert(Ctx, E);
+
+  // Oracle class count via pairwise grouping on the 128-bit hash (no
+  // collisions at that width for 150 small expressions).
+  AlphaHasher<Hash128> Wide(Ctx);
+  std::map<Hash128, uint64_t> Oracle;
+  for (const Expr *E : Pool)
+    ++Oracle[Wide.hashRoot(E)];
+
+  EXPECT_EQ(Index.numClasses(), Oracle.size());
+  EXPECT_EQ(Index.totalInserted(), Pool.size());
+
+  uint64_t Dupes = 0;
+  for (auto &[Code, N] : Oracle)
+    Dupes += N - 1;
+  EXPECT_EQ(Index.stats().Duplicates, Dupes);
+}

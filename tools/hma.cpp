@@ -9,10 +9,16 @@
 ///   hma eval    [file]                  run the reference evaluator
 ///   hma debruijn [file]                 de Bruijn rendering (Section 2.4)
 ///   hma gen --family balanced|unbalanced|arith --size N [--seed S]
+///           [--count K]                 K expressions, one per line
 ///   hma bench-expr [file]               hash with all four algorithms
+///   hma index build <corpus> [--threads T] [--shards S] [--out FILE]
+///   hma index query <corpus> [--expr E | --expr-file F]
+///   hma index stats <corpus> [--threads T] [--shards S]
 ///
-/// Expressions are read from the file argument or stdin. Exit status is
-/// non-zero on parse/usage errors, with a byte-offset diagnostic.
+/// Expressions are read from the file argument or stdin. A corpus is
+/// either a text file with one expression per line or a binary "HMAC"
+/// container (as written by `index build --out`). Exit status is non-zero
+/// on parse/usage errors, with a byte-offset diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,18 +31,24 @@
 #include "baselines/LocallyNamelessHasher.h"
 #include "baselines/StructuralHasher.h"
 #include "core/AlphaHasher.h"
+#include "ast/Serialize.h"
 #include "cse/CSE.h"
 #include "eqclass/EquivClasses.h"
 #include "gen/RandomExpr.h"
+#include "index/AlphaHashIndex.h"
+#include "index/CorpusIO.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace hma;
 
@@ -53,8 +65,17 @@ int usage() {
       "  eval       evaluate (builtins: add sub mul div neg min max)\n"
       "  debruijn   print the de Bruijn rendering\n"
       "  gen        --family balanced|unbalanced|arith --size N [--seed S]\n"
+      "             [--count K] (K expressions, one per line)\n"
       "  bench-expr time all four hashing algorithms on the input\n"
-      "Expressions are read from [file] or stdin.\n");
+      "  index build <corpus> [--threads T] [--shards S] [--out FILE]\n"
+      "             intern a corpus modulo alpha; --out writes the\n"
+      "             deduplicated corpus as a binary HMAC container\n"
+      "  index query <corpus> [--expr E | --expr-file F]\n"
+      "             build, then look one expression up (default: stdin)\n"
+      "  index stats <corpus> [--threads T] [--shards S]\n"
+      "             build, then print collision/shard diagnostics\n"
+      "Expressions are read from [file] or stdin. A corpus is one\n"
+      "expression per line, or a binary container from index build --out.\n");
   return 2;
 }
 
@@ -149,10 +170,11 @@ int cmdDeBruijn(ExprContext &Ctx, const Expr *E) {
   return 0;
 }
 
-int cmdGen(ExprContext &Ctx, int Argc, char **Argv) {
+int cmdGen(ExprContext &, int Argc, char **Argv) {
   const char *Family = "balanced";
   uint32_t Size = 100;
   uint64_t Seed = 0;
+  uint64_t Count = 1;
   for (int I = 2; I < Argc; ++I) {
     auto Want = [&](const char *Flag) {
       return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
@@ -163,21 +185,218 @@ int cmdGen(ExprContext &Ctx, int Argc, char **Argv) {
       Size = static_cast<uint32_t>(std::atoll(Argv[++I]));
     else if (Want("--seed"))
       Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else if (Want("--count"))
+      Count = static_cast<uint64_t>(std::atoll(Argv[++I]));
     else
       return usage();
   }
+  if (Count == 0 || static_cast<int64_t>(Count) < 0) {
+    std::fprintf(stderr, "error: --count must be a positive integer\n");
+    return 2;
+  }
   Rng R(Seed);
-  const Expr *E = nullptr;
-  if (std::strcmp(Family, "balanced") == 0)
-    E = genBalanced(Ctx, R, Size);
-  else if (std::strcmp(Family, "unbalanced") == 0)
-    E = genUnbalanced(Ctx, R, Size);
-  else if (std::strcmp(Family, "arith") == 0)
-    E = genArithmetic(Ctx, R, Size);
-  else
-    return usage();
-  std::printf("%s\n", printExpr(Ctx, E).c_str());
+  for (uint64_t K = 0; K != Count; ++K) {
+    // Fresh context per expression: `--count` corpora can be large, and
+    // one line never needs another line's names or ids.
+    ExprContext Ctx;
+    const Expr *E = nullptr;
+    if (std::strcmp(Family, "balanced") == 0)
+      E = genBalanced(Ctx, R, Size);
+    else if (std::strcmp(Family, "unbalanced") == 0)
+      E = genUnbalanced(Ctx, R, Size);
+    else if (std::strcmp(Family, "arith") == 0)
+      E = genArithmetic(Ctx, R, Size);
+    else
+      return usage();
+    std::printf("%s\n", printExpr(Ctx, E).c_str());
+  }
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// hma index build|query|stats
+//===----------------------------------------------------------------------===//
+
+struct IndexArgs {
+  const char *Sub = nullptr;
+  const char *CorpusPath = nullptr;
+  const char *OutPath = nullptr;
+  const char *ExprText = nullptr;
+  const char *ExprFile = nullptr;
+  unsigned Threads = std::max(1u, std::thread::hardware_concurrency());
+  unsigned Shards = 64;
+};
+
+bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
+  if (Argc < 4)
+    return false;
+  A.Sub = Argv[2];
+  A.CorpusPath = Argv[3];
+  auto Positive = [](const char *Flag, const char *Arg, long long Max,
+                     unsigned &Out) {
+    long long V = std::atoll(Arg);
+    if (V < 1 || V > Max) {
+      std::fprintf(stderr, "error: %s must be in [1, %lld]\n", Flag, Max);
+      return false;
+    }
+    Out = static_cast<unsigned>(V);
+    return true;
+  };
+  for (int I = 4; I < Argc; ++I) {
+    auto Want = [&](const char *Flag) {
+      return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
+    };
+    if (Want("--threads")) {
+      if (!Positive("--threads", Argv[++I], 1024, A.Threads))
+        return false;
+    } else if (Want("--shards")) {
+      if (!Positive("--shards", Argv[++I],
+                    AlphaHashIndex<Hash128>::MaxShards, A.Shards))
+        return false;
+    } else if (Want("--out"))
+      A.OutPath = Argv[++I];
+    else if (Want("--expr"))
+      A.ExprText = Argv[++I];
+    else if (Want("--expr-file"))
+      A.ExprFile = Argv[++I];
+    else
+      return false;
+  }
+  return true;
+}
+
+/// Load + ingest a corpus, printing the one-line build summary.
+bool buildIndex(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
+  std::string Bytes;
+  if (!readInput(A.CorpusPath, Bytes))
+    return false;
+  CorpusLoadResult Corpus = loadCorpus(Bytes);
+  if (!Corpus.ok()) {
+    std::fprintf(stderr, "corpus error: %s\n", Corpus.Error.c_str());
+    return false;
+  }
+  size_t NumBlobs = Corpus.Blobs.size();
+
+  auto Start = std::chrono::steady_clock::now();
+  auto Batch = Index.insertBatch(Corpus.Blobs, A.Threads);
+  auto End = std::chrono::steady_clock::now();
+  double Sec = std::chrono::duration<double>(End - Start).count();
+
+  IndexStats S = Index.stats();
+  std::printf("%zu expressions -> %zu classes (%llu duplicates merged, "
+              "%llu decode errors)\n",
+              NumBlobs, Index.numClasses(),
+              static_cast<unsigned long long>(S.Duplicates),
+              static_cast<unsigned long long>(Batch.DecodeErrors));
+  std::printf("ingest: %u threads, %u shards, %.3f s, %.0f exprs/sec\n",
+              A.Threads, Index.numShards(), Sec,
+              Sec > 0 ? static_cast<double>(Batch.Ingested) / Sec : 0.0);
+  return true;
+}
+
+int cmdIndexBuild(const IndexArgs &A) {
+  AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
+  if (!buildIndex(A, Index))
+    return 1;
+  if (A.OutPath) {
+    std::vector<std::string> Canon;
+    for (auto &C : Index.snapshot())
+      Canon.push_back(std::move(C.CanonicalBytes));
+    std::string Packed = packCorpus(Canon);
+    std::ofstream Out(A.OutPath, std::ios::binary);
+    if (!Out.write(Packed.data(), static_cast<std::streamsize>(Packed.size()))) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", A.OutPath);
+      return 1;
+    }
+    std::printf("wrote %zu canonical expressions (%zu bytes) to %s\n",
+                Canon.size(), Packed.size(), A.OutPath);
+  }
+  return 0;
+}
+
+int cmdIndexQuery(const IndexArgs &A) {
+  AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
+  if (!buildIndex(A, Index))
+    return 1;
+
+  std::string QuerySrc;
+  if (A.ExprText)
+    QuerySrc = A.ExprText;
+  else if (!readInput(A.ExprFile, QuerySrc)) // nullptr reads stdin
+    return 1;
+
+  ExprContext Ctx;
+  const Expr *Q = parseInput(Ctx, QuerySrc);
+  if (!Q)
+    return 1;
+
+  auto Hit = Index.lookup(Ctx, Q);
+  if (!Hit) {
+    std::printf("absent\n");
+    return 1;
+  }
+  std::printf("present  count=%llu  hash=%s\n",
+              static_cast<unsigned long long>(Hit->Count),
+              Hit->Hash.toHex().c_str());
+  ExprContext CanonCtx;
+  DeserializeResult Canon = deserializeExpr(CanonCtx, Hit->CanonicalBytes);
+  if (Canon.ok())
+    std::printf("canonical: %s\n", printExpr(CanonCtx, Canon.E).c_str());
+  return 0;
+}
+
+int cmdIndexStats(const IndexArgs &A) {
+  AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
+  if (!buildIndex(A, Index))
+    return 1;
+
+  IndexStats S = Index.stats();
+  std::printf("fallback checks:     %llu\n",
+              static_cast<unsigned long long>(S.FallbackChecks));
+  std::printf("verified collisions: %llu\n",
+              static_cast<unsigned long long>(S.VerifiedCollisions));
+
+  std::vector<size_t> Loads = Index.shardLoads();
+  size_t Total = std::accumulate(Loads.begin(), Loads.end(), size_t(0));
+  size_t Occupied = 0;
+  size_t MaxLoad = 0;
+  for (size_t L : Loads) {
+    Occupied += L != 0;
+    MaxLoad = std::max(MaxLoad, L);
+  }
+  std::printf("shards: %zu/%u occupied, mean %.1f classes, max %zu\n",
+              Occupied, Index.numShards(),
+              Loads.empty() ? 0.0
+                            : static_cast<double>(Total) / Loads.size(),
+              MaxLoad);
+
+  auto Classes = Index.snapshot();
+  std::stable_sort(Classes.begin(), Classes.end(),
+                   [](const auto &X, const auto &Y) { return X.Count > Y.Count; });
+  size_t Shown = std::min<size_t>(Classes.size(), 5);
+  if (Shown && Classes.front().Count > 1)
+    std::printf("largest classes:\n");
+  for (size_t I = 0; I != Shown && Classes[I].Count > 1; ++I) {
+    ExprContext Ctx;
+    DeserializeResult R = deserializeExpr(Ctx, Classes[I].CanonicalBytes);
+    std::printf("  %llux  %s\n",
+                static_cast<unsigned long long>(Classes[I].Count),
+                R.ok() ? printExpr(Ctx, R.E).c_str() : "<undecodable>");
+  }
+  return 0;
+}
+
+int cmdIndex(int Argc, char **Argv) {
+  IndexArgs A;
+  if (!parseIndexArgs(Argc, Argv, A))
+    return usage();
+  if (std::strcmp(A.Sub, "build") == 0)
+    return cmdIndexBuild(A);
+  if (std::strcmp(A.Sub, "query") == 0)
+    return cmdIndexQuery(A);
+  if (std::strcmp(A.Sub, "stats") == 0)
+    return cmdIndexStats(A);
+  return usage();
 }
 
 template <typename Hasher>
@@ -213,6 +432,8 @@ int main(int Argc, char **Argv) {
 
   if (std::strcmp(Cmd, "gen") == 0)
     return cmdGen(Ctx, Argc, Argv);
+  if (std::strcmp(Cmd, "index") == 0)
+    return cmdIndex(Argc, Argv);
 
   const char *Path = Argc >= 3 ? Argv[2] : nullptr;
   std::string Source;
