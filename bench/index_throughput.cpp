@@ -12,10 +12,16 @@
 /// ~1x (the harness prints the machine's concurrency so readers can judge
 /// the speedup column).
 ///
+/// Each row also reports the worker hashers' pool-allocation counters:
+/// `alloc/expr` is map nodes carved from arenas per ingested expression
+/// (warm-up included), `steady/expr` the same metric counting only
+/// allocations after each worker's first chunk -- the zero-allocation
+/// claim of the scratch-reuse pipeline is that the latter is ~0.
+///
 ///   HMA_BENCH_FULL=1   10x corpus size
 ///
 /// Output: a human table plus machine-readable `CSV,...` rows
-///   CSV,index_throughput,<family>,<threads>,<exprs>,<sec>,<exprs_per_sec>
+///   CSV,index_throughput,<family>,<threads>,<exprs>,<sec>,<exprs_per_sec>,<alloc_per_expr>,<steady_alloc_per_expr>
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,20 +69,24 @@ void runFamily(const char *Family, size_t Count, uint32_t Size) {
 
   std::printf("\n-- %s corpus: %zu expressions of ~%u nodes --\n", Family,
               Corpus.size(), Size);
-  std::printf("%8s %12s %14s %10s\n", "threads", "time", "exprs/sec",
-              "speedup");
+  std::printf("%8s %12s %14s %10s %12s %12s\n", "threads", "time",
+              "exprs/sec", "speedup", "alloc/expr", "steady/expr");
 
   double Base = 0;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     AlphaHashIndex<> Index;
-    double Sec = timeOnce([&] { Index.insertBatch(Corpus, Threads); });
+    AlphaHashIndex<>::BatchResult Batch;
+    double Sec = timeOnce([&] { Batch = Index.insertBatch(Corpus, Threads); });
     double Rate = static_cast<double>(Corpus.size()) / Sec;
+    auto [PerExpr, SteadyPerExpr] = allocsPerExpr(Batch);
     if (Threads == 1)
       Base = Sec;
-    std::printf("%8u %12s %14.0f %9.2fx\n", Threads,
-                fmtSeconds(Sec).c_str(), Rate, Base / Sec);
-    std::printf("CSV,index_throughput,%s,%u,%zu,%.6f,%.0f\n", Family,
-                Threads, Corpus.size(), Sec, Rate);
+    std::printf("%8u %12s %14.0f %9.2fx %12.3f %12.3f\n", Threads,
+                fmtSeconds(Sec).c_str(), Rate, Base / Sec, PerExpr,
+                SteadyPerExpr);
+    std::printf("CSV,index_throughput,%s,%u,%zu,%.6f,%.0f,%.4f,%.4f\n",
+                Family, Threads, Corpus.size(), Sec, Rate, PerExpr,
+                SteadyPerExpr);
 
     if (Threads == 1) {
       // Sanity line: dedup must actually have happened.

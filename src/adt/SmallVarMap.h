@@ -1,0 +1,246 @@
+//===- adt/SmallVarMap.h - Adaptive small-map-optimised ordered map -------===//
+///
+/// \file
+/// An adaptive ordered map: up to \p InlineN entries live in a sorted
+/// inline array; beyond that the map spills into a pooled \ref AvlMap.
+///
+/// The paper's O(n log n) bound on variable-map operations (Lemma 6.1)
+/// is carried by balanced-tree maps, but on real expressions the
+/// overwhelming majority of per-node maps hold only a handful of entries:
+/// a Var leaf starts a singleton, and the smaller-into-bigger merge
+/// discipline (Section 4.8) keeps most merge *sources* tiny. For those,
+/// an AVL tree pays a pool hit and two pointer indirections per entry
+/// where a sorted array needs neither. This class gives the common case a
+/// branchless lower-bound scan over contiguous storage while preserving
+/// the asymptotics:
+///
+///   find / alter / remove : O(InlineN) inline, O(log n) spilled
+///   ordered iteration     : O(n)
+///   size                  : O(1)
+///
+/// Spilling is one-way until \ref clear: a map that grew past InlineN
+/// stays an AVL tree even if removals shrink it back, so a map sitting at
+/// the boundary cannot thrash between representations. `clear()` returns
+/// the map to inline mode, which is what the hashing pass does between
+/// expressions.
+///
+/// The class is a drop-in for \ref AvlMap in \ref AlphaHasher (same Pool
+/// type, same `find`/`alter`/`set`/`remove`/`forEach`/`clear` surface,
+/// same move-only ownership), selected via the map-policy template
+/// parameter; the AVL-only configuration remains available for ablation
+/// benchmarks (bench/hash_throughput.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_ADT_SMALLVARMAP_H
+#define HMA_ADT_SMALLVARMAP_H
+
+#include "adt/AvlMap.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace hma {
+
+/// Ordered map from \p K to \p V with inline storage for small sizes.
+///
+/// \p K and \p V must be trivially copyable (inline entries are moved
+/// with plain assignment) and trivially destructible (spilled nodes are
+/// pool-allocated and never destroyed). \p K must support `<` and `==`.
+template <typename K, typename V, unsigned InlineN = 8> class SmallVarMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_copyable_v<V>,
+                "inline entries are relocated with plain assignment");
+  static_assert(InlineN >= 1 && InlineN <= 64, "inline capacity is a byte");
+
+public:
+  /// Shared node allocator for the spilled representation. Identical to
+  /// the AVL map's pool, so one pool serves either map policy.
+  using Pool = typename AvlMap<K, V>::Pool;
+
+  /// Exposed for boundary tests (spill at InlineCapacity + 1 entries).
+  static constexpr unsigned InlineCapacity = InlineN;
+
+  explicit SmallVarMap(Pool &P) : Spill(P) {}
+
+  SmallVarMap(const SmallVarMap &) = delete;
+  SmallVarMap &operator=(const SmallVarMap &) = delete;
+
+  SmallVarMap(SmallVarMap &&O)
+      : Spill(std::move(O.Spill)), InlineCount(O.InlineCount),
+        Spilled(O.Spilled) {
+    copyInline(O);
+    O.InlineCount = 0;
+    O.Spilled = false;
+  }
+  SmallVarMap &operator=(SmallVarMap &&O) {
+    if (this != &O) {
+      Spill = std::move(O.Spill); // releases our spilled nodes, if any
+      InlineCount = O.InlineCount;
+      Spilled = O.Spilled;
+      copyInline(O);
+      O.InlineCount = 0;
+      O.Spilled = false;
+    }
+    return *this;
+  }
+
+  ~SmallVarMap() = default; // Spill's destructor recycles spilled nodes
+
+  bool empty() const { return Spilled ? Spill.empty() : InlineCount == 0; }
+  size_t size() const { return Spilled ? Spill.size() : InlineCount; }
+  bool spilled() const { return Spilled; }
+  Pool &pool() const { return Spill.pool(); }
+
+  /// Find the value for \p Key, or null.
+  V *find(const K &Key) {
+    if (Spilled)
+      return Spill.find(Key);
+    unsigned I = lowerBound(Key);
+    return (I != InlineCount && Keys[I] == Key) ? &Vals[I] : nullptr;
+  }
+  const V *find(const K &Key) const {
+    return const_cast<SmallVarMap *>(this)->find(Key);
+  }
+
+  /// Insert or update: sets the value for \p Key to
+  /// `MakeVal(existing-or-null)` (the paper's `alterVM`, Section 4.8).
+  template <typename F> void alter(const K &Key, F &&MakeVal) {
+    if (Spilled) {
+      Spill.alter(Key, MakeVal);
+      return;
+    }
+    unsigned I = lowerBound(Key);
+    if (I != InlineCount && Keys[I] == Key) {
+      Vals[I] = MakeVal(&Vals[I]);
+      return;
+    }
+    if (InlineCount == InlineN) {
+      spillToTree();
+      Spill.alter(Key, MakeVal);
+      return;
+    }
+    // Shift the tail up one slot and insert in order.
+    for (unsigned J = InlineCount; J > I; --J) {
+      Keys[J] = Keys[J - 1];
+      Vals[J] = Vals[J - 1];
+    }
+    Keys[I] = Key;
+    Vals[I] = MakeVal(static_cast<V *>(nullptr));
+    ++InlineCount;
+  }
+
+  /// Convenience: plain insert-or-assign.
+  void set(const K &Key, const V &Val) {
+    alter(Key, [&](V *) { return Val; });
+  }
+
+  /// Remove \p Key, returning its value if present (the paper's
+  /// `removeFromVM`, Section 4.4).
+  std::optional<V> remove(const K &Key) {
+    if (Spilled)
+      return Spill.remove(Key);
+    unsigned I = lowerBound(Key);
+    if (I == InlineCount || !(Keys[I] == Key))
+      return std::nullopt;
+    V Out = Vals[I];
+    --InlineCount;
+    for (unsigned J = I; J != InlineCount; ++J) {
+      Keys[J] = Keys[J + 1];
+      Vals[J] = Vals[J + 1];
+    }
+    return Out;
+  }
+
+  /// Visit all entries in ascending key order.
+  template <typename F> void forEach(F &&Fn) const {
+    if (Spilled) {
+      Spill.forEach(Fn);
+      return;
+    }
+    for (unsigned I = 0; I != InlineCount; ++I)
+      Fn(Keys[I], Vals[I]);
+  }
+
+  /// Drop all entries (spilled nodes go back to the pool) and return to
+  /// the inline representation.
+  void clear() {
+    Spill.clear();
+    InlineCount = 0;
+    Spilled = false;
+  }
+
+  /// Validate representation invariants (test support).
+  bool checkInvariants() const {
+    if (Spilled) {
+      if (InlineCount != 0)
+        return false;
+      return Spill.checkInvariants();
+    }
+    if (!Spill.empty())
+      return false;
+    for (unsigned I = 1; I < InlineCount; ++I)
+      if (!(Keys[I - 1] < Keys[I]))
+        return false;
+    return true;
+  }
+
+private:
+  /// Blit the whole inline arrays over (keys and values are trivially
+  /// copyable): a fixed-size, branchless memcpy beats a count-dependent
+  /// loop, and stale slots past InlineCount are never read.
+  void copyInline(const SmallVarMap &O) {
+    std::memcpy(static_cast<void *>(Keys), O.Keys, sizeof(Keys));
+    std::memcpy(static_cast<void *>(Vals), O.Vals, sizeof(Vals));
+  }
+
+  /// Index of the first inline key >= \p Key. A branchless linear scan:
+  /// InlineN is small and the arrays are contiguous, so this is a handful
+  /// of compare-and-add steps with no mispredicted branches, beating both
+  /// binary search and pointer chasing at these sizes.
+  unsigned lowerBound(const K &Key) const {
+    unsigned I = 0;
+    for (unsigned J = 0; J != InlineCount; ++J)
+      I += static_cast<unsigned>(Keys[J] < Key);
+    return I;
+  }
+
+  /// Move every inline entry into the AVL representation. Ascending
+  /// insertion into an AVL tree is O(InlineN log InlineN) worst case --
+  /// paid once per map, only when it outgrows the inline storage.
+  void spillToTree() {
+    assert(!Spilled && Spill.empty());
+    for (unsigned I = 0; I != InlineCount; ++I)
+      Spill.set(Keys[I], Vals[I]);
+    InlineCount = 0;
+    Spilled = true;
+  }
+
+  AvlMap<K, V> Spill;
+  K Keys[InlineN];
+  V Vals[InlineN];
+  uint8_t InlineCount = 0;
+  bool Spilled = false;
+};
+
+/// Map policies for \ref AlphaHasher: a policy names the ordered-map
+/// template the hasher builds its variable maps from. The adaptive policy
+/// is the production default; the AVL-only policy reproduces the paper's
+/// plain balanced-tree configuration for ablation benchmarks.
+struct AdaptiveVarMapPolicy {
+  static constexpr const char *Name = "adaptive";
+  template <typename K, typename V> using Map = SmallVarMap<K, V>;
+};
+
+struct AvlVarMapPolicy {
+  static constexpr const char *Name = "avl";
+  template <typename K, typename V> using Map = AvlMap<K, V>;
+};
+
+} // namespace hma
+
+#endif // HMA_ADT_SMALLVARMAP_H

@@ -33,6 +33,7 @@
 #include "support/Arena.h"
 #include "support/Interner.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <string_view>
@@ -250,7 +251,18 @@ public:
   /// Scratch arena sharing the context's lifetime (for annotations).
   Arena &arena() { return Mem; }
 
+  /// A process-unique id for this context instance. Pointer comparison
+  /// alone cannot tell a context apart from a destroyed-and-recreated one
+  /// at the same address (the classic ABA hazard for anything caching
+  /// per-context state, e.g. AlphaHasher's name-hash cache); the epoch
+  /// can.
+  uint64_t epoch() const { return Epoch; }
+
 private:
+  static uint64_t nextEpoch() {
+    static std::atomic<uint64_t> Counter{0};
+    return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   Expr *fresh(ExprKind K) {
     // Placement-new directly: Expr's constructor is private to this class.
     Expr *E = new (Mem.allocate(sizeof(Expr), alignof(Expr))) Expr();
@@ -263,6 +275,7 @@ private:
   Arena Mem;
   StringInterner Interner;
   uint32_t NextId = 0;
+  uint64_t Epoch = nextEpoch();
 };
 
 } // namespace hma

@@ -66,7 +66,14 @@ template <typename F> void postorder(const Expr *Root, F &&Fn) {
 /// caller holds their results on top.
 class PostorderWorklist {
 public:
-  explicit PostorderWorklist(const Expr *Root) {
+  PostorderWorklist() = default;
+  explicit PostorderWorklist(const Expr *Root) { reset(Root); }
+
+  /// Restart the traversal at \p Root, reusing the stack's capacity. Any
+  /// traversal in progress is abandoned. This is what lets a long-lived
+  /// hasher drive thousands of expressions with zero per-call allocation.
+  void reset(const Expr *Root) {
+    Stack.clear();
     if (Root)
       Stack.push_back({Root, 0});
   }

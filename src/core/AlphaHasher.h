@@ -11,7 +11,7 @@
 ///  - Structures and position trees are represented *by their hash codes*
 ///    (Section 5.1): the datatype constructors become O(1) salted hash
 ///    combiners and no tree is ever materialised.
-///  - The variable map is an \ref AvlMap from free variable to the hash
+///  - The variable map is an ordered map from free variable to the hash
 ///    code of its position tree, paired with the XOR of its entry hashes
 ///    (Section 5.2). XOR's commutativity/invertibility makes insertion,
 ///    alteration and removal O(1) on the aggregate; Lemma 6.5/6.6 and
@@ -29,7 +29,23 @@
 /// The class is templated over the hash code type so the Appendix B
 /// collision study can run the genuine algorithm at b=16 (collisions must
 /// propagate through the real data flow; truncating wider hashes after
-/// the fact would not reproduce the adversarial behaviour).
+/// the fact would not reproduce the adversarial behaviour), and over a
+/// *map policy* selecting the variable-map representation:
+///
+///  - \ref AdaptiveVarMapPolicy (default): \ref SmallVarMap, which keeps
+///    small maps in a sorted inline array and spills to the pooled AVL
+///    tree past the threshold. Hash values are identical to the AVL-only
+///    configuration -- the map representation is unobservable through the
+///    algorithm (asserted by tests/smallvarmap_test.cpp).
+///  - \ref AvlVarMapPolicy: the paper's plain balanced-tree maps, kept
+///    for ablation benchmarks (bench/hash_throughput.cpp).
+///
+/// A hasher owns reusable scratch -- the map-node pool, the postorder
+/// worklist and the value stack persist across calls -- so a long-lived
+/// hasher reaches a steady state where hashing an expression performs
+/// *zero* heap allocations (see poolAllocatedNodes()). Batch ingest
+/// pipelines hold one hasher per worker thread and \ref rebind it as
+/// their expression contexts are recycled.
 ///
 /// Precondition (Section 2.2): every binder in the input is distinct.
 /// Establish it with \ref uniquifyBinders; debug builds assert it.
@@ -39,7 +55,7 @@
 #ifndef HMA_CORE_ALPHAHASHER_H
 #define HMA_CORE_ALPHAHASHER_H
 
-#include "adt/AvlMap.h"
+#include "adt/SmallVarMap.h"
 #include "ast/Expr.h"
 #include "ast/Traversal.h"
 #include "support/HashSchema.h"
@@ -63,19 +79,53 @@ struct AlphaHashStats {
 };
 
 /// Hashes all subexpressions of an expression modulo alpha-equivalence.
-template <typename H> class AlphaHasher {
+template <typename H, typename MapPolicy = AdaptiveVarMapPolicy>
+class AlphaHasher {
 public:
-  /// \p Ctx must own every expression later passed to hashAll.
+  /// \p Ctx must own every expression later passed to hashAll (until the
+  /// hasher is \ref rebind -ed to another context).
   explicit AlphaHasher(const ExprContext &Ctx,
                        const HashSchema &Schema = HashSchema())
-      : Ctx(Ctx), Schema(Schema) {}
+      : Ctx(&Ctx), CtxEpoch(Ctx.epoch()), Schema(Schema) {}
+
+  /// Point the hasher at a different context, keeping the reusable
+  /// scratch (map-node pool, worklist, value stack) warm. The per-name
+  /// spelling-hash cache is invalidated -- name ids are context-local --
+  /// but its capacity is retained, so a worker that recycles contexts
+  /// every chunk stays allocation-free once warmed up.
+  void rebind(const ExprContext &NewCtx) {
+    Ctx = &NewCtx;
+    CtxEpoch = NewCtx.epoch();
+    NameHashes.clear();
+    NameHashValid.clear();
+  }
+
+  /// \ref rebind unless the hasher is already bound to exactly this
+  /// context *instance*. Identity is (address, epoch), not address alone:
+  /// a destroyed-and-recreated context at the same address (e.g. a
+  /// loop-local ExprContext) must not be mistaken for the cached one --
+  /// stale name ids would resolve to the wrong spelling hashes.
+  void bindIfNeeded(const ExprContext &NewCtx) {
+    if (Ctx != &NewCtx || CtxEpoch != NewCtx.epoch())
+      rebind(NewCtx);
+  }
+
+  /// The context the hasher currently reads names and node ids from.
+  const ExprContext &context() const { return *Ctx; }
 
   /// Hash every subexpression of \p Root. The result vector is indexed by
   /// node id (size = Ctx.numNodes(); ids outside \p Root keep H{}).
   std::vector<H> hashAll(const Expr *Root) {
-    std::vector<H> Out(Ctx.numNodes());
+    std::vector<H> Out(Ctx->numNodes());
     run(Root, &Out);
     return Out;
+  }
+
+  /// Like \ref hashAll, but fills a caller-owned vector, reusing its
+  /// capacity: the steady-state-zero-allocation variant of the API.
+  void hashAllInto(const Expr *Root, std::vector<H> &Out) {
+    Out.assign(Ctx->numNodes(), H{});
+    run(Root, &Out);
   }
 
   /// Hash \p Root only (same pass, no per-node output vector).
@@ -85,15 +135,22 @@ public:
   const AlphaHashStats &stats() const { return Stats; }
   void resetStats() { Stats = AlphaHashStats(); }
 
+  /// Map nodes currently checked out of the pool (0 between calls).
+  size_t poolLiveNodes() const { return P.liveNodes(); }
+
+  /// Map nodes ever carved out of the pool's arena. Once the hasher has
+  /// warmed up on the largest expression of a workload, this stops
+  /// growing: hashing further expressions recycles pooled nodes and
+  /// performs no heap allocation at all.
+  size_t poolAllocatedNodes() const { return P.allocatedNodes(); }
+
   /// The salted hash of a variable name's spelling (exposed for reuse by
   /// the incremental hasher and tests). Cached per name: O(1) amortised.
   H nameHash(Name N) {
-    if (N >= NameHashes.size()) {
-      NameHashes.resize(Ctx.names().size());
-      NameHashValid.resize(Ctx.names().size(), false);
-    }
+    if (N >= NameHashes.size())
+      growNameCache(N);
     if (!NameHashValid[N]) {
-      std::string_view S = Ctx.names().spelling(N);
+      std::string_view S = Ctx->names().spelling(N);
       NameHashes[N] =
           Schema.hashBytes<H>(CombinerTag::NameLeaf, S.data(), S.size());
       NameHashValid[N] = true;
@@ -110,7 +167,7 @@ public:
   const HashSchema &schema() const { return Schema; }
 
 private:
-  using Map = AvlMap<Name, H>;
+  using Map = typename MapPolicy::template Map<Name, H>;
   using Pool = typename Map::Pool;
 
   /// A hashed variable map: the paper's `VM (Map Name PosTree) HashCode`
@@ -127,87 +184,108 @@ private:
   struct Entry {
     H Struct; ///< Hash code standing for the Structure (Section 5.1).
     VM Vars;
-    Entry(H Struct, VM &&Vars) : Struct(Struct), Vars(std::move(Vars)) {}
+    Entry(H Struct, Pool &P) : Struct(Struct), Vars(P) {}
   };
 
-  const ExprContext &Ctx;
+  const ExprContext *Ctx;
+  uint64_t CtxEpoch;
   HashSchema Schema;
   AlphaHashStats Stats;
   std::vector<H> NameHashes;
   std::vector<uint8_t> NameHashValid;
 
+  // Reusable scratch: the pool must outlive the value stack (entries
+  // recycle their map nodes into it on destruction), so it is declared
+  // first. All three retain their capacity across run() calls.
+  Pool P;
+  std::vector<Entry> Values;
+  PostorderWorklist Work;
+
+  /// Grow the name cache to cover \p N. Sized to the next power of two
+  /// past both the interner's current size and N itself: names interned
+  /// *after* a previous resize (mid-pass, or between two hashRoot calls)
+  /// must not leave the cache silently short, and doubling keeps the
+  /// amortised cost O(1) per name.
+  void growNameCache(Name N) {
+    size_t Need =
+        std::max<size_t>(Ctx->names().size(), static_cast<size_t>(N) + 1);
+    size_t Cap = NameHashes.empty() ? 16 : NameHashes.size();
+    while (Cap < Need)
+      Cap *= 2;
+    NameHashes.resize(Cap);
+    NameHashValid.resize(Cap, false);
+  }
+
   H run(const Expr *Root, std::vector<H> *Out) {
     assert(Root && "nothing to hash");
-    assert(hasDistinctBinders(Ctx, Root) &&
+    assert(hasDistinctBinders(*Ctx, Root) &&
            "hashing requires distinct binders; run uniquifyBinders first");
+    assert(Values.empty() && "hasher is not reentrant");
 
-    Pool P;
-    std::vector<Entry> Values;
     const H HereHash = Schema.combineWords<H>(CombinerTag::PosHere, 0);
     H NodeHash{};
 
-    PostorderWorklist Work(Root);
+    Work.reset(Root);
     while (const Expr *E = Work.next()) {
+      // Every case below edits the value stack IN PLACE: a Lam rewrites
+      // the top slot, an App/Let folds the top slot into the one below
+      // and pops. Entries (which embed the inline small-map storage) are
+      // never shuffled through temporaries -- on small expressions the
+      // stack traffic, not the map operations, is the dominant cost.
       switch (E->kind()) {
       case ExprKind::Var: {
         // summariseExpr (Var v) = ESummary mkSVar (singletonVM v mkPTHere)
-        VM Vars(P);
-        Vars.M.set(E->varName(), HereHash);
-        Vars.Agg = entryHash(E->varName(), HereHash);
-        ++Stats.MapSingletons;
-        Values.emplace_back(
+        Entry &Slot = Values.emplace_back(
             Schema.combineWords<H>(CombinerTag::StructVar, 1), // |d| salt
-            std::move(Vars));
+            P);
+        Slot.Vars.M.set(E->varName(), HereHash);
+        Slot.Vars.Agg = entryHash(E->varName(), HereHash);
+        ++Stats.MapSingletons;
         break;
       }
 
       case ExprKind::Const: {
-        VM Vars(P);
         H CH = Schema.combineWords<H>(CombinerTag::ConstLeaf,
                                       static_cast<uint64_t>(E->constValue()));
-        Values.emplace_back(
-            Schema.combine<H>(CombinerTag::StructConst, CH), std::move(Vars));
+        Values.emplace_back(Schema.combine<H>(CombinerTag::StructConst, CH),
+                            P);
         break;
       }
 
       case ExprKind::Lam: {
         // summariseExpr (Lam x e): remove x from the body's map; its
         // position-tree hash becomes part of the structure.
-        Entry Body = std::move(Values.back());
-        Values.pop_back();
+        Entry &Body = Values.back();
         std::optional<H> Pos = vmRemove(Body.Vars, E->lamBinder());
         uint64_t Size = E->treeSize();
-        H St = Pos ? Schema.combine<H>(CombinerTag::StructLamSome,
-                                       sizeSalt(Size), *Pos, Body.Struct)
-                   : Schema.combine<H>(CombinerTag::StructLamNone,
-                                       sizeSalt(Size), Body.Struct);
-        Values.emplace_back(St, std::move(Body.Vars));
+        Body.Struct =
+            Pos ? Schema.combine<H>(CombinerTag::StructLamSome,
+                                    sizeSalt(Size), *Pos, Body.Struct)
+                : Schema.combine<H>(CombinerTag::StructLamNone,
+                                    sizeSalt(Size), Body.Struct);
         break;
       }
 
       case ExprKind::App: {
-        Entry Arg = std::move(Values.back());
+        // Stack: [..., Fun, Arg]. Combine into Fun's slot, pop Arg.
+        Entry &Arg = Values.back();
+        Entry &Fun = Values[Values.size() - 2];
+        combineBinary(E, Fun, Arg, std::nullopt, CombinerTag::StructApp,
+                      CombinerTag::StructApp);
         Values.pop_back();
-        Entry Fun = std::move(Values.back());
-        Values.pop_back();
-        Values.push_back(combineBinary(E, std::move(Fun), std::move(Arg),
-                                       std::nullopt,
-                                       CombinerTag::StructApp,
-                                       CombinerTag::StructApp));
         break;
       }
 
       case ExprKind::Let: {
-        Entry Body = std::move(Values.back());
-        Values.pop_back();
-        Entry Bound = std::move(Values.back());
-        Values.pop_back();
+        // Stack: [..., Bound, Body]. Combine into Bound's slot, pop Body.
+        Entry &Body = Values.back();
+        Entry &Bound = Values[Values.size() - 2];
         // The binder scopes over the body only: take its occurrences out
         // before the merge (they are positions within the body).
         std::optional<H> Pos = vmRemove(Body.Vars, E->letBinder());
-        Values.push_back(combineBinary(E, std::move(Bound), std::move(Body),
-                                       Pos, CombinerTag::StructLetNone,
-                                       CombinerTag::StructLetSome));
+        combineBinary(E, Bound, Body, Pos, CombinerTag::StructLetNone,
+                      CombinerTag::StructLetSome);
+        Values.pop_back();
         break;
       }
       }
@@ -220,6 +298,9 @@ private:
         (*Out)[E->id()] = NodeHash;
     }
     assert(Values.size() == 1 && "postorder fold must yield one summary");
+    // Recycle the root summary's map nodes (the root's free variables)
+    // into the pool; the stack keeps its capacity for the next call.
+    Values.clear();
     return NodeHash;
   }
 
@@ -235,10 +316,12 @@ private:
   }
 
   /// Shared App/Let combination: structure hash + smaller-into-bigger
-  /// variable map merge (Section 4.8).
-  Entry combineBinary(const Expr *E, Entry Left, Entry Right,
-                      std::optional<H> BinderPos, CombinerTag NoneTag,
-                      CombinerTag SomeTag) {
+  /// variable map merge (Section 4.8). The result is written into
+  /// \p Left (the stack slot that survives); \p Right is left empty for
+  /// the caller to pop.
+  void combineBinary(const Expr *E, Entry &Left, Entry &Right,
+                     std::optional<H> BinderPos, CombinerTag NoneTag,
+                     CombinerTag SomeTag) {
     bool LeftBigger = Left.Vars.M.size() >= Right.Vars.M.size();
     uint64_t Size = E->treeSize();
 
@@ -273,7 +356,9 @@ private:
     });
     Small.M.clear();
 
-    return Entry(St, std::move(Big));
+    if (!LeftBigger)
+      Left.Vars = std::move(Right.Vars); // one map move, only when needed
+    Left.Struct = St;
   }
 
   /// alterVM with XOR bookkeeping (Section 5.2).

@@ -9,9 +9,11 @@
 ///
 ///  - **Sharding.** Entries are spread across N shards (N rounded up to a
 ///    power of two) by the low bits of a mix of the alpha-hash. Each shard
-///    owns a mutex, an \ref ExprContext holding its canonical
-///    representatives, and a hash-to-entries table -- striped locking, so
-///    concurrent ingest of a well-spread corpus rarely contends.
+///    owns a `std::shared_mutex`, an \ref ExprContext holding its
+///    canonical representatives, and a hash-to-entries table -- striped
+///    locking, so concurrent ingest of a well-spread corpus rarely
+///    contends, and read-mostly query traffic proceeds under *shared*
+///    locks that never block each other (see "read path" in README.md).
 ///
 ///  - **Hash-then-verify.** Theorem 6.7 bounds the collision probability
 ///    (<= 5(|e1|+|e2|)/2^b), but an interning service must be *correct*,
@@ -30,11 +32,15 @@
 ///    representative, which travels through `ast/Serialize` bytes into
 ///    the owning shard's context.
 ///
-///  - **Batch ingest.** \ref insertBatch hashes many serialised
-///    expressions on a \ref ThreadPool; workers keep private contexts
-///    (recycled every chunk to bound arena growth) and only touch shared
-///    state through shard mutexes. The resulting class set is independent
-///    of the thread count (tested).
+///  - **Batch ingest and batch query.** \ref insertBatch and
+///    \ref lookupBatch fan a corpus of serialised expressions out over a
+///    \ref ThreadPool. Each worker keeps ONE long-lived \ref AlphaHasher
+///    whose scratch (map-node pool, worklist, value stack) persists
+///    across the whole batch, \ref AlphaHasher::rebind -ing it as the
+///    worker's private context is recycled every chunk: once warmed up on
+///    its first chunk, a worker hashes thousands of expressions with zero
+///    pool allocations (BatchResult reports the counters). The resulting
+///    class set is independent of the thread count (tested).
 ///
 /// The class is templated over the hash code type with the same rationale
 /// as \ref AlphaHasher: collision handling must be exercised by running
@@ -56,11 +62,13 @@
 #include "support/HashSchema.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -119,6 +127,14 @@ public:
   struct BatchResult {
     uint64_t Ingested = 0;     ///< Blobs successfully hashed and inserted.
     uint64_t DecodeErrors = 0; ///< Blobs rejected by the deserialiser.
+    /// Map nodes carved out of worker hashers' pool arenas over the whole
+    /// batch (the warm-up cost of the scratch-reuse design).
+    uint64_t PoolNodesAllocated = 0;
+    /// The subset of PoolNodesAllocated incurred *after* each worker's
+    /// first chunk. On a corpus whose largest expression appears early,
+    /// this is zero: steady-state ingest performs no pool allocation per
+    /// expression (asserted in tests/index_test.cpp).
+    uint64_t SteadyPoolNodesAllocated = 0;
   };
 
   /// Upper bound on lock stripes; beyond this the fixed per-shard cost
@@ -150,8 +166,19 @@ public:
   /// uniquifying rewrite. Thread-safe with respect to the index, but
   /// callers must not share \p Ctx across threads.
   H insert(ExprContext &Ctx, const Expr *Root) {
-    Root = uniquifyBinders(Ctx, Root);
     AlphaHasher<H> Hasher(Ctx, Schema);
+    return insert(Ctx, Root, Hasher);
+  }
+
+  /// Intern \p Root, hashing with a caller-owned \p Hasher so its scratch
+  /// (pool, stacks, name cache) is reused across many inserts. The hasher
+  /// must have been constructed with this index's schema seed; it is
+  /// rebound to \p Ctx if currently pointed elsewhere.
+  H insert(ExprContext &Ctx, const Expr *Root, AlphaHasher<H> &Hasher) {
+    assert(Hasher.schema().seed() == Schema.seed() &&
+           "hasher seed does not match the index");
+    Hasher.bindIfNeeded(Ctx);
+    Root = uniquifyBinders(Ctx, Root);
     H Hash = Hasher.hashRoot(Root);
     insertHashed(Ctx, Root, Hash);
     return Hash;
@@ -179,42 +206,29 @@ public:
   /// \p Threads.
   BatchResult insertBatch(const std::vector<std::string> &Blobs,
                           unsigned Threads) {
-    // Hashing parallelism is useful regardless of shard count, but an
-    // absurd caller value must not translate into thousands of threads
-    // (or overflow the chunk arithmetic below).
-    Threads = std::clamp(Threads, 1u, 1024u);
-    // One task per chunk: big enough to amortise scheduling, small enough
-    // to spread a 10k-expression corpus over 8 workers.
-    const size_t Chunk =
-        std::clamp<size_t>(Blobs.size() / (size_t(8) * Threads), 16, 512);
-    std::mutex ResultMu;
     BatchResult Result;
-    ThreadPool Pool(Threads);
-    for (size_t Begin = 0; Begin < Blobs.size(); Begin += Chunk) {
-      size_t End = std::min(Begin + Chunk, Blobs.size());
-      Pool.run([this, &Blobs, &ResultMu, &Result, Begin, End] {
-        // Private context per chunk: bounds arena growth and keeps
-        // workers lock-free outside the shard critical sections.
-        ExprContext Ctx;
-        AlphaHasher<H> Hasher(Ctx, Schema);
-        BatchResult Local;
-        for (size_t I = Begin; I != End; ++I) {
-          DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
-          if (!R.ok()) {
-            ++Local.DecodeErrors;
-            shardFor(H{}).bumpDecodeError();
-            continue;
-          }
-          const Expr *Root = uniquifyBinders(Ctx, R.E);
-          insertHashed(Ctx, Root, Hasher.hashRoot(Root));
-          ++Local.Ingested;
+    std::mutex ResultMu;
+    forEachChunk(Blobs.size(), Threads, [&](AlphaHasher<H> &Hasher,
+                                            ExprContext &Ctx, size_t Begin,
+                                            size_t End, BatchWorkerState &W) {
+      for (size_t I = Begin; I != End; ++I) {
+        DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+        if (!R.ok()) {
+          ++W.Local.DecodeErrors;
+          shardFor(H{}).bumpDecodeError();
+          continue;
         }
-        std::lock_guard<std::mutex> Lock(ResultMu);
-        Result.Ingested += Local.Ingested;
-        Result.DecodeErrors += Local.DecodeErrors;
-      });
-    }
-    Pool.wait();
+        const Expr *Root = uniquifyBinders(Ctx, R.E);
+        insertHashed(Ctx, Root, Hasher.hashRoot(Root));
+        ++W.Local.Ingested;
+      }
+    }, [&](BatchWorkerState &W) {
+      std::lock_guard<std::mutex> Lock(ResultMu);
+      Result.Ingested += W.Local.Ingested;
+      Result.DecodeErrors += W.Local.DecodeErrors;
+      Result.PoolNodesAllocated += W.Local.PoolNodesAllocated;
+      Result.SteadyPoolNodesAllocated += W.Local.SteadyPoolNodesAllocated;
+    });
     return Result;
   }
 
@@ -222,24 +236,22 @@ public:
   // Queries
   //===--------------------------------------------------------------------===//
 
-  /// Find the class of \p Root, if it has been interned.
+  /// Find the class of \p Root, if it has been interned. Takes only a
+  /// shared (reader) lock on the owning stripe.
   std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root) {
-    Root = uniquifyBinders(Ctx, Root);
     AlphaHasher<H> Hasher(Ctx, Schema);
-    H Hash = Hasher.hashRoot(Root);
-    Shard &S = shardFor(Hash);
-    std::lock_guard<std::mutex> Lock(S.Mu);
-    auto It = S.ByHash.find(Hash);
-    if (It == S.ByHash.end())
-      return std::nullopt;
-    for (uint32_t Id : It->second) {
-      const Entry &E = S.Entries[Id];
-      ++S.Stats.FallbackChecks;
-      if (alphaEquivalent(Ctx, Root, S.Ctx, E.Canon))
-        return LookupResult{Hash, E.Count, E.Bytes};
-      ++S.Stats.VerifiedCollisions;
-    }
-    return std::nullopt;
+    return lookup(Ctx, Root, Hasher);
+  }
+
+  /// \ref lookup with a caller-owned hasher (scratch reuse across many
+  /// queries; see the matching \ref insert overload).
+  std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root,
+                                     AlphaHasher<H> &Hasher) {
+    assert(Hasher.schema().seed() == Schema.seed() &&
+           "hasher seed does not match the index");
+    Hasher.bindIfNeeded(Ctx);
+    Root = uniquifyBinders(Ctx, Root);
+    return lookupHashed(Ctx, Root, Hasher.hashRoot(Root));
   }
 
   /// Membership query in `ast/Serialize` format.
@@ -251,6 +263,29 @@ public:
     return lookup(Ctx, R.E);
   }
 
+  /// Look up a whole corpus of serialised expressions on \p Threads
+  /// workers: the read-mostly mirror of \ref insertBatch (ROADMAP's bulk
+  /// `lookupBatch`). Result i corresponds to blob i; a blob that fails to
+  /// decode yields std::nullopt, same as a miss. Workers hash outside any
+  /// lock and probe their stripes under shared locks, so batch queries
+  /// neither block each other nor serialise against concurrent readers.
+  std::vector<std::optional<LookupResult>>
+  lookupBatch(const std::vector<std::string> &Blobs, unsigned Threads) {
+    std::vector<std::optional<LookupResult>> Results(Blobs.size());
+    forEachChunk(Blobs.size(), Threads, [&](AlphaHasher<H> &Hasher,
+                                            ExprContext &Ctx, size_t Begin,
+                                            size_t End, BatchWorkerState &) {
+      for (size_t I = Begin; I != End; ++I) {
+        DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+        if (!R.ok())
+          continue; // leave Results[I] empty; read path mutates no stats
+        const Expr *Root = uniquifyBinders(Ctx, R.E);
+        Results[I] = lookupHashed(Ctx, Root, Hasher.hashRoot(Root));
+      }
+    }, [](BatchWorkerState &) {});
+    return Results;
+  }
+
   bool contains(ExprContext &Ctx, const Expr *Root) {
     return lookup(Ctx, Root).has_value();
   }
@@ -259,7 +294,7 @@ public:
   size_t numClasses() const {
     size_t N = 0;
     for (unsigned I = 0; I != numShards(); ++I) {
-      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
       N += ShardsArr[I].Entries.size();
     }
     return N;
@@ -268,12 +303,18 @@ public:
   /// Total successful ingest operations (duplicates included).
   uint64_t totalInserted() const { return stats().Inserted; }
 
-  /// Aggregate counters across all shards.
+  /// Aggregate counters across all shards (including the atomics the
+  /// shared-lock read path bumps).
   IndexStats stats() const {
     IndexStats Total;
     for (unsigned I = 0; I != numShards(); ++I) {
-      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
-      Total += ShardsArr[I].Stats;
+      const Shard &S = ShardsArr[I];
+      std::shared_lock<std::shared_mutex> Lock(S.Mu);
+      Total += S.Stats;
+      Total.FallbackChecks +=
+          S.ReadFallbackChecks.load(std::memory_order_relaxed);
+      Total.VerifiedCollisions +=
+          S.ReadVerifiedCollisions.load(std::memory_order_relaxed);
     }
     return Total;
   }
@@ -282,7 +323,7 @@ public:
   std::vector<size_t> shardLoads() const {
     std::vector<size_t> Loads(numShards());
     for (unsigned I = 0; I != numShards(); ++I) {
-      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
       Loads[I] = ShardsArr[I].Entries.size();
     }
     return Loads;
@@ -293,7 +334,7 @@ public:
   std::vector<ClassSummary> snapshot() const {
     std::vector<ClassSummary> Out;
     for (unsigned I = 0; I != numShards(); ++I) {
-      std::lock_guard<std::mutex> Lock(ShardsArr[I].Mu);
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
       for (const Entry &E : ShardsArr[I].Entries)
         Out.push_back(ClassSummary{E.Hash, E.Count, E.Bytes});
     }
@@ -315,19 +356,29 @@ private:
     uint64_t Count = 0;          ///< Ingested members (first one included).
   };
 
-  /// One lock stripe: a mutex, the context owning this stripe's canonical
-  /// representatives, and the hash table over them.
+  /// One lock stripe: a reader-writer mutex, the context owning this
+  /// stripe's canonical representatives, and the hash table over them.
+  /// The read path (lookup / lookupBatch / stats / snapshot) takes the
+  /// mutex shared and records its counters in atomics; only ingest and
+  /// decode-error bumps take it exclusive.
   struct Shard {
-    mutable std::mutex Mu;
+    mutable std::shared_mutex Mu;
     ExprContext Ctx;
     std::deque<Entry> Entries; ///< Stable ids; deque avoids relocation.
     std::unordered_map<H, std::vector<uint32_t>, HashCodeHasher> ByHash;
     IndexStats Stats;
+    mutable std::atomic<uint64_t> ReadFallbackChecks{0};
+    mutable std::atomic<uint64_t> ReadVerifiedCollisions{0};
 
     void bumpDecodeError() {
-      std::lock_guard<std::mutex> Lock(Mu);
+      std::lock_guard<std::shared_mutex> Lock(Mu);
       ++Stats.DecodeErrors;
     }
+  };
+
+  /// Per-worker accounting for \ref forEachChunk batch drivers.
+  struct BatchWorkerState {
+    BatchResult Local;
   };
 
   Shard &shardFor(H Hash) const {
@@ -338,11 +389,87 @@ private:
     return ShardsArr[Mixed & ShardMask];
   }
 
+  /// Shared driver for insertBatch/lookupBatch: split [0, Count) into
+  /// chunks, spawn min(Threads, chunks) workers that pull chunk indices
+  /// from an atomic counter. Each worker owns one AlphaHasher for the
+  /// whole batch (scratch stays warm) and one fresh ExprContext per chunk
+  /// (arena growth stays bounded); the hasher is rebound at each chunk.
+  /// \p Body processes one chunk; \p Finish merges the worker's state.
+  template <typename BodyFn, typename FinishFn>
+  void forEachChunk(size_t Count, unsigned Threads, BodyFn Body,
+                    FinishFn Finish) {
+    // Hashing parallelism is useful regardless of shard count, but an
+    // absurd caller value must not translate into thousands of threads
+    // (or overflow the chunk arithmetic below).
+    Threads = std::clamp(Threads, 1u, 1024u);
+    // One chunk per pull: big enough to amortise scheduling (and to warm
+    // a worker's scratch), small enough to spread a 10k-expression corpus
+    // over 8 workers.
+    const size_t Chunk =
+        std::clamp<size_t>(Count / (size_t(8) * Threads), 16, 512);
+    const size_t NumChunks = (Count + Chunk - 1) / Chunk;
+    std::atomic<size_t> NextChunk{0};
+
+    auto Worker = [&] {
+      BatchWorkerState W;
+      // The hasher outlives every per-chunk context; it is rebound before
+      // each use, so the briefly-dangling context pointer between chunks
+      // is never dereferenced.
+      ExprContext BootCtx;
+      AlphaHasher<H> Hasher(BootCtx, Schema);
+      bool Warmed = false;
+      uint64_t WarmMark = 0;
+      for (size_t C = NextChunk.fetch_add(1); C < NumChunks;
+           C = NextChunk.fetch_add(1)) {
+        size_t Begin = C * Chunk;
+        size_t End = std::min(Begin + Chunk, Count);
+        ExprContext Ctx;
+        Hasher.rebind(Ctx);
+        Body(Hasher, Ctx, Begin, End, W);
+        Hasher.rebind(BootCtx);
+        if (!Warmed) {
+          Warmed = true;
+          WarmMark = Hasher.poolAllocatedNodes();
+        }
+      }
+      W.Local.PoolNodesAllocated = Hasher.poolAllocatedNodes();
+      W.Local.SteadyPoolNodesAllocated =
+          Warmed ? Hasher.poolAllocatedNodes() - WarmMark : 0;
+      Finish(W);
+    };
+
+    // Never spawn more OS threads than there are chunks to process.
+    size_t Workers = std::min<size_t>(Threads, NumChunks);
+    ThreadPool Pool(static_cast<unsigned>(Workers));
+    for (size_t T = 0; T != Workers; ++T)
+      Pool.run(Worker);
+    Pool.wait();
+  }
+
+  /// Read-path probe: \p Root (owned by \p SrcCtx, binders distinct) with
+  /// its already-computed alpha-hash, under a shared stripe lock.
+  std::optional<LookupResult> lookupHashed(const ExprContext &SrcCtx,
+                                           const Expr *Root, H Hash) const {
+    const Shard &S = shardFor(Hash);
+    std::shared_lock<std::shared_mutex> Lock(S.Mu);
+    auto It = S.ByHash.find(Hash);
+    if (It == S.ByHash.end())
+      return std::nullopt;
+    for (uint32_t Id : It->second) {
+      const Entry &E = S.Entries[Id];
+      S.ReadFallbackChecks.fetch_add(1, std::memory_order_relaxed);
+      if (alphaEquivalent(SrcCtx, Root, S.Ctx, E.Canon))
+        return LookupResult{Hash, E.Count, E.Bytes};
+      S.ReadVerifiedCollisions.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+
   /// Core ingest: \p Root (owned by \p SrcCtx, binders distinct) with its
   /// already-computed alpha-hash. Returns true if a new class was created.
   bool insertHashed(const ExprContext &SrcCtx, const Expr *Root, H Hash) {
     Shard &S = shardFor(Hash);
-    std::lock_guard<std::mutex> Lock(S.Mu);
+    std::lock_guard<std::shared_mutex> Lock(S.Mu);
     ++S.Stats.Inserted;
 
     auto [It, Fresh] = S.ByHash.try_emplace(Hash);

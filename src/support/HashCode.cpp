@@ -30,6 +30,13 @@ std::string Hash64::toHex() const {
   return Out;
 }
 
+std::string Hash32::toHex() const {
+  std::string Out;
+  Out.reserve(8);
+  appendHex(Out, V, 8);
+  return Out;
+}
+
 std::string Hash16::toHex() const {
   std::string Out;
   Out.reserve(4);

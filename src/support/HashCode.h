@@ -110,6 +110,31 @@ struct Hash64 {
   std::string toHex() const;
 };
 
+/// A 32-bit hash code: wide enough that collisions are rare on small
+/// corpora yet narrow enough to stress them in tests (the b=16/32/64/128
+/// differential sweep in tests/smallvarmap_test.cpp).
+struct Hash32 {
+  uint32_t V = 0;
+
+  constexpr Hash32() = default;
+  constexpr explicit Hash32(uint32_t V) : V(V) {}
+
+  constexpr bool isZero() const { return V == 0; }
+
+  friend constexpr bool operator==(Hash32 A, Hash32 B) { return A.V == B.V; }
+  friend constexpr bool operator!=(Hash32 A, Hash32 B) { return A.V != B.V; }
+  friend constexpr bool operator<(Hash32 A, Hash32 B) { return A.V < B.V; }
+  friend constexpr Hash32 operator^(Hash32 A, Hash32 B) {
+    return Hash32(A.V ^ B.V);
+  }
+  Hash32 &operator^=(Hash32 B) {
+    V ^= B.V;
+    return *this;
+  }
+
+  std::string toHex() const;
+};
+
 /// A 16-bit hash code, for the Appendix B / Figure 4 collision experiment.
 struct Hash16 {
   uint16_t V = 0;
@@ -165,6 +190,7 @@ public:
     addWord(H.Lo);
   }
   void add(Hash64 H) { addWord(H.V); }
+  void add(Hash32 H) { addWord(H.V); }
   void add(Hash16 H) { addWord(H.V); }
 
   /// Finalise to a hash code of width \p H. The 128-bit internal state is
@@ -191,6 +217,9 @@ template <> inline Hash128 MixEngine::finish<Hash128>() const {
 template <> inline Hash64 MixEngine::finish<Hash64>() const {
   return Hash64(finishLo());
 }
+template <> inline Hash32 MixEngine::finish<Hash32>() const {
+  return Hash32(static_cast<uint32_t>(finishLo()));
+}
 template <> inline Hash16 MixEngine::finish<Hash16>() const {
   return Hash16(static_cast<uint16_t>(finishLo()));
 }
@@ -205,6 +234,10 @@ template <> struct HashWidth<Hash64> {
   static constexpr unsigned Bits = 64;
   static constexpr const char *Name = "Hash64";
 };
+template <> struct HashWidth<Hash32> {
+  static constexpr unsigned Bits = 32;
+  static constexpr const char *Name = "Hash32";
+};
 template <> struct HashWidth<Hash16> {
   static constexpr unsigned Bits = 16;
   static constexpr const char *Name = "Hash16";
@@ -217,6 +250,7 @@ struct HashCodeHasher {
     return static_cast<size_t>(H.Hi ^ detail::rotl64(H.Lo, 32));
   }
   size_t operator()(Hash64 H) const { return static_cast<size_t>(H.V); }
+  size_t operator()(Hash32 H) const { return static_cast<size_t>(H.V); }
   size_t operator()(Hash16 H) const { return static_cast<size_t>(H.V); }
 };
 

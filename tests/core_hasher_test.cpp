@@ -280,3 +280,59 @@ TYPED_TEST(AlphaHasherWidthTest, RandomRenamingsAgree) {
     EXPECT_EQ(H.hashRoot(E), H.hashRoot(Renamed));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Name-cache growth across calls
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaHasher, NamesInternedBetweenCallsHashCorrectly) {
+  // Regression: the per-name spelling-hash cache is sized lazily; names
+  // interned AFTER a hashRoot call sized the cache must still get slots
+  // (the old code resized to exactly names().size() at first touch, which
+  // could leave later-interned names out of a mid-pass resize). The cache
+  // now grows to a power of two past max(N + 1, names().size()).
+  ExprContext Ctx;
+  AlphaHasher<Hash128> H(Ctx);
+
+  // First call sizes the cache to the names interned so far.
+  const Expr *A = prep(Ctx, "(lam (x) (add x 1))");
+  Hash128 HA = H.hashRoot(A);
+
+  // Intern a burst of brand-new names, then hash an expression using them
+  // with the SAME hasher.
+  for (int I = 0; I != 100; ++I)
+    Ctx.names().intern("late_" + std::to_string(I));
+  const Expr *B = prep(Ctx, "(lam (q) (late_7 (late_93 (q late_42))))");
+  Hash128 HB = H.hashRoot(B);
+
+  // A fresh hasher (cache sized after all interning) must agree exactly.
+  AlphaHasher<Hash128> Fresh(Ctx);
+  EXPECT_EQ(HB, Fresh.hashRoot(B));
+  EXPECT_EQ(HA, Fresh.hashRoot(A));
+
+  // And nameHash itself answers for a name interned a moment ago.
+  Name Brand = Ctx.names().intern("very_latest");
+  EXPECT_EQ(H.nameHash(Brand), Fresh.nameHash(Brand));
+}
+
+TEST(AlphaHasher, RebindInvalidatesTheNameCache) {
+  // Two contexts interning different spellings in different orders: a
+  // rebound hasher must hash by spelling, not by stale cached name ids.
+  ExprContext C1, C2;
+  C1.names().intern("only_in_c1");
+  const Expr *E1 = uniquifyBinders(C1, parseT(C1, "(f free_one)"));
+  const Expr *E2 = uniquifyBinders(C2, parseT(C2, "(f free_two)"));
+
+  AlphaHasher<Hash128> H(C1);
+  Hash128 H1 = H.hashRoot(E1);
+  H.rebind(C2);
+  Hash128 H2 = H.hashRoot(E2);
+
+  EXPECT_NE(H1, H2); // different free variables
+  EXPECT_EQ(H1, AlphaHasher<Hash128>(C1).hashRoot(E1));
+  EXPECT_EQ(H2, AlphaHasher<Hash128>(C2).hashRoot(E2));
+
+  // Round-trip back to C1: cache is rebuilt, hashes stay stable.
+  H.rebind(C1);
+  EXPECT_EQ(H.hashRoot(E1), H1);
+}

@@ -246,3 +246,150 @@ TEST(AlphaHashIndex16, ManyCollidingInsertsStayExact) {
     Dupes += N - 1;
   EXPECT_EQ(Index.stats().Duplicates, Dupes);
 }
+
+//===----------------------------------------------------------------------===//
+// Batch queries (the read-mostly, shared-lock mirror of insertBatch)
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaHashIndex, LookupBatchMatchesIndividualLookups) {
+  ExprContext Gen;
+  Rng R(555);
+  std::vector<std::string> Corpus;
+  for (int I = 0; I != 60; ++I) {
+    const Expr *E = genBalanced(Gen, R, 28);
+    Corpus.push_back(serializeExpr(Gen, E));
+    if (I % 2 == 0)
+      Corpus.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+  }
+
+  AlphaHashIndex<> Index;
+  Index.insertBatch(Corpus, 1);
+
+  // Queries: every corpus member (renamed, so hits are modulo alpha),
+  // some absent expressions, and one undecodable blob.
+  std::vector<std::string> Queries;
+  std::vector<bool> ExpectHit;
+  for (int I = 0; I != 40; ++I) {
+    ExprContext Ctx;
+    DeserializeResult D = deserializeExpr(Ctx, Corpus[I]);
+    ASSERT_TRUE(D.ok());
+    Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, D.E)));
+    ExpectHit.push_back(true);
+  }
+  for (int I = 0; I != 10; ++I) {
+    ExprContext Ctx;
+    Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 90)));
+    ExpectHit.push_back(false);
+  }
+  Queries.push_back("definitely not a blob");
+  ExpectHit.push_back(false);
+
+  for (unsigned Threads : {1u, 4u}) {
+    auto Results = Index.lookupBatch(Queries, Threads);
+    ASSERT_EQ(Results.size(), Queries.size());
+    for (size_t I = 0; I != Queries.size(); ++I) {
+      EXPECT_EQ(Results[I].has_value(), ExpectHit[I]) << "query " << I;
+      if (!Results[I])
+        continue;
+      // Each batch answer must equal the one-at-a-time answer.
+      auto Single = Index.lookupSerialized(Queries[I]);
+      ASSERT_TRUE(Single.has_value());
+      EXPECT_EQ(Results[I]->Hash, Single->Hash);
+      EXPECT_EQ(Results[I]->Count, Single->Count);
+      EXPECT_EQ(Results[I]->CanonicalBytes, Single->CanonicalBytes);
+    }
+  }
+}
+
+TEST(AlphaHashIndex, LookupBatchOnEmptyIndexAndEmptyQuerySet) {
+  AlphaHashIndex<> Index;
+  EXPECT_TRUE(Index.lookupBatch({}, 4).empty());
+  ExprContext Ctx;
+  std::vector<std::string> Queries = {
+      serializeExpr(Ctx, parseT(Ctx, "(lam (x) x)"))};
+  auto Results = Index.lookupBatch(Queries, 2);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_FALSE(Results[0].has_value());
+}
+
+TEST(AlphaHashIndex, LookupBatchDoesNotPerturbIngestStats) {
+  ExprContext Ctx;
+  AlphaHashIndex<> Index;
+  std::vector<std::string> Blobs = {
+      serializeExpr(Ctx, parseT(Ctx, "(lam (x) (x x))")),
+      serializeExpr(Ctx, parseT(Ctx, "(lam (x) x)"))};
+  Index.insertBatch(Blobs, 1);
+  IndexStats Before = Index.stats();
+
+  auto Results = Index.lookupBatch(Blobs, 1);
+  EXPECT_TRUE(Results[0] && Results[1]);
+
+  IndexStats After = Index.stats();
+  EXPECT_EQ(After.Inserted, Before.Inserted);
+  EXPECT_EQ(After.NewClasses, Before.NewClasses);
+  EXPECT_EQ(After.Duplicates, Before.Duplicates);
+  EXPECT_EQ(After.DecodeErrors, Before.DecodeErrors);
+  // The read path does account its exact-verification probes.
+  EXPECT_GE(After.FallbackChecks, Before.FallbackChecks + 2);
+}
+
+//===----------------------------------------------------------------------===//
+// The zero-allocation claim: steady-state ingest carves no pool nodes
+//===----------------------------------------------------------------------===//
+
+TEST(AlphaHashIndex, SteadyStateIngestPerformsZeroPoolAllocations) {
+  // Corpus whose LARGEST expression comes first: the single worker warms
+  // its hasher scratch on chunk 0, after which every further chunk must
+  // recycle pooled map nodes instead of allocating.
+  ExprContext Gen;
+  Rng R(808);
+  std::vector<std::string> Blobs;
+  Blobs.push_back(serializeExpr(Gen, genBalanced(Gen, R, 600)));
+  Blobs.push_back(serializeExpr(Gen, genUnbalanced(Gen, R, 600)));
+  for (int I = 0; I != 200; ++I)
+    Blobs.push_back(serializeExpr(Gen, genBalanced(Gen, R, 40)));
+
+  AlphaHashIndex<> Index;
+  auto Batch = Index.insertBatch(Blobs, /*Threads=*/1);
+  EXPECT_EQ(Batch.Ingested, Blobs.size());
+  EXPECT_EQ(Batch.SteadyPoolNodesAllocated, 0u)
+      << "ingest allocated pool nodes after the warm-up chunk";
+  // The warm-up itself is visible (the 600-node expressions spill past
+  // the inline capacity), so the total is positive.
+  EXPECT_GT(Batch.PoolNodesAllocated, 0u);
+}
+
+TEST(AlphaHashIndex, SharedHasherSurvivesContextRecreationAtSameAddress) {
+  // Regression (ABA): a loop-local ExprContext is typically recreated at
+  // the SAME stack address each iteration. A shared hasher keyed on the
+  // context *pointer* alone would keep iteration 1's name-hash cache and
+  // silently hash iteration 2's names with iteration 1's spellings; the
+  // (address, epoch) identity check must rebind instead.
+  AlphaHashIndex<> Index;
+  ExprContext HasherCtx;
+  AlphaHasher<Hash128> Hasher(HasherCtx, Index.schema());
+
+  const char *Sources[] = {"(g one)", "(g two)", "(g three)"};
+  std::vector<Hash128> Inserted;
+  for (const char *Src : Sources) {
+    ExprContext Ctx; // fresh context, (almost certainly) reused address
+    const Expr *E = parseT(Ctx, Src);
+    Inserted.push_back(Index.insert(Ctx, E, Hasher));
+    auto Hit = Index.lookup(Ctx, E, Hasher);
+    ASSERT_TRUE(Hit.has_value()) << Src << " absent right after insert";
+  }
+
+  // Three distinct free-variable spellings: three classes, three hashes.
+  EXPECT_EQ(Index.numClasses(), 3u);
+  EXPECT_NE(Inserted[0], Inserted[1]);
+  EXPECT_NE(Inserted[1], Inserted[2]);
+  EXPECT_NE(Inserted[0], Inserted[2]);
+  EXPECT_EQ(Index.stats().VerifiedCollisions, 0u);
+
+  // And each hash matches a from-scratch hasher's answer.
+  for (size_t I = 0; I != 3; ++I) {
+    ExprContext Ctx;
+    const Expr *E = uniquifyBinders(Ctx, parseT(Ctx, Sources[I]));
+    EXPECT_EQ(Inserted[I], AlphaHasher<Hash128>(Ctx).hashRoot(E));
+  }
+}

@@ -1,0 +1,346 @@
+//===- tests/smallvarmap_test.cpp - Adaptive small-map differential tests ----===//
+///
+/// \file
+/// SmallVarMap must be observationally identical to AvlMap: same
+/// contents, same iteration order, same alter/remove results -- through
+/// randomized operation sequences, across the inline->AVL spill boundary,
+/// and (the property that actually matters) through the whole AlphaHasher
+/// data flow: the adaptive and AVL-only map policies must produce
+/// bit-identical hashes at every width b in {16, 32, 64, 128}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/SmallVarMap.h"
+
+#include "ast/Uniquify.h"
+#include "core/AlphaHasher.h"
+#include "gen/RandomExpr.h"
+#include "support/Random.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace hma;
+
+using SMap = SmallVarMap<uint32_t, uint64_t>;
+using AMap = AvlMap<uint32_t, uint64_t>;
+
+namespace {
+
+/// Assert \p S and \p A hold identical entries in identical order.
+void expectSameContents(const SMap &S, const AMap &A) {
+  ASSERT_EQ(S.size(), A.size());
+  std::vector<std::pair<uint32_t, uint64_t>> SE, AE;
+  S.forEach([&](uint32_t K, uint64_t V) { SE.push_back({K, V}); });
+  A.forEach([&](uint32_t K, uint64_t V) { AE.push_back({K, V}); });
+  EXPECT_EQ(SE, AE);
+}
+
+} // namespace
+
+TEST(SmallVarMap, EmptyBehaviour) {
+  SMap::Pool P;
+  SMap M(P);
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_FALSE(M.spilled());
+  EXPECT_EQ(M.find(7), nullptr);
+  EXPECT_FALSE(M.remove(7).has_value());
+  M.forEach([](uint32_t, uint64_t) { FAIL() << "empty map has no entries"; });
+  EXPECT_TRUE(M.checkInvariants());
+}
+
+TEST(SmallVarMap, InlineInsertFindRemoveStaysOrdered) {
+  SMap::Pool P;
+  SMap M(P);
+  for (uint32_t K : {9u, 2u, 7u, 1u})
+    M.set(K, K * 10);
+  EXPECT_FALSE(M.spilled());
+  EXPECT_EQ(P.liveNodes(), 0u) << "inline entries must not touch the pool";
+  std::vector<uint32_t> Keys;
+  M.forEach([&](uint32_t K, uint64_t V) {
+    Keys.push_back(K);
+    EXPECT_EQ(V, K * 10);
+  });
+  EXPECT_EQ(Keys, (std::vector<uint32_t>{1, 2, 7, 9}));
+
+  std::optional<uint64_t> Removed = M.remove(7);
+  ASSERT_TRUE(Removed.has_value());
+  EXPECT_EQ(*Removed, 70u);
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_EQ(M.find(7), nullptr);
+  ASSERT_NE(M.find(9), nullptr);
+  EXPECT_EQ(*M.find(9), 90u);
+  EXPECT_TRUE(M.checkInvariants());
+}
+
+TEST(SmallVarMap, AlterSeesOldValue) {
+  SMap::Pool P;
+  SMap M(P);
+  M.alter(5, [](uint64_t *Old) {
+    EXPECT_EQ(Old, nullptr);
+    return 50u;
+  });
+  M.alter(5, [](uint64_t *Old) {
+    EXPECT_NE(Old, nullptr);
+    EXPECT_EQ(*Old, 50u);
+    return 55u;
+  });
+  EXPECT_EQ(*M.find(5), 55u);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(SmallVarMap, SpillBoundary) {
+  // Fill to N-1, N, N+1 entries: the map must spill exactly when the
+  // (N+1)-th distinct key arrives, preserving contents and order.
+  constexpr unsigned N = SMap::InlineCapacity;
+  SMap::Pool P;
+  SMap M(P);
+
+  for (unsigned I = 0; I != N - 1; ++I)
+    M.set(I * 3, I);
+  EXPECT_EQ(M.size(), N - 1);
+  EXPECT_FALSE(M.spilled());
+  EXPECT_TRUE(M.checkInvariants());
+
+  M.set((N - 1) * 3, N - 1); // N-th entry: still inline
+  EXPECT_EQ(M.size(), N);
+  EXPECT_FALSE(M.spilled());
+  EXPECT_EQ(P.liveNodes(), 0u);
+  EXPECT_TRUE(M.checkInvariants());
+
+  // Overwriting an existing key at capacity must NOT spill.
+  M.set(0, 1000);
+  EXPECT_EQ(M.size(), N);
+  EXPECT_FALSE(M.spilled());
+
+  M.set(N * 3 + 1, N); // (N+1)-th entry: spills to the AVL tree
+  EXPECT_EQ(M.size(), N + 1);
+  EXPECT_TRUE(M.spilled());
+  EXPECT_EQ(P.liveNodes(), size_t(N) + 1);
+  EXPECT_TRUE(M.checkInvariants());
+
+  // Everything survived the spill, in order, including the overwrite.
+  std::vector<uint32_t> Keys;
+  M.forEach([&](uint32_t K, uint64_t V) {
+    Keys.push_back(K);
+    if (K == 0) {
+      EXPECT_EQ(V, 1000u);
+    }
+  });
+  ASSERT_EQ(Keys.size(), size_t(N) + 1);
+  for (size_t I = 1; I != Keys.size(); ++I)
+    EXPECT_LT(Keys[I - 1], Keys[I]);
+
+  // Removals below the threshold do not un-spill (no representation
+  // thrash at the boundary)...
+  for (unsigned I = 0; I != N; ++I)
+    M.remove(I * 3);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_TRUE(M.spilled());
+  // ...but clear() returns to inline mode and the pool.
+  M.clear();
+  EXPECT_FALSE(M.spilled());
+  EXPECT_EQ(P.liveNodes(), 0u);
+  M.set(1, 1);
+  EXPECT_FALSE(M.spilled());
+  EXPECT_EQ(P.liveNodes(), 0u);
+}
+
+TEST(SmallVarMap, MoveTransfersBothRepresentations) {
+  SMap::Pool P;
+  {
+    // Inline move.
+    SMap A(P);
+    A.set(1, 100);
+    SMap B = std::move(A);
+    EXPECT_EQ(B.size(), 1u);
+    EXPECT_EQ(*B.find(1), 100u);
+    EXPECT_TRUE(A.empty()); // NOLINT: moved-from is specified empty
+  }
+  {
+    // Spilled move.
+    SMap A(P);
+    for (uint32_t I = 0; I != 2 * SMap::InlineCapacity; ++I)
+      A.set(I, I);
+    ASSERT_TRUE(A.spilled());
+    SMap B = std::move(A);
+    EXPECT_TRUE(A.empty());
+    EXPECT_EQ(B.size(), 2u * SMap::InlineCapacity);
+    EXPECT_TRUE(B.checkInvariants());
+  }
+  EXPECT_EQ(P.liveNodes(), 0u);
+}
+
+TEST(SmallVarMap, RandomizedDifferentialVsAvlMap) {
+  Rng R(31337);
+  SMap::Pool SP;
+  AMap::Pool AP;
+  SMap S(SP);
+  AMap A(AP);
+  // Key range 0..24 with inline capacity 8: the map crosses the spill
+  // boundary back (via clear) and forth many times over the run.
+  for (int Step = 0; Step != 30000; ++Step) {
+    uint32_t Key = static_cast<uint32_t>(R.below(25));
+    switch (R.below(5)) {
+    case 0:
+    case 1: { // insert/overwrite via alter, checking the old value agrees
+      uint64_t Val = R.next();
+      uint64_t SOld = ~0ull, AOld = ~0ull;
+      S.alter(Key, [&](uint64_t *Old) {
+        SOld = Old ? *Old : ~0ull;
+        return Val;
+      });
+      A.alter(Key, [&](uint64_t *Old) {
+        AOld = Old ? *Old : ~0ull;
+        return Val;
+      });
+      EXPECT_EQ(SOld, AOld);
+      break;
+    }
+    case 2: { // remove
+      std::optional<uint64_t> SG = S.remove(Key);
+      std::optional<uint64_t> AG = A.remove(Key);
+      EXPECT_EQ(SG, AG);
+      break;
+    }
+    case 3: { // lookup
+      uint64_t *SG = S.find(Key);
+      uint64_t *AG = A.find(Key);
+      ASSERT_EQ(SG == nullptr, AG == nullptr);
+      if (SG) {
+        EXPECT_EQ(*SG, *AG);
+      }
+      break;
+    }
+    default: // occasional clear, resetting to the inline representation
+      if (R.below(100) == 0) {
+        S.clear();
+        A.clear();
+      }
+    }
+    ASSERT_EQ(S.size(), A.size());
+    if (Step % 1000 == 0) {
+      ASSERT_TRUE(S.checkInvariants());
+      expectSameContents(S, A);
+    }
+  }
+  ASSERT_TRUE(S.checkInvariants());
+  expectSameContents(S, A);
+  S.clear();
+  A.clear();
+  EXPECT_EQ(SP.liveNodes(), 0u);
+  EXPECT_EQ(AP.liveNodes(), 0u);
+}
+
+TEST(SmallVarMap, MergeSmallerIntoBiggerMatchesAvl) {
+  // Mirror AlphaHasher::combineBinary's merge: fold every entry of a
+  // smaller map into a bigger one via alter, for sizes straddling the
+  // spill boundary on both sides.
+  constexpr unsigned N = SMap::InlineCapacity;
+  for (unsigned SmallN : {1u, N - 1, N, N + 1, 3 * N}) {
+    for (unsigned BigN : {N - 1, N, N + 1, 4 * N}) {
+      SMap::Pool SP;
+      AMap::Pool AP;
+      SMap SBig(SP), SSmall(SP);
+      AMap ABig(AP), ASmall(AP);
+      // Overlapping key ranges: every other small key collides with big.
+      for (unsigned I = 0; I != BigN; ++I) {
+        SBig.set(2 * I, I);
+        ABig.set(2 * I, I);
+      }
+      for (unsigned I = 0; I != SmallN; ++I) {
+        SSmall.set(3 * I, 1000 + I);
+        ASmall.set(3 * I, 1000 + I);
+      }
+      auto Join = [](const uint64_t *Old, uint64_t New) {
+        return Old ? *Old * 31 + New : New;
+      };
+      SSmall.forEach([&](uint32_t K, const uint64_t &V) {
+        SBig.alter(K, [&](uint64_t *Old) { return Join(Old, V); });
+      });
+      ASmall.forEach([&](uint32_t K, const uint64_t &V) {
+        ABig.alter(K, [&](uint64_t *Old) { return Join(Old, V); });
+      });
+      SSmall.clear();
+      ASmall.clear();
+      ASSERT_TRUE(SBig.checkInvariants());
+      expectSameContents(SBig, ABig);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The property that matters: map policy is unobservable through the
+// hasher. Differential AlphaHasher runs at every hash width.
+//===----------------------------------------------------------------------===//
+
+template <typename H> class SmallVarMapHasherTest : public ::testing::Test {};
+using AllWidths = ::testing::Types<Hash16, Hash32, Hash64, Hash128>;
+TYPED_TEST_SUITE(SmallVarMapHasherTest, AllWidths);
+
+TYPED_TEST(SmallVarMapHasherTest, AdaptiveAndAvlPoliciesAgreeOnAllNodes) {
+  ExprContext Ctx;
+  Rng R(4242 + HashWidth<TypeParam>::Bits);
+  AlphaHasher<TypeParam, AvlVarMapPolicy> Avl(Ctx);
+  AlphaHasher<TypeParam, AdaptiveVarMapPolicy> Adaptive(Ctx);
+
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    // Balanced and unbalanced families; sizes chosen so per-node maps
+    // range from empty through well past the spill threshold.
+    uint32_t Size = 1 + static_cast<uint32_t>(R.below(400));
+    const Expr *E = Trial % 2 ? genBalanced(Ctx, R, Size)
+                              : genUnbalanced(Ctx, R, Size);
+    std::vector<TypeParam> HA = Avl.hashAll(E);
+    std::vector<TypeParam> HB = Adaptive.hashAll(E);
+    ASSERT_EQ(HA.size(), HB.size());
+    preorder(E, [&](const Expr *N) { EXPECT_EQ(HA[N->id()], HB[N->id()]); });
+    EXPECT_EQ(Avl.hashRoot(E), Adaptive.hashRoot(E));
+  }
+
+  // The operation counters (Lemma 6.1's currency) must agree too: the
+  // adaptive map changes representation, not the algorithm.
+  EXPECT_EQ(Avl.stats().totalMapOps(), Adaptive.stats().totalMapOps());
+}
+
+TEST(SmallVarMapHasher, ScratchReuseAllocatesNothingInSteadyState) {
+  ExprContext Ctx;
+  Rng R(99);
+  AlphaHasher<Hash128> Hasher(Ctx);
+
+  // Warm up on the biggest expression of the workload...
+  const Expr *Big = genBalanced(Ctx, R, 2000);
+  Hasher.hashRoot(Big);
+  EXPECT_EQ(Hasher.poolLiveNodes(), 0u) << "nodes must return to the pool";
+  size_t Warm = Hasher.poolAllocatedNodes();
+
+  // ...then hash a stream of smaller ones: zero new pool allocations.
+  std::vector<Hash128> Out;
+  for (int I = 0; I != 200; ++I) {
+    const Expr *E = genBalanced(Ctx, R, 100);
+    Hasher.hashRoot(E);
+    Hasher.hashAllInto(E, Out);
+  }
+  EXPECT_EQ(Hasher.poolAllocatedNodes(), Warm);
+  EXPECT_EQ(Hasher.poolLiveNodes(), 0u);
+
+  // Re-hashing the big one is also free now.
+  Hash128 Again = Hasher.hashRoot(Big);
+  EXPECT_EQ(Hasher.poolAllocatedNodes(), Warm);
+  EXPECT_EQ(Again, AlphaHasher<Hash128>(Ctx).hashRoot(Big));
+}
+
+TEST(SmallVarMapHasher, HashAllIntoMatchesHashAll) {
+  ExprContext Ctx;
+  Rng R(7);
+  const Expr *E = uniquifyBinders(Ctx, genBalanced(Ctx, R, 300));
+  AlphaHasher<Hash128> Hasher(Ctx);
+  std::vector<Hash128> Fresh = Hasher.hashAll(E);
+  std::vector<Hash128> Reused(3, Hash128(1, 2)); // stale garbage to clear
+  Hasher.hashAllInto(E, Reused);
+  EXPECT_EQ(Fresh, Reused);
+}

@@ -70,8 +70,10 @@ int usage() {
       "  index build <corpus> [--threads T] [--shards S] [--out FILE]\n"
       "             intern a corpus modulo alpha; --out writes the\n"
       "             deduplicated corpus as a binary HMAC container\n"
-      "  index query <corpus> [--expr E | --expr-file F]\n"
-      "             build, then look one expression up (default: stdin)\n"
+      "  index query <corpus> [--expr E | --expr-file F | --batch FILE]\n"
+      "             build, then look expressions up (default: stdin).\n"
+      "             --batch FILE bulk-queries a whole corpus of\n"
+      "             expressions on --threads shared-lock readers\n"
       "  index stats <corpus> [--threads T] [--shards S]\n"
       "             build, then print collision/shard diagnostics\n"
       "Expressions are read from [file] or stdin. A corpus is one\n"
@@ -223,6 +225,7 @@ struct IndexArgs {
   const char *OutPath = nullptr;
   const char *ExprText = nullptr;
   const char *ExprFile = nullptr;
+  const char *BatchFile = nullptr;
   unsigned Threads = std::max(1u, std::thread::hardware_concurrency());
   unsigned Shards = 64;
 };
@@ -259,6 +262,8 @@ bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
       A.ExprText = Argv[++I];
     else if (Want("--expr-file"))
       A.ExprFile = Argv[++I];
+    else if (Want("--batch"))
+      A.BatchFile = Argv[++I];
     else
       return false;
   }
@@ -314,10 +319,49 @@ int cmdIndexBuild(const IndexArgs &A) {
   return 0;
 }
 
+/// `hma index query <corpus> --batch FILE`: bulk-lookup a whole corpus of
+/// query expressions over the shared-lock read path.
+int cmdIndexQueryBatch(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
+  std::string Bytes;
+  if (!readInput(A.BatchFile, Bytes))
+    return 1;
+  CorpusLoadResult Queries = loadCorpus(Bytes);
+  if (!Queries.ok()) {
+    std::fprintf(stderr, "batch corpus error: %s\n", Queries.Error.c_str());
+    return 1;
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  auto Results = Index.lookupBatch(Queries.Blobs, A.Threads);
+  auto End = std::chrono::steady_clock::now();
+  double Sec = std::chrono::duration<double>(End - Start).count();
+
+  uint64_t Hits = 0;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    if (Results[I]) {
+      ++Hits;
+      std::printf("%zu present count=%llu hash=%s\n", I,
+                  static_cast<unsigned long long>(Results[I]->Count),
+                  Results[I]->Hash.toHex().c_str());
+    } else {
+      std::printf("%zu absent\n", I);
+    }
+  }
+  std::printf("batch query: %zu queries, %llu present, %u threads, "
+              "%.3f s, %.0f queries/sec\n",
+              Results.size(), static_cast<unsigned long long>(Hits),
+              A.Threads, Sec,
+              Sec > 0 ? static_cast<double>(Results.size()) / Sec : 0.0);
+  return 0;
+}
+
 int cmdIndexQuery(const IndexArgs &A) {
   AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
   if (!buildIndex(A, Index))
     return 1;
+
+  if (A.BatchFile)
+    return cmdIndexQueryBatch(A, Index);
 
   std::string QuerySrc;
   if (A.ExprText)
