@@ -18,10 +18,19 @@
 /// allocations after each worker's first chunk -- the zero-allocation
 /// claim of the scratch-reuse pipeline is that the latter is ~0.
 ///
+/// After the thread sweep, each family measures the persistence path:
+/// the single-thread index is saved to `HMAI` bytes and reopened, and
+/// the reopen time is compared against the rebuild (1-thread ingest)
+/// time. The memory-diet column `retained/class` is the canonical-blob
+/// bytes each class keeps resident (the byte-backed ShardStore retains
+/// nothing else; before the refactor every class additionally pinned a
+/// ~2-8 KiB decoded arena in its shard's context).
+///
 ///   HMA_BENCH_FULL=1   10x corpus size
 ///
 /// Output: a human table plus machine-readable `CSV,...` rows
 ///   CSV,index_throughput,<family>,<threads>,<exprs>,<sec>,<exprs_per_sec>,<alloc_per_expr>,<steady_alloc_per_expr>
+///   CSV,index_reopen,<family>,<classes>,<file_bytes>,<reopen_sec>,<rebuild_sec>,<retained_bytes_per_class>
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,7 +39,9 @@
 #include "ast/Serialize.h"
 #include "gen/RandomExpr.h"
 #include "index/AlphaHashIndex.h"
+#include "index/IndexIO.h"
 
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +84,9 @@ void runFamily(const char *Family, size_t Count, uint32_t Size) {
               "exprs/sec", "speedup", "alloc/expr", "steady/expr");
 
   double Base = 0;
+  std::string SavedIndex; // HMAI bytes of the 1-thread index
+  size_t Classes = 0;
+  size_t RetainedBytes = 0;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     AlphaHashIndex<> Index;
     AlphaHashIndex<>::BatchResult Batch;
@@ -95,8 +109,32 @@ void runFamily(const char *Family, size_t Count, uint32_t Size) {
                   Index.numClasses(),
                   static_cast<unsigned long long>(S.Duplicates),
                   static_cast<unsigned long long>(S.VerifiedCollisions));
+      Classes = Index.numClasses();
+      RetainedBytes = Index.retainedBytes();
+      SavedIndex = saveIndexBytes(Index);
     }
   }
+
+  // Persistence: reopening the saved HMAI image restores classes, counts
+  // and stats without re-hashing anything -- compare against the 1-thread
+  // rebuild above.
+  std::unique_ptr<AlphaHashIndex<>> Reopened;
+  double ReopenSec = timeOnce([&] {
+    auto R = loadIndexBytes<Hash128>(SavedIndex);
+    Reopened = std::move(R.Index);
+  });
+  double PerClass =
+      Classes ? static_cast<double>(RetainedBytes) / Classes : 0.0;
+  std::printf("%8s reopen %s vs rebuild %s (%.0fx); file %zu B; "
+              "retained %.1f B/class\n",
+              "", fmtSeconds(ReopenSec).c_str(), fmtSeconds(Base).c_str(),
+              ReopenSec > 0 ? Base / ReopenSec : 0.0, SavedIndex.size(),
+              PerClass);
+  std::printf("CSV,index_reopen,%s,%zu,%zu,%.6f,%.6f,%.1f\n", Family, Classes,
+              SavedIndex.size(), ReopenSec, Base, PerClass);
+  if (!Reopened || Reopened->numClasses() != Classes)
+    std::printf("ERROR: reopened index does not match (classes %zu != %zu)\n",
+                Reopened ? Reopened->numClasses() : 0, Classes);
 }
 
 } // namespace

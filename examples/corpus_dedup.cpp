@@ -22,6 +22,7 @@
 #include "ast/Printer.h"
 #include "ast/Serialize.h"
 #include "index/CorpusIO.h"
+#include "index/IndexIO.h"
 
 #include <cstdio>
 
@@ -97,5 +98,22 @@ int main() {
               static_cast<unsigned long long>(S.Duplicates),
               static_cast<unsigned long long>(S.FallbackChecks),
               static_cast<unsigned long long>(S.VerifiedCollisions));
+
+  // Persist the whole index -- classes, counts, stats -- as HMAI bytes
+  // and reopen it: the restored service answers the same queries without
+  // re-ingesting (or even re-hashing) anything. On disk this is what
+  // `hma index build --out` writes and `hma index open` serves from.
+  std::string Image = saveIndexBytes(Index);
+  IndexLoadResult<Hash128> Reopened = loadIndexBytes<Hash128>(Image);
+  if (!Reopened.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n", Reopened.Error.c_str());
+    return 1;
+  }
+  auto Again = Reopened.Index->lookup(Ctx, Fresh);
+  std::printf("\nsaved %zu B HMAI image; reopened: %zu classes, "
+              "twice-lookup %s (count=%llu)\n",
+              Image.size(), Reopened.Index->numClasses(),
+              Again ? "present" : "absent",
+              static_cast<unsigned long long>(Again ? Again->Count : 0));
   return 0;
 }

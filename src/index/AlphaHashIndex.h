@@ -9,11 +9,20 @@
 ///
 ///  - **Sharding.** Entries are spread across N shards (N rounded up to a
 ///    power of two) by the low bits of a mix of the alpha-hash. Each shard
-///    owns a `std::shared_mutex`, an \ref ExprContext holding its
-///    canonical representatives, and a hash-to-entries table -- striped
-///    locking, so concurrent ingest of a well-spread corpus rarely
+///    owns a `std::shared_mutex` and a byte-backed \ref ShardStore --
+///    striped locking, so concurrent ingest of a well-spread corpus rarely
 ///    contends, and read-mostly query traffic proceeds under *shared*
 ///    locks that never block each other (see "read path" in README.md).
+///
+///  - **Bytes as truth.** A class is (hash, canonical `ast/Serialize`
+///    bytes, count) -- nothing decoded is retained. The exact-verify
+///    fallback deserialises candidates on demand into a small reusable
+///    \ref DecodeScratch (per shard for ingest, per worker for batch
+///    reads), so retained memory is the canonical blobs plus a bounded
+///    scratch, not every representative's arena. The same table is what
+///    `index/IndexIO.h` persists as the `HMAI` on-disk format; \ref
+///    restoreClass / \ref restoreStats rebuild an index from it without
+///    re-hashing anything.
 ///
 ///  - **Hash-then-verify.** Theorem 6.7 bounds the collision probability
 ///    (<= 5(|e1|+|e2|)/2^b), but an interning service must be *correct*,
@@ -29,8 +38,7 @@
 ///    are stable across contexts with equal schema seeds, and
 ///    \ref alphaEquivalent compares across contexts by spelling, so the
 ///    only cross-context copy needed is for a *new* class's canonical
-///    representative, which travels through `ast/Serialize` bytes into
-///    the owning shard's context.
+///    representative, which is stored as its `ast/Serialize` bytes.
 ///
 ///  - **Batch ingest and batch query.** \ref insertBatch and
 ///    \ref lookupBatch fan a corpus of serialised expressions out over a
@@ -52,11 +60,11 @@
 #ifndef HMA_INDEX_ALPHAHASHINDEX_H
 #define HMA_INDEX_ALPHAHASHINDEX_H
 
-#include "ast/AlphaEquivalence.h"
 #include "ast/Expr.h"
 #include "ast/Serialize.h"
 #include "ast/Uniquify.h"
 #include "core/AlphaHasher.h"
+#include "index/ShardStore.h"
 #include "index/ThreadPool.h"
 #include "support/HashCode.h"
 #include "support/HashSchema.h"
@@ -64,14 +72,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace hma {
@@ -244,14 +250,26 @@ public:
   }
 
   /// \ref lookup with a caller-owned hasher (scratch reuse across many
-  /// queries; see the matching \ref insert overload).
+  /// queries; see the matching \ref insert overload). The fallback's
+  /// decode scratch is per-call here; use the overload below to reuse it
+  /// across a query stream too.
   std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root,
                                      AlphaHasher<H> &Hasher) {
+    DecodeScratch Scratch;
+    return lookup(Ctx, Root, Hasher, Scratch);
+  }
+
+  /// Fully scratch-reusing lookup: caller owns both the hasher and the
+  /// fallback decode scratch (the shape \ref lookupBatch gives each of
+  /// its workers).
+  std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root,
+                                     AlphaHasher<H> &Hasher,
+                                     DecodeScratch &Scratch) {
     assert(Hasher.schema().seed() == Schema.seed() &&
            "hasher seed does not match the index");
     Hasher.bindIfNeeded(Ctx);
     Root = uniquifyBinders(Ctx, Root);
-    return lookupHashed(Ctx, Root, Hasher.hashRoot(Root));
+    return lookupHashed(Ctx, Root, Hasher.hashRoot(Root), Scratch);
   }
 
   /// Membership query in `ast/Serialize` format.
@@ -274,13 +292,13 @@ public:
     std::vector<std::optional<LookupResult>> Results(Blobs.size());
     forEachChunk(Blobs.size(), Threads, [&](AlphaHasher<H> &Hasher,
                                             ExprContext &Ctx, size_t Begin,
-                                            size_t End, BatchWorkerState &) {
+                                            size_t End, BatchWorkerState &W) {
       for (size_t I = Begin; I != End; ++I) {
         DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
         if (!R.ok())
           continue; // leave Results[I] empty; read path mutates no stats
         const Expr *Root = uniquifyBinders(Ctx, R.E);
-        Results[I] = lookupHashed(Ctx, Root, Hasher.hashRoot(Root));
+        Results[I] = lookupHashed(Ctx, Root, Hasher.hashRoot(Root), W.Scratch);
       }
     }, [](BatchWorkerState &) {});
     return Results;
@@ -295,7 +313,7 @@ public:
     size_t N = 0;
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
-      N += ShardsArr[I].Entries.size();
+      N += ShardsArr[I].Store.size();
     }
     return N;
   }
@@ -324,7 +342,7 @@ public:
     std::vector<size_t> Loads(numShards());
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
-      Loads[I] = ShardsArr[I].Entries.size();
+      Loads[I] = ShardsArr[I].Store.size();
     }
     return Loads;
   }
@@ -335,8 +353,9 @@ public:
     std::vector<ClassSummary> Out;
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
-      for (const Entry &E : ShardsArr[I].Entries)
-        Out.push_back(ClassSummary{E.Hash, E.Count, E.Bytes});
+      ShardsArr[I].Store.forEach([&Out](const auto &C) {
+        Out.push_back(ClassSummary{C.Hash, C.Count, C.Bytes});
+      });
     }
     std::sort(Out.begin(), Out.end(),
               [](const ClassSummary &A, const ClassSummary &B) {
@@ -347,25 +366,79 @@ public:
     return Out;
   }
 
-private:
-  /// One interned equivalence class.
-  struct Entry {
-    H Hash{};
-    const Expr *Canon = nullptr; ///< Lives in the owning shard's context.
-    std::string Bytes;           ///< Serialised canonical representative.
-    uint64_t Count = 0;          ///< Ingested members (first one included).
-  };
+  //===--------------------------------------------------------------------===//
+  // Memory accounting & persistence hooks (see index/IndexIO.h)
+  //===--------------------------------------------------------------------===//
 
-  /// One lock stripe: a reader-writer mutex, the context owning this
-  /// stripe's canonical representatives, and the hash table over them.
-  /// The read path (lookup / lookupBatch / stats / snapshot) takes the
-  /// mutex shared and records its counters in atomics; only ingest and
-  /// decode-error bumps take it exclusive.
+  /// Bytes retained by class storage across all shards: the canonical
+  /// `ast/Serialize` blobs. This is the whole per-class footprint modulo
+  /// proportional table overhead -- shards keep no decoded
+  /// representatives (scratch memory is bounded and reported by
+  /// \ref scratchStats).
+  size_t retainedBytes() const {
+    size_t N = 0;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
+      N += ShardsArr[I].Store.retainedBytes();
+    }
+    return N;
+  }
+
+  /// Aggregate ingest-side \ref DecodeScratch counters across all shards
+  /// (the read path's scratches are caller-owned and not included).
+  /// Process-local diagnostics: not persisted, not part of \ref stats.
+  ScratchStats scratchStats() const {
+    ScratchStats Total;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      const Shard &S = ShardsArr[I];
+      std::shared_lock<std::shared_mutex> Lock(S.Mu);
+      Total.Decodes += S.WriteScratch.decodes();
+      Total.Recycles += S.WriteScratch.recycles();
+      Total.ArenaBytes += S.WriteScratch.arenaBytes();
+    }
+    return Total;
+  }
+
+  /// Which shard \p Hash maps to (stable for a fixed shard count). Lets
+  /// the `HMAI` writer group classes exactly as the in-memory index does.
+  unsigned shardIndexFor(H Hash) const {
+    return static_cast<unsigned>(&shardFor(Hash) - ShardsArr.get());
+  }
+
+  /// Restore one class exactly as exported by \ref snapshot -- no
+  /// hashing, no equivalence probe, no stats mutation. Trusted input: \p
+  /// Bytes must be the valid `ast/Serialize` form of an expression whose
+  /// alpha-hash under this index's schema is \p Hash, and no equivalent
+  /// class may already be present. The `HMAI` load path
+  /// (index/IndexIO.h) is the intended caller.
+  void restoreClass(H Hash, std::string Bytes, uint64_t Count) {
+    Shard &S = shardFor(Hash);
+    std::lock_guard<std::shared_mutex> Lock(S.Mu);
+    S.Store.addClass(Hash, std::move(Bytes), Count);
+  }
+
+  /// Restore aggregate counters saved alongside a class table, so a
+  /// reopened index reports the same \ref stats as the one that was
+  /// saved. Folds the whole aggregate into one shard -- per-shard
+  /// attribution is not observable through the public API and is not
+  /// preserved. Intended for freshly constructed (empty-stats) indexes.
+  void restoreStats(const IndexStats &Total) {
+    Shard &S = ShardsArr[0];
+    std::lock_guard<std::shared_mutex> Lock(S.Mu);
+    S.Stats = Total;
+  }
+
+private:
+  /// One lock stripe: a reader-writer mutex, the byte-backed class store,
+  /// and the ingest-side decode scratch. The read path (lookup /
+  /// lookupBatch / stats / snapshot) takes the mutex shared, supplies its
+  /// own \ref DecodeScratch, and records its counters in atomics; only
+  /// ingest and decode-error bumps take the mutex exclusive (which is
+  /// also what makes mutating WriteScratch safe).
   struct Shard {
     mutable std::shared_mutex Mu;
-    ExprContext Ctx;
-    std::deque<Entry> Entries; ///< Stable ids; deque avoids relocation.
-    std::unordered_map<H, std::vector<uint32_t>, HashCodeHasher> ByHash;
+    ShardStore<H> Store;
+    DecodeScratch WriteScratch;
     IndexStats Stats;
     mutable std::atomic<uint64_t> ReadFallbackChecks{0};
     mutable std::atomic<uint64_t> ReadVerifiedCollisions{0};
@@ -376,9 +449,12 @@ private:
     }
   };
 
-  /// Per-worker accounting for \ref forEachChunk batch drivers.
+  /// Per-worker accounting for \ref forEachChunk batch drivers. The
+  /// scratch serves lookupBatch's shared-lock fallback decodes and, like
+  /// the worker's hasher, persists across every chunk the worker pulls.
   struct BatchWorkerState {
     BatchResult Local;
+    DecodeScratch Scratch;
   };
 
   Shard &shardFor(H Hash) const {
@@ -447,22 +523,24 @@ private:
   }
 
   /// Read-path probe: \p Root (owned by \p SrcCtx, binders distinct) with
-  /// its already-computed alpha-hash, under a shared stripe lock.
+  /// its already-computed alpha-hash, under a shared stripe lock. The
+  /// fallback decodes candidates into \p Scratch, which must be private
+  /// to the calling thread (shard state is only read).
   std::optional<LookupResult> lookupHashed(const ExprContext &SrcCtx,
-                                           const Expr *Root, H Hash) const {
+                                           const Expr *Root, H Hash,
+                                           DecodeScratch &Scratch) const {
     const Shard &S = shardFor(Hash);
     std::shared_lock<std::shared_mutex> Lock(S.Mu);
-    auto It = S.ByHash.find(Hash);
-    if (It == S.ByHash.end())
-      return std::nullopt;
-    for (uint32_t Id : It->second) {
-      const Entry &E = S.Entries[Id];
-      S.ReadFallbackChecks.fetch_add(1, std::memory_order_relaxed);
-      if (alphaEquivalent(SrcCtx, Root, S.Ctx, E.Canon))
-        return LookupResult{Hash, E.Count, E.Bytes};
-      S.ReadVerifiedCollisions.fetch_add(1, std::memory_order_relaxed);
+    uint64_t Checks = 0, Refuted = 0;
+    size_t Id = S.Store.find(SrcCtx, Root, Hash, Scratch, Checks, Refuted);
+    if (Checks) {
+      S.ReadFallbackChecks.fetch_add(Checks, std::memory_order_relaxed);
+      S.ReadVerifiedCollisions.fetch_add(Refuted, std::memory_order_relaxed);
     }
-    return std::nullopt;
+    if (Id == ShardStore<H>::npos)
+      return std::nullopt;
+    const auto &C = S.Store.at(Id);
+    return LookupResult{Hash, C.Count, C.Bytes};
   }
 
   /// Core ingest: \p Root (owned by \p SrcCtx, binders distinct) with its
@@ -472,33 +550,22 @@ private:
     std::lock_guard<std::shared_mutex> Lock(S.Mu);
     ++S.Stats.Inserted;
 
-    auto [It, Fresh] = S.ByHash.try_emplace(Hash);
-    if (!Fresh) {
-      // Hash hit: Theorem 6.7 says this is almost surely a duplicate, but
-      // interning must not merge inequivalent terms -- verify exactly.
-      for (uint32_t Id : It->second) {
-        Entry &E = S.Entries[Id];
-        ++S.Stats.FallbackChecks;
-        if (alphaEquivalent(SrcCtx, Root, S.Ctx, E.Canon)) {
-          ++E.Count;
-          ++S.Stats.Duplicates;
-          return false;
-        }
-        ++S.Stats.VerifiedCollisions;
-      }
+    // Hash hit: Theorem 6.7 says this is almost surely a duplicate, but
+    // interning must not merge inequivalent terms -- the store verifies
+    // exactly, decoding candidates into the shard's write scratch.
+    uint64_t Checks = 0, Refuted = 0;
+    size_t Id =
+        S.Store.find(SrcCtx, Root, Hash, S.WriteScratch, Checks, Refuted);
+    S.Stats.FallbackChecks += Checks;
+    S.Stats.VerifiedCollisions += Refuted;
+    if (Id != ShardStore<H>::npos) {
+      S.Store.bumpCount(Id);
+      ++S.Stats.Duplicates;
+      return false;
     }
 
-    // New class: the canonical representative crosses into the shard's
-    // context via its serialised form.
-    Entry E;
-    E.Hash = Hash;
-    E.Bytes = serializeExpr(SrcCtx, Root);
-    DeserializeResult R = deserializeExpr(S.Ctx, E.Bytes);
-    assert(R.ok() && "round-trip of a live expression cannot fail");
-    E.Canon = R.E;
-    E.Count = 1;
-    S.Entries.push_back(std::move(E));
-    It->second.push_back(static_cast<uint32_t>(S.Entries.size() - 1));
+    // New class: only the serialised canonical representative is kept.
+    S.Store.addClass(Hash, serializeExpr(SrcCtx, Root), /*Count=*/1);
     ++S.Stats.NewClasses;
     return true;
   }

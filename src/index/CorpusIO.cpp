@@ -7,6 +7,7 @@
 #include "ast/Serialize.h"
 
 #include <cstdint>
+#include <string>
 
 using namespace hma;
 
@@ -71,19 +72,41 @@ CorpusLoadResult hma::unpackCorpus(std::string_view Bytes) {
   // A member blob is several bytes; reject absurd counts before reserving.
   if (Count > Bytes.size())
     return fail("corpus count exceeds stream size", Pos);
+  // Structural pre-scan: walk every member's length prefix and check the
+  // declared byte counts against the stream *before* materializing any
+  // blob. A truncated container is rejected here with a member-indexed
+  // diagnostic instead of surfacing later as a generic decode error deep
+  // in the ingest loop -- and nothing is copied for a container that is
+  // going to be rejected anyway.
+  size_t Scan = Pos;
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t Len;
+    if (!getVarint(Bytes, Scan, Len))
+      return fail("container truncated: member " + std::to_string(I) + "/" +
+                      std::to_string(Count) + " has no length prefix",
+                  Scan);
+    if (Len > Bytes.size() - Scan)
+      return fail("container truncated: member " + std::to_string(I) + "/" +
+                      std::to_string(Count) + " declares " +
+                      std::to_string(Len) + " bytes but only " +
+                      std::to_string(Bytes.size() - Scan) + " remain",
+                  Scan);
+    Scan += Len;
+  }
+  if (Scan != Bytes.size())
+    return fail(std::to_string(Bytes.size() - Scan) +
+                    " trailing bytes after last member",
+                Scan);
+
+  // The envelope is structurally sound; the copy loop cannot fail.
   CorpusLoadResult R;
   R.Blobs.reserve(Count);
   for (uint64_t I = 0; I != Count; ++I) {
-    uint64_t Len;
-    if (!getVarint(Bytes, Pos, Len))
-      return fail("truncated member length", Pos);
-    if (Len > Bytes.size() - Pos)
-      return fail("member length overruns stream", Pos);
+    uint64_t Len = 0;
+    getVarint(Bytes, Pos, Len);
     R.Blobs.emplace_back(Bytes.substr(Pos, Len));
     Pos += Len;
   }
-  if (Pos != Bytes.size())
-    return fail("trailing bytes after last member", Pos);
   return R;
 }
 

@@ -11,8 +11,12 @@
 ///   count    varint number of expressions
 ///   blobs    per expression: varint length, then `ast/Serialize` bytes
 ///
-/// Member blobs are *not* re-validated by the container reader -- each is
-/// checked by `deserializeExpr` at ingest time, so a corpus with one
+/// The reader validates the *envelope* up front: every member's length
+/// prefix is scanned against the stream's byte count before any blob is
+/// materialized, so a truncated container fails fast with a
+/// member-indexed diagnostic instead of a generic decode error deep in
+/// the ingest loop. Member blob *contents* are not re-validated -- each
+/// is checked by `deserializeExpr` at ingest time, so a corpus with one
 /// corrupt member still yields the other members.
 ///
 /// For interop with `hma gen` and hand-written inputs there is also a
@@ -48,7 +52,9 @@ bool isBinaryCorpus(std::string_view Bytes);
 std::string packCorpus(const std::vector<std::string> &Blobs);
 
 /// Unpack a binary container. Fails on a malformed envelope (bad magic,
-/// truncated length); member blobs are passed through unvalidated.
+/// truncated length prefix, declared lengths exceeding the stream,
+/// trailing bytes) before materializing any member; member blob contents
+/// are passed through unvalidated.
 CorpusLoadResult unpackCorpus(std::string_view Bytes);
 
 /// Parse a text corpus: one expression per non-empty, non-comment line,

@@ -1,0 +1,194 @@
+//===- index/IndexIO.cpp - HMAI on-disk index format -------------------------===//
+
+#include "index/IndexIO.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define HMA_HAVE_FSYNC 1
+#endif
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Little-endian word codec
+//===----------------------------------------------------------------------===//
+
+void hma::iio::putWordLE(std::string &Out, uint64_t V, unsigned NumBytes) {
+  for (unsigned I = 0; I != NumBytes; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint64_t hma::iio::getWordLE(const char *P, unsigned NumBytes) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != NumBytes; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Header
+//===----------------------------------------------------------------------===//
+
+std::string hma::iio::encodeHeader(const IndexFileInfo &Info) {
+  std::string Out;
+  Out.reserve(HeaderSize);
+  Out.append(Magic, sizeof(Magic));
+  putWordLE(Out, Info.Version, 4);
+  putWordLE(Out, Info.Seed, 8);
+  putWordLE(Out, Info.HashBits, 4);
+  putWordLE(Out, Info.Shards, 4);
+  putWordLE(Out, Info.NumClasses, 8);
+  putWordLE(Out, Info.Stats.Inserted, 8);
+  putWordLE(Out, Info.Stats.NewClasses, 8);
+  putWordLE(Out, Info.Stats.Duplicates, 8);
+  putWordLE(Out, Info.Stats.FallbackChecks, 8);
+  putWordLE(Out, Info.Stats.VerifiedCollisions, 8);
+  putWordLE(Out, Info.Stats.DecodeErrors, 8);
+  assert(Out.size() == HeaderSize && "header layout drifted");
+  return Out;
+}
+
+bool hma::isIndexFile(std::string_view Bytes) {
+  return Bytes.size() >= sizeof(iio::Magic) &&
+         Bytes.compare(0, sizeof(iio::Magic),
+                       std::string_view(iio::Magic, sizeof(iio::Magic))) == 0;
+}
+
+namespace {
+
+bool probeFail(std::string Message, size_t Pos, std::string *Error,
+               size_t *ErrorPos) {
+  if (Error)
+    *Error = std::move(Message);
+  if (ErrorPos)
+    *ErrorPos = Pos;
+  return false;
+}
+
+} // namespace
+
+bool hma::probeIndexBytes(std::string_view Bytes, IndexFileInfo &Info,
+                          std::string *Error, size_t *ErrorPos) {
+  using namespace iio;
+  if (!isIndexFile(Bytes))
+    return probeFail("missing index magic 'HMAI'", 0, Error, ErrorPos);
+  if (Bytes.size() < HeaderSize)
+    return probeFail("truncated header", Bytes.size(), Error, ErrorPos);
+
+  const char *P = Bytes.data();
+  Info.Version = static_cast<uint32_t>(getWordLE(P + 4, 4));
+  if (Info.Version != Version)
+    return probeFail("unsupported index version " +
+                         std::to_string(Info.Version) + " (reader speaks " +
+                         std::to_string(Version) + ")",
+                     4, Error, ErrorPos);
+  Info.Seed = getWordLE(P + 8, 8);
+  Info.HashBits = static_cast<unsigned>(getWordLE(P + 16, 4));
+  Info.Shards = static_cast<unsigned>(getWordLE(P + 20, 4));
+  Info.NumClasses = getWordLE(P + 24, 8);
+  Info.Stats.Inserted = getWordLE(P + 32, 8);
+  Info.Stats.NewClasses = getWordLE(P + 40, 8);
+  Info.Stats.Duplicates = getWordLE(P + 48, 8);
+  Info.Stats.FallbackChecks = getWordLE(P + 56, 8);
+  Info.Stats.VerifiedCollisions = getWordLE(P + 64, 8);
+  Info.Stats.DecodeErrors = getWordLE(P + 72, 8);
+
+  if (Info.HashBits != 16 && Info.HashBits != 32 && Info.HashBits != 64 &&
+      Info.HashBits != 128)
+    return probeFail("unsupported hash width b=" +
+                         std::to_string(Info.HashBits),
+                     16, Error, ErrorPos);
+  if (Info.Shards == 0 || Info.Shards > (1u << 16) ||
+      (Info.Shards & (Info.Shards - 1)) != 0)
+    return probeFail("shard count " + std::to_string(Info.Shards) +
+                         " is not a power of two in [1, 65536]",
+                     20, Error, ErrorPos);
+
+  // Envelope: the directory and every shard table must lie within the
+  // file, and the declared class count must match the tables. (Blob
+  // offsets are validated record-by-record at load time.)
+  const size_t DirEnd = HeaderSize + size_t(Info.Shards) * DirEntrySize;
+  if (DirEnd > Bytes.size())
+    return probeFail("shard directory overruns the file", HeaderSize, Error,
+                     ErrorPos);
+  const size_t RecSize = Info.HashBits / 8 + 24;
+  uint64_t Total = 0;
+  for (unsigned S = 0; S != Info.Shards; ++S) {
+    const size_t DirPos = HeaderSize + size_t(S) * DirEntrySize;
+    const uint64_t TableOffset = getWordLE(P + DirPos, 8);
+    const uint64_t Count = getWordLE(P + DirPos + 8, 8);
+    if (TableOffset > Bytes.size() ||
+        Count > (Bytes.size() - TableOffset) / RecSize)
+      return probeFail("shard " + std::to_string(S) +
+                           " table overruns the file",
+                       DirPos, Error, ErrorPos);
+    Total += Count;
+  }
+  if (Total != Info.NumClasses)
+    return probeFail("header declares " + std::to_string(Info.NumClasses) +
+                         " classes but the directory sums to " +
+                         std::to_string(Total),
+                     24, Error, ErrorPos);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// File helpers
+//===----------------------------------------------------------------------===//
+
+bool hma::readFileBytes(const std::string &Path, std::string &Out,
+                        std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  if (In.bad()) {
+    if (Error)
+      *Error = "read error on '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool hma::writeFileReplacing(const std::string &Path, std::string_view Bytes,
+                             std::string *Error) {
+  const std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  bool Ok = Bytes.empty() ||
+            std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok = std::fflush(F) == 0 && Ok;
+#ifdef HMA_HAVE_FSYNC
+  // The rename below is atomic, but on journaled filesystems it can be
+  // committed before the tmp file's *data* reaches disk; a power cut in
+  // that window would leave the target name pointing at a torn file.
+  // Flushing the data first closes the window.
+  Ok = fsync(fileno(F)) == 0 && Ok;
+#endif
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot write '" + Tmp + "'";
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,300 @@
+//===- index/IndexIO.h - HMAI on-disk index format --------------------------===//
+///
+/// \file
+/// A persistent, mmap-friendly on-disk format for \ref AlphaHashIndex.
+///
+/// The hash-then-verify design makes an index fully determined by its
+/// class table -- (alpha-hash, canonical `ast/Serialize` bytes, member
+/// count) -- which is exactly what \ref ShardStore retains in memory.
+/// `HMAI` is that table laid out for reopening *without re-hashing
+/// anything* and for a future reader to serve lookups straight from an
+/// mmap without materializing classes:
+///
+///   header    80 bytes, fixed-width little-endian:
+///               magic       "HMAI"
+///               version     u32 (currently 1)
+///               seed        u64 hash-schema seed
+///               hash bits   u32 (16 / 32 / 64 / 128)
+///               shards      u32 (power of two)
+///               classes     u64 total class count
+///               stats       6 x u64 (IndexStats, field order)
+///   directory shards x { u64 table offset, u64 class count }
+///   tables    per shard: classes x fixed-width records, sorted by
+///             (hash, canonical bytes):
+///               hash        bits/8 bytes, little-endian words (lo first)
+///               offset      u64 absolute file offset of the blob
+///               length      u64 blob length in bytes
+///               count       u64 member count
+///   bytes     the canonical blobs, back to back
+///
+/// Every record is fixed-width and every shard table is sorted, so a
+/// reader that mmaps the file can binary-search a shard's table by hash
+/// and follow (offset, length) to the candidate bytes -- decode-on-demand
+/// for the exact-verify fallback, nothing else touched. Offsets are
+/// absolute, so a table entry is meaningful without any rebasing.
+///
+/// Versioning: the magic and the version field are stable forever; all
+/// layout after them is owned by the version. Readers must reject
+/// versions (and hash widths) they do not understand. The seed and bit
+/// width identify the hash function family: two files are
+/// hash-compatible iff both match (surface-checked by
+/// `hma index stats` / `hma index open`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_INDEXIO_H
+#define HMA_INDEX_INDEXIO_H
+
+#include "index/AlphaHashIndex.h"
+#include "support/HashCode.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hma {
+
+/// Decoded `HMAI` header: everything needed to check compatibility or
+/// report on a file without loading its classes.
+struct IndexFileInfo {
+  uint32_t Version = 0;
+  uint64_t Seed = 0;
+  unsigned HashBits = 0;
+  unsigned Shards = 0;
+  uint64_t NumClasses = 0;
+  IndexStats Stats;
+};
+
+/// True if \p Bytes starts with the index magic "HMAI".
+bool isIndexFile(std::string_view Bytes);
+
+/// Outcome of loading an index: the reopened index or a diagnostic.
+template <typename H> struct IndexLoadResult {
+  std::unique_ptr<AlphaHashIndex<H>> Index;
+  std::string Error;   ///< Empty on success.
+  size_t ErrorPos = 0; ///< Byte offset of the failure.
+
+  bool ok() const { return Index != nullptr; }
+};
+
+/// Decode and validate the header only (magic, version, widths, and that
+/// the directory/tables/bytes regions lie within the file). On failure
+/// returns false with \p Error / \p ErrorPos set (if non-null).
+bool probeIndexBytes(std::string_view Bytes, IndexFileInfo &Info,
+                     std::string *Error = nullptr, size_t *ErrorPos = nullptr);
+
+/// Read a whole file (binary) into \p Out.
+bool readFileBytes(const std::string &Path, std::string &Out,
+                   std::string *Error);
+
+/// Write \p Bytes to \p Path atomically-ish: a sibling `.tmp` file is
+/// written, flushed and renamed over \p Path, so a crash mid-write never
+/// leaves a torn file behind the original name.
+bool writeFileReplacing(const std::string &Path, std::string_view Bytes,
+                        std::string *Error);
+
+namespace iio {
+
+constexpr char Magic[4] = {'H', 'M', 'A', 'I'};
+constexpr uint32_t Version = 1;
+constexpr size_t HeaderSize = 80;
+constexpr size_t DirEntrySize = 16;
+
+void putWordLE(std::string &Out, uint64_t V, unsigned NumBytes);
+uint64_t getWordLE(const char *P, unsigned NumBytes);
+
+inline void putHashLE(std::string &Out, Hash16 V) { putWordLE(Out, V.V, 2); }
+inline void putHashLE(std::string &Out, Hash32 V) { putWordLE(Out, V.V, 4); }
+inline void putHashLE(std::string &Out, Hash64 V) { putWordLE(Out, V.V, 8); }
+inline void putHashLE(std::string &Out, Hash128 V) {
+  putWordLE(Out, V.Lo, 8);
+  putWordLE(Out, V.Hi, 8);
+}
+inline void getHashLE(const char *P, Hash16 &V) {
+  V = Hash16(static_cast<uint16_t>(getWordLE(P, 2)));
+}
+inline void getHashLE(const char *P, Hash32 &V) {
+  V = Hash32(static_cast<uint32_t>(getWordLE(P, 4)));
+}
+inline void getHashLE(const char *P, Hash64 &V) { V = Hash64(getWordLE(P, 8)); }
+inline void getHashLE(const char *P, Hash128 &V) {
+  V = Hash128(getWordLE(P + 8, 8), getWordLE(P, 8));
+}
+
+std::string encodeHeader(const IndexFileInfo &Info);
+
+template <typename H> constexpr size_t recordSize() {
+  return HashWidth<H>::Bits / 8 + 24; // hash + offset + length + count
+}
+
+template <typename H>
+IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
+  IndexLoadResult<H> R;
+  R.Error = std::move(Error);
+  R.ErrorPos = Pos;
+  return R;
+}
+
+} // namespace iio
+
+/// Serialise \p Index to the `HMAI` byte format. The result is a
+/// deterministic function of the index's class table, stats and shard
+/// count (canonical tie-breaks aside, the same corpus yields the same
+/// file regardless of ingest thread count).
+///
+/// The index must be quiescent (no concurrent ingest) for the duration
+/// of the call: the class table and the stats are read under separate
+/// per-shard locks, so a save racing an insertBatch yields a loadable
+/// image whose stats may not correspond to exactly the captured class
+/// set.
+template <typename H>
+std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
+  using Summary = typename AlphaHashIndex<H>::ClassSummary;
+  std::vector<Summary> Classes = Index.snapshot(); // sorted (hash, bytes)
+  const unsigned Shards = Index.numShards();
+
+  // Group into per-shard tables exactly as the live index stripes them;
+  // the global sort order is preserved within each group.
+  std::vector<std::vector<const Summary *>> PerShard(Shards);
+  size_t TotalBlobBytes = 0;
+  for (const Summary &C : Classes) {
+    PerShard[Index.shardIndexFor(C.Hash)].push_back(&C);
+    TotalBlobBytes += C.CanonicalBytes.size();
+  }
+
+  IndexFileInfo Info;
+  Info.Version = iio::Version;
+  Info.Seed = Index.schema().seed();
+  Info.HashBits = HashWidth<H>::Bits;
+  Info.Shards = Shards;
+  Info.NumClasses = Classes.size();
+  Info.Stats = Index.stats();
+
+  const size_t RecSize = iio::recordSize<H>();
+  const size_t DirStart = iio::HeaderSize;
+  const size_t TablesStart = DirStart + size_t(Shards) * iio::DirEntrySize;
+  const size_t BytesStart = TablesStart + Classes.size() * RecSize;
+
+  std::string Out = iio::encodeHeader(Info);
+  Out.reserve(BytesStart + TotalBlobBytes); // the whole image, one allocation
+
+  // Directory.
+  size_t TableOffset = TablesStart;
+  for (unsigned S = 0; S != Shards; ++S) {
+    iio::putWordLE(Out, TableOffset, 8);
+    iio::putWordLE(Out, PerShard[S].size(), 8);
+    TableOffset += PerShard[S].size() * RecSize;
+  }
+
+  // Tables (blob offsets assigned in table order).
+  uint64_t BlobOffset = BytesStart;
+  for (unsigned S = 0; S != Shards; ++S) {
+    for (const Summary *C : PerShard[S]) {
+      iio::putHashLE(Out, C->Hash);
+      iio::putWordLE(Out, BlobOffset, 8);
+      iio::putWordLE(Out, C->CanonicalBytes.size(), 8);
+      iio::putWordLE(Out, C->Count, 8);
+      BlobOffset += C->CanonicalBytes.size();
+    }
+  }
+
+  // Bytes region.
+  for (unsigned S = 0; S != Shards; ++S)
+    for (const Summary *C : PerShard[S])
+      Out += C->CanonicalBytes;
+  return Out;
+}
+
+/// Reconstruct an index from `HMAI` bytes. Classes, counts and stats are
+/// restored exactly as saved; no expression is decoded or re-hashed (the
+/// fallback decodes on demand at query time). \p OverrideShards != 0
+/// re-stripes the classes over a different shard count (placement is a
+/// pure function of the hash, so this is always safe); 0 keeps the
+/// file's.
+template <typename H>
+IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
+                                  unsigned OverrideShards = 0) {
+  IndexFileInfo Info;
+  std::string Error;
+  size_t ErrorPos = 0;
+  if (!probeIndexBytes(Bytes, Info, &Error, &ErrorPos))
+    return iio::loadFail<H>(std::move(Error), ErrorPos);
+  if (Info.HashBits != HashWidth<H>::Bits)
+    return iio::loadFail<H>(
+        "index file is b=" + std::to_string(Info.HashBits) +
+            " but the reader is instantiated at b=" +
+            std::to_string(HashWidth<H>::Bits),
+        16);
+
+  IndexLoadResult<H> R;
+  R.Index = std::make_unique<AlphaHashIndex<H>>(typename AlphaHashIndex<
+      H>::Options{OverrideShards ? OverrideShards : Info.Shards, Info.Seed});
+
+  const size_t RecSize = iio::recordSize<H>();
+  const unsigned HashBytes = HashWidth<H>::Bits / 8;
+  uint64_t Restored = 0;
+  for (unsigned S = 0; S != Info.Shards; ++S) {
+    const char *Dir = Bytes.data() + iio::HeaderSize + S * iio::DirEntrySize;
+    const uint64_t TableOffset = iio::getWordLE(Dir, 8);
+    const uint64_t Count = iio::getWordLE(Dir + 8, 8);
+    H Prev{};
+    for (uint64_t I = 0; I != Count; ++I) {
+      const size_t RecPos = TableOffset + I * RecSize;
+      const char *Rec = Bytes.data() + RecPos;
+      H Hash;
+      iio::getHashLE(Rec, Hash);
+      const uint64_t Offset = iio::getWordLE(Rec + HashBytes, 8);
+      const uint64_t Length = iio::getWordLE(Rec + HashBytes + 8, 8);
+      const uint64_t MemberCount = iio::getWordLE(Rec + HashBytes + 16, 8);
+      if (Offset > Bytes.size() || Length > Bytes.size() - Offset)
+        return iio::loadFail<H>("shard " + std::to_string(S) + " record " +
+                                    std::to_string(I) +
+                                    ": blob overruns the file",
+                                RecPos);
+      if (I != 0 && Hash < Prev)
+        return iio::loadFail<H>("shard " + std::to_string(S) +
+                                    " table is not sorted by hash",
+                                RecPos);
+      Prev = Hash;
+      R.Index->restoreClass(
+          Hash, std::string(Bytes.substr(Offset, Length)), MemberCount);
+      ++Restored;
+    }
+  }
+  if (Restored != Info.NumClasses) {
+    R.Index.reset();
+    return iio::loadFail<H>("header declares " +
+                                std::to_string(Info.NumClasses) +
+                                " classes but tables hold " +
+                                std::to_string(Restored),
+                            24);
+  }
+  R.Index->restoreStats(Info.Stats);
+  return R;
+}
+
+/// Write \p Index to \p Path (via a sibling temporary file renamed into
+/// place, so a crash mid-write never leaves a torn index). Returns false
+/// with \p Error set on I/O failure.
+template <typename H>
+bool saveIndexFile(const AlphaHashIndex<H> &Index, const std::string &Path,
+                   std::string *Error = nullptr) {
+  return writeFileReplacing(Path, saveIndexBytes(Index), Error);
+}
+
+/// Read \p Path and reconstruct the index it holds.
+template <typename H>
+IndexLoadResult<H> loadIndexFile(const std::string &Path,
+                                 unsigned OverrideShards = 0) {
+  std::string Bytes;
+  std::string Error;
+  if (!readFileBytes(Path, Bytes, &Error))
+    return iio::loadFail<H>(std::move(Error), 0);
+  return loadIndexBytes<H>(Bytes, OverrideShards);
+}
+
+} // namespace hma
+
+#endif // HMA_INDEX_INDEXIO_H

@@ -1,0 +1,198 @@
+//===- index/ShardStore.h - Byte-backed per-shard class storage -------------===//
+///
+/// \file
+/// The storage layer under \ref AlphaHashIndex: one shard's equivalence
+/// classes, keyed by alpha-hash, with the serialised canonical bytes as
+/// the *only* retained representation.
+///
+/// The paper's hash-then-verify design (Theorem 6.7 plus the exact
+/// \ref alphaEquivalent fallback) means a shard is fully determined by
+/// its class table: (hash, canonical bytes, count). Earlier revisions
+/// additionally kept every canonical representative *decoded* in a
+/// per-shard \ref ExprContext so the fallback could compare against live
+/// nodes -- which retained the arena of every class forever (measured at
+/// ~2 KiB/class on 64-node expressions, ~8 KiB/class on 256-node ones,
+/// versus ~0.3-1.2 KiB/class of canonical bytes). \ref ShardStore inverts
+/// that: classes hold bytes, and the exact-verify fallback deserialises a
+/// candidate *on demand* into a small reusable \ref DecodeScratch. Since
+/// fallbacks only run on hash hits -- genuine duplicates or (at narrow
+/// widths) verified collisions -- the decode cost is paid exactly where
+/// the paper's analysis says it is rare.
+///
+/// Bytes-as-truth is also what makes the store pluggable: the `HMAI`
+/// on-disk format (index/IndexIO.h) is little more than this table with a
+/// sorted fixed-width header per shard, and a future mmap-backed store
+/// can serve the same probe interface straight from the file.
+///
+/// Thread-safety: none here. \ref AlphaHashIndex wraps each store in its
+/// stripe lock; \ref find is `const` and writes only through the
+/// caller-supplied scratch, so concurrent readers are safe as long as
+/// each supplies its own \ref DecodeScratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_SHARDSTORE_H
+#define HMA_INDEX_SHARDSTORE_H
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Expr.h"
+#include "ast/Serialize.h"
+#include "support/HashCode.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hma {
+
+/// A small reusable decode target for the exact-verify fallback.
+///
+/// Deserialising a candidate needs an \ref ExprContext, and contexts only
+/// ever grow; a fresh context per decode would make every fallback pay
+/// slab allocation, while one immortal context would slowly re-grow the
+/// very per-shard arenas this design removes. The scratch therefore
+/// reuses one context across decodes and recycles it (drops and
+/// reconstructs) only when its arena crosses a threshold, so steady-state
+/// verification allocates nothing beyond the decoded nodes themselves and
+/// retained scratch memory stays bounded by the threshold.
+class DecodeScratch {
+public:
+  /// Default arena-byte threshold above which the context is recycled
+  /// before the next decode. Canonical blobs are typically a few hundred
+  /// bytes (~2 KiB decoded), so the default sustains hundreds of decodes
+  /// per recycle while capping retained scratch at well under a MiB.
+  static constexpr size_t DefaultRecycleBytes = 256 * 1024;
+
+  explicit DecodeScratch(size_t RecycleBytes = DefaultRecycleBytes)
+      : RecycleBytes(RecycleBytes) {}
+
+  /// Decode \p Bytes into the scratch context. Returns nullptr on a
+  /// malformed blob. The returned expression (and \ref context()) stays
+  /// valid until the *next* decode call, which may recycle the context.
+  const Expr *decode(std::string_view Bytes) {
+    if (!Ctx || Ctx->arena().bytesAllocated() > RecycleBytes) {
+      Ctx = std::make_unique<ExprContext>();
+      ++NumRecycles;
+    }
+    ++NumDecodes;
+    DeserializeResult R = deserializeExpr(*Ctx, Bytes);
+    return R.ok() ? R.E : nullptr;
+  }
+
+  /// The context owning the most recent \ref decode result. Only valid
+  /// after a decode.
+  const ExprContext &context() const { return *Ctx; }
+
+  /// Total decode calls served.
+  uint64_t decodes() const { return NumDecodes; }
+
+  /// Context re-creations, first use included. `decodes() >> recycles()`
+  /// is the steady-state-reuse claim (asserted in tests).
+  uint64_t recycles() const { return NumRecycles; }
+
+  /// Arena bytes currently retained by the scratch context (<= threshold
+  /// plus one decoded expression).
+  size_t arenaBytes() const {
+    return Ctx ? Ctx->arena().bytesAllocated() : 0;
+  }
+
+private:
+  std::unique_ptr<ExprContext> Ctx;
+  size_t RecycleBytes;
+  uint64_t NumDecodes = 0;
+  uint64_t NumRecycles = 0;
+};
+
+/// Aggregated \ref DecodeScratch counters (see
+/// \ref AlphaHashIndex::scratchStats). Process-local operational metrics:
+/// deliberately *not* part of \ref IndexStats, so they neither round-trip
+/// through `HMAI` files nor participate in snapshot equality.
+struct ScratchStats {
+  uint64_t Decodes = 0;    ///< Fallback deserialisations served.
+  uint64_t Recycles = 0;   ///< Scratch context re-creations.
+  uint64_t ArenaBytes = 0; ///< Currently retained scratch arena bytes.
+};
+
+/// One shard's classes: a hash-to-entries table over byte-backed
+/// \ref ShardStore::Class records.
+template <typename H> class ShardStore {
+public:
+  /// One equivalence class. `Bytes` (the `ast/Serialize` form of the
+  /// canonical representative) is the source of truth; nothing decoded is
+  /// retained.
+  struct Class {
+    H Hash{};
+    std::string Bytes;
+    uint64_t Count = 0;
+  };
+
+  static constexpr size_t npos = ~size_t(0);
+
+  size_t size() const { return Classes.size(); }
+  const Class &at(size_t I) const { return Classes[I]; }
+
+  /// Visit every class in insertion order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Class &C : Classes)
+      F(C);
+  }
+
+  /// Probe for a class alpha-equivalent to \p Root (owned by \p SrcCtx,
+  /// binders distinct) among the entries stored under \p Hash. Each
+  /// candidate costs one decode into \p Scratch plus one exact
+  /// \ref alphaEquivalent check; \p Checks counts the checks run and
+  /// \p Refuted the hash matches the oracle rejected (verified
+  /// collisions). A candidate whose bytes fail to decode -- impossible
+  /// for classes interned by this process, conceivable for a corrupted
+  /// `HMAI` file loaded unverified -- is counted as refuted rather than
+  /// trusted. Returns the class index or \ref npos.
+  size_t find(const ExprContext &SrcCtx, const Expr *Root, H Hash,
+              DecodeScratch &Scratch, uint64_t &Checks,
+              uint64_t &Refuted) const {
+    auto It = ByHash.find(Hash);
+    if (It == ByHash.end())
+      return npos;
+    for (uint32_t Id : It->second) {
+      const Class &C = Classes[Id];
+      ++Checks;
+      const Expr *Canon = Scratch.decode(C.Bytes);
+      if (Canon && alphaEquivalent(SrcCtx, Root, Scratch.context(), Canon))
+        return Id;
+      ++Refuted;
+    }
+    return npos;
+  }
+
+  /// Append a class (no equivalence probe: callers either probed first
+  /// via \ref find or are restoring a saved table). Returns its index.
+  size_t addClass(H Hash, std::string Bytes, uint64_t Count) {
+    RetainedBytes += Bytes.size();
+    Classes.push_back(Class{Hash, std::move(Bytes), Count});
+    size_t Id = Classes.size() - 1;
+    ByHash[Hash].push_back(static_cast<uint32_t>(Id));
+    return Id;
+  }
+
+  /// Record one more member of class \p I.
+  void bumpCount(size_t I) { ++Classes[I].Count; }
+
+  /// Bytes retained by class storage: the canonical blobs themselves.
+  /// (Table overhead -- deque blocks, bucket vectors -- is proportional
+  /// and small; scratch memory is reported separately via
+  /// \ref DecodeScratch::arenaBytes.)
+  size_t retainedBytes() const { return RetainedBytes; }
+
+private:
+  std::deque<Class> Classes; ///< Stable ids; deque avoids relocation.
+  std::unordered_map<H, std::vector<uint32_t>, HashCodeHasher> ByHash;
+  size_t RetainedBytes = 0;
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_SHARDSTORE_H

@@ -1,0 +1,111 @@
+//===- tests/corpus_io_test.cpp - HMAC container envelope -------------------===//
+///
+/// \file
+/// The corpus container's contract: pack/unpack round-trips byte-exactly,
+/// and a malformed envelope -- in particular a *truncated* container --
+/// is rejected up front by the structural pre-scan with a member-indexed
+/// diagnostic, before any blob is materialized (previously a short final
+/// blob surfaced only as a generic decode error deep in the ingest loop).
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/CorpusIO.h"
+
+#include "ast/Expr.h"
+#include "ast/Serialize.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace hma;
+
+namespace {
+
+std::vector<std::string> sampleBlobs() {
+  ExprContext Ctx;
+  return {serializeExpr(Ctx, parseT(Ctx, "(lam (x) (x x))")),
+          serializeExpr(Ctx, parseT(Ctx, "(lam (f g) (f (g f)))")),
+          serializeExpr(Ctx, parseT(Ctx, "(let (y 42) (add y y))"))};
+}
+
+} // namespace
+
+TEST(CorpusIO, PackUnpackRoundTripsByteExactly) {
+  std::vector<std::string> Blobs = sampleBlobs();
+  std::string Packed = packCorpus(Blobs);
+  ASSERT_TRUE(isBinaryCorpus(Packed));
+
+  CorpusLoadResult R = unpackCorpus(Packed);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Blobs.size(), Blobs.size());
+  for (size_t I = 0; I != Blobs.size(); ++I)
+    EXPECT_EQ(R.Blobs[I], Blobs[I]);
+}
+
+TEST(CorpusIO, EmptyCorpusRoundTrips) {
+  std::string Packed = packCorpus({});
+  CorpusLoadResult R = unpackCorpus(Packed);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Blobs.empty());
+}
+
+TEST(CorpusIO, TruncatedFinalBlobIsRejectedByPreScan) {
+  std::vector<std::string> Blobs = sampleBlobs();
+  std::string Packed = packCorpus(Blobs);
+
+  // Chop bytes off the final member: the envelope's declared lengths no
+  // longer fit the stream. The pre-scan must say which member is short,
+  // and must not hand back *any* blobs.
+  std::string Short = Packed.substr(0, Packed.size() - 5);
+  CorpusLoadResult R = unpackCorpus(Short);
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.Blobs.empty());
+  EXPECT_NE(R.Error.find("truncated"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("member 2/3"), std::string::npos) << R.Error;
+}
+
+TEST(CorpusIO, MissingLengthPrefixIsRejected) {
+  // Declare 3 members but end the stream after the count: member 0 has
+  // no length prefix at all.
+  std::string Packed = packCorpus(sampleBlobs());
+  std::string JustHeader = Packed.substr(0, 5); // magic + count varint
+  CorpusLoadResult R = unpackCorpus(JustHeader);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("member 0/3"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("no length prefix"), std::string::npos) << R.Error;
+}
+
+TEST(CorpusIO, TrailingBytesAreRejected) {
+  std::string Packed = packCorpus(sampleBlobs());
+  CorpusLoadResult R = unpackCorpus(Packed + "junk");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("trailing bytes"), std::string::npos) << R.Error;
+}
+
+TEST(CorpusIO, AbsurdCountIsRejectedBeforeReserving) {
+  // "HMAC" + varint count far beyond the stream size.
+  std::string Bad = "HMAC";
+  Bad += '\xFF';
+  Bad += '\xFF';
+  Bad += '\x7F'; // varint 0x1FFFFF
+  CorpusLoadResult R = unpackCorpus(Bad);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("count exceeds"), std::string::npos) << R.Error;
+}
+
+TEST(CorpusIO, CorruptMemberContentStillYieldsOtherMembers) {
+  // The pre-scan validates the envelope, not blob contents: a container
+  // whose middle member is garbage (but correctly length-prefixed) loads
+  // fine and defers the failure to deserializeExpr at ingest time.
+  std::vector<std::string> Blobs = sampleBlobs();
+  Blobs[1] = "this is not an HMA1 expression blob";
+  std::string Packed = packCorpus(Blobs);
+  CorpusLoadResult R = unpackCorpus(Packed);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Blobs.size(), 3u);
+  EXPECT_EQ(R.Blobs[1], Blobs[1]);
+  ExprContext Ctx;
+  EXPECT_TRUE(deserializeExpr(Ctx, R.Blobs[0]).ok());
+  EXPECT_FALSE(deserializeExpr(Ctx, R.Blobs[1]).ok());
+  EXPECT_TRUE(deserializeExpr(Ctx, R.Blobs[2]).ok());
+}

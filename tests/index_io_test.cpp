@@ -1,0 +1,417 @@
+//===- tests/index_io_test.cpp - HMAI on-disk format ------------------------===//
+///
+/// \file
+/// The persistence contract: an index saved to `HMAI` bytes and reopened
+/// is indistinguishable from the index that was saved -- same classes,
+/// same counts, same stats, same query answers -- without re-ingesting
+/// or re-hashing anything. Exercised at b=128 (production) and at b=16
+/// with a forced collision, where correctness depends on the reopened
+/// index running the exact-verify fallback against *file-restored*
+/// canonical bytes. Also pins the memory-diet claims of the byte-backed
+/// \ref ShardStore: no retained arenas beyond the canonical blobs, and
+/// steady-state scratch reuse in the decode-on-demand fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexIO.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Serialize.h"
+#include "gen/RandomExpr.h"
+#include "index/ShardStore.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace hma;
+
+namespace {
+
+void expectStatsEq(const IndexStats &A, const IndexStats &B) {
+  EXPECT_EQ(A.Inserted, B.Inserted);
+  EXPECT_EQ(A.NewClasses, B.NewClasses);
+  EXPECT_EQ(A.Duplicates, B.Duplicates);
+  EXPECT_EQ(A.FallbackChecks, B.FallbackChecks);
+  EXPECT_EQ(A.VerifiedCollisions, B.VerifiedCollisions);
+  EXPECT_EQ(A.DecodeErrors, B.DecodeErrors);
+}
+
+template <typename H>
+void expectSnapshotEq(const AlphaHashIndex<H> &A, const AlphaHashIndex<H> &B) {
+  auto SA = A.snapshot();
+  auto SB = B.snapshot();
+  ASSERT_EQ(SA.size(), SB.size());
+  for (size_t I = 0; I != SA.size(); ++I) {
+    EXPECT_EQ(SA[I].Hash, SB[I].Hash);
+    EXPECT_EQ(SA[I].Count, SB[I].Count);
+    EXPECT_EQ(SA[I].CanonicalBytes, SB[I].CanonicalBytes);
+  }
+}
+
+/// A corpus with duplicates (alpha-renamed) and one undecodable blob, so
+/// every stats counter is nonzero and must survive the round-trip.
+std::vector<std::string> dupHeavyCorpus(uint64_t Seed) {
+  ExprContext Gen;
+  Rng R(Seed);
+  std::vector<std::string> Blobs;
+  for (int I = 0; I != 40; ++I) {
+    const Expr *E = genBalanced(Gen, R, 30);
+    Blobs.push_back(serializeExpr(Gen, E));
+    if (I % 2 == 0)
+      Blobs.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+  }
+  Blobs.push_back("not a valid HMA1 blob");
+  return Blobs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Snapshot/stats round-trip, b=128
+//===----------------------------------------------------------------------===//
+
+TEST(IndexIO, SaveReopenRoundTripsSnapshotAndStatsAtB128) {
+  AlphaHashIndex<> Live({/*Shards=*/16, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(31337), /*Threads=*/1);
+  ASSERT_EQ(Live.numClasses(), 40u);
+  ASSERT_GT(Live.stats().Duplicates, 0u);
+  ASSERT_EQ(Live.stats().DecodeErrors, 1u);
+
+  std::string Bytes = saveIndexBytes(Live);
+  ASSERT_TRUE(isIndexFile(Bytes));
+
+  IndexLoadResult<Hash128> R = loadIndexBytes<Hash128>(Bytes);
+  ASSERT_TRUE(R.ok()) << R.Error << " at byte " << R.ErrorPos;
+  EXPECT_EQ(R.Index->numShards(), Live.numShards());
+  EXPECT_EQ(R.Index->schema().seed(), Live.schema().seed());
+  EXPECT_EQ(R.Index->numClasses(), Live.numClasses());
+  expectSnapshotEq(Live, *R.Index);
+  expectStatsEq(Live.stats(), R.Index->stats());
+
+  // Saving the reopened index reproduces the file bit-for-bit: the
+  // format is a deterministic function of the class table.
+  EXPECT_EQ(saveIndexBytes(*R.Index), Bytes);
+}
+
+TEST(IndexIO, ReopenedIndexKeepsIngestingAndMergesDuplicates) {
+  ExprContext Ctx;
+  AlphaHashIndex<> Live;
+  const Expr *E = parseT(Ctx, "(lam (x y) (x (y x)))");
+  Live.insert(Ctx, E);
+
+  IndexLoadResult<Hash128> R = loadIndexBytes<Hash128>(saveIndexBytes(Live));
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  // A renamed copy must merge into the restored class, verified by
+  // decoding the file-restored canonical bytes on demand.
+  const Expr *Renamed = parseT(Ctx, "(lam (p q) (p (q p)))");
+  R.Index->insert(Ctx, Renamed);
+  EXPECT_EQ(R.Index->numClasses(), 1u);
+  auto Hit = R.Index->lookup(Ctx, E);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Count, 2u);
+  IndexStats S = R.Index->stats();
+  EXPECT_EQ(S.Inserted, 2u);
+  EXPECT_EQ(S.Duplicates, 1u);
+  EXPECT_EQ(S.VerifiedCollisions, 0u);
+}
+
+TEST(IndexIO, LoadCanReShardBecausePlacementIsAFunctionOfTheHash) {
+  AlphaHashIndex<> Live({/*Shards=*/64, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(99), 1);
+  std::string Bytes = saveIndexBytes(Live);
+
+  IndexLoadResult<Hash128> R =
+      loadIndexBytes<Hash128>(Bytes, /*OverrideShards=*/4);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Index->numShards(), 4u);
+  expectSnapshotEq(Live, *R.Index);
+
+  ExprContext Ctx;
+  for (const auto &C : Live.snapshot()) {
+    DeserializeResult D = deserializeExpr(Ctx, C.CanonicalBytes);
+    ASSERT_TRUE(D.ok());
+    auto Hit = R.Index->lookup(Ctx, D.E);
+    ASSERT_TRUE(Hit.has_value());
+    EXPECT_EQ(Hit->Count, C.Count);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip at b=16: restored bytes keep colliding classes apart
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Birthday-search two non-alpha-equivalent expressions whose 16-bit
+/// alpha-hashes collide (as in tests/index_test.cpp).
+std::pair<const Expr *, const Expr *> findColliding16(ExprContext &Ctx,
+                                                      Rng &R,
+                                                      AlphaHasher<Hash16> &H) {
+  std::map<Hash16, const Expr *> Seen;
+  for (int T = 0; T != 20000; ++T) {
+    const Expr *E = genBalanced(Ctx, R, 48);
+    Hash16 Code = H.hashRoot(E);
+    auto [It, Fresh] = Seen.emplace(Code, E);
+    if (!Fresh && !alphaEquivalent(Ctx, E, It->second))
+      return {It->second, E};
+  }
+  return {nullptr, nullptr};
+}
+
+} // namespace
+
+TEST(IndexIO16, RoundTripPreservesCollidingClassesAndStats) {
+  ExprContext Ctx;
+  Rng R(4242);
+  AlphaHashIndex<Hash16> Live({/*Shards=*/4, HashSchema::DefaultSeed});
+  AlphaHasher<Hash16> H(Ctx, Live.schema());
+
+  auto [A, B] = findColliding16(Ctx, R, H);
+  ASSERT_NE(A, nullptr) << "no 16-bit collision found -- width suspect";
+  Live.insert(Ctx, A);
+  Live.insert(Ctx, B);
+  Live.insert(Ctx, alphaRename(Ctx, R, A));
+  // Some non-colliding ballast too.
+  for (int I = 0; I != 50; ++I)
+    Live.insert(Ctx, genBalanced(Ctx, R, 24));
+
+  IndexStats LiveStats = Live.stats();
+  ASSERT_GE(LiveStats.VerifiedCollisions, 1u);
+
+  IndexLoadResult<Hash16> Re = loadIndexBytes<Hash16>(saveIndexBytes(Live));
+  ASSERT_TRUE(Re.ok()) << Re.Error << " at byte " << Re.ErrorPos;
+  expectSnapshotEq(Live, *Re.Index);
+  expectStatsEq(LiveStats, Re.Index->stats());
+
+  // The two colliding classes resolve separately on the reopened index:
+  // the fallback decodes the *restored* bytes and refuses the merge.
+  auto HitA = Re.Index->lookup(Ctx, A);
+  auto HitB = Re.Index->lookup(Ctx, B);
+  ASSERT_TRUE(HitA.has_value());
+  ASSERT_TRUE(HitB.has_value());
+  EXPECT_EQ(HitA->Hash, HitB->Hash);
+  EXPECT_EQ(HitA->Count, 2u);
+  EXPECT_EQ(HitB->Count, 1u);
+  EXPECT_NE(HitA->CanonicalBytes, HitB->CanonicalBytes);
+
+  // And re-inserting either member merges into the right class.
+  Re.Index->insert(Ctx, alphaRename(Ctx, R, B));
+  EXPECT_EQ(Re.Index->lookup(Ctx, B)->Count, 2u);
+  EXPECT_EQ(Re.Index->lookup(Ctx, A)->Count, 2u);
+  EXPECT_EQ(Re.Index->numClasses(), Live.numClasses());
+}
+
+//===----------------------------------------------------------------------===//
+// Reopened query answers are identical to the live index's
+//===----------------------------------------------------------------------===//
+
+TEST(IndexIO, OpenQueryBatchMatchesLiveIndexExactly) {
+  ExprContext Gen;
+  Rng R(777);
+  std::vector<std::string> Corpus;
+  for (int I = 0; I != 50; ++I) {
+    const Expr *E = genBalanced(Gen, R, 28);
+    Corpus.push_back(serializeExpr(Gen, E));
+    if (I % 3 == 0)
+      Corpus.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+  }
+
+  AlphaHashIndex<> Live;
+  Live.insertBatch(Corpus, 1);
+  IndexLoadResult<Hash128> Re = loadIndexBytes<Hash128>(saveIndexBytes(Live));
+  ASSERT_TRUE(Re.ok()) << Re.Error;
+
+  // Queries: renamed members (hits modulo alpha), fresh expressions
+  // (misses), and an undecodable blob.
+  std::vector<std::string> Queries;
+  for (int I = 0; I != 30; ++I) {
+    ExprContext Ctx;
+    DeserializeResult D = deserializeExpr(Ctx, Corpus[I]);
+    ASSERT_TRUE(D.ok());
+    Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, D.E)));
+  }
+  for (int I = 0; I != 10; ++I) {
+    ExprContext Ctx;
+    Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 70)));
+  }
+  Queries.push_back("garbage query");
+
+  for (unsigned Threads : {1u, 4u}) {
+    auto FromLive = Live.lookupBatch(Queries, Threads);
+    auto FromFile = Re.Index->lookupBatch(Queries, Threads);
+    ASSERT_EQ(FromLive.size(), FromFile.size());
+    for (size_t I = 0; I != FromLive.size(); ++I) {
+      ASSERT_EQ(FromLive[I].has_value(), FromFile[I].has_value())
+          << "query " << I;
+      if (!FromLive[I])
+        continue;
+      EXPECT_EQ(FromLive[I]->Hash, FromFile[I]->Hash);
+      EXPECT_EQ(FromLive[I]->Count, FromFile[I]->Count);
+      EXPECT_EQ(FromLive[I]->CanonicalBytes, FromFile[I]->CanonicalBytes);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed files
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string validIndexBytes() {
+  AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(5), 1);
+  return saveIndexBytes(Live);
+}
+
+} // namespace
+
+TEST(IndexIO, MalformedFilesAreRejectedWithDiagnostics) {
+  std::string Good = validIndexBytes();
+  ASSERT_TRUE(loadIndexBytes<Hash128>(Good).ok());
+
+  {
+    auto R = loadIndexBytes<Hash128>("");
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("magic"), std::string::npos) << R.Error;
+  }
+  {
+    auto R = loadIndexBytes<Hash128>("HMACnope");
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("magic"), std::string::npos) << R.Error;
+  }
+  {
+    auto R = loadIndexBytes<Hash128>(std::string_view(Good).substr(0, 40));
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("truncated header"), std::string::npos) << R.Error;
+  }
+  {
+    std::string Bad = Good;
+    Bad[4] = 99; // version
+    auto R = loadIndexBytes<Hash128>(Bad);
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("unsupported index version"), std::string::npos)
+        << R.Error;
+    EXPECT_EQ(R.ErrorPos, 4u);
+  }
+  {
+    std::string Bad = Good;
+    Bad[20] = 3; // shard count: not a power of two
+    auto R = loadIndexBytes<Hash128>(Bad);
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("power of two"), std::string::npos) << R.Error;
+  }
+  {
+    std::string Bad = Good;
+    ++Bad[24]; // total class count no longer matches the directory
+    auto R = loadIndexBytes<Hash128>(Bad);
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("directory sums"), std::string::npos) << R.Error;
+  }
+  {
+    // Chop the file inside the tables: some shard's table overruns.
+    auto R = loadIndexBytes<Hash128>(
+        std::string_view(Good).substr(0, Good.size() / 2));
+    ASSERT_FALSE(R.ok());
+    EXPECT_FALSE(R.Error.empty());
+  }
+  {
+    // Width mismatch: a b=128 file read by a b=64 instantiation.
+    auto R = loadIndexBytes<Hash64>(Good);
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.Error.find("b=128"), std::string::npos) << R.Error;
+    EXPECT_NE(R.Error.find("b=64"), std::string::npos) << R.Error;
+  }
+}
+
+TEST(IndexIO, ProbeReportsCompatibilitySurfaceWithoutLoading) {
+  std::string Good = validIndexBytes();
+  IndexFileInfo Info;
+  std::string Error;
+  ASSERT_TRUE(probeIndexBytes(Good, Info, &Error)) << Error;
+  EXPECT_EQ(Info.Version, 1u);
+  EXPECT_EQ(Info.Seed, HashSchema::DefaultSeed);
+  EXPECT_EQ(Info.HashBits, 128u);
+  EXPECT_EQ(Info.Shards, 8u);
+  EXPECT_EQ(Info.NumClasses, 40u);
+  EXPECT_GT(Info.Stats.Inserted, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The memory diet: bytes are the only per-class retention; the fallback's
+// scratch is reused in steady state
+//===----------------------------------------------------------------------===//
+
+TEST(IndexMemory, RetainedBytesAreExactlyTheCanonicalBlobs) {
+  AlphaHashIndex<> Index;
+  Index.insertBatch(dupHeavyCorpus(123), 1);
+
+  size_t SumBlobBytes = 0;
+  for (const auto &C : Index.snapshot())
+    SumBlobBytes += C.CanonicalBytes.size();
+  // No per-representative arenas: class storage retains the canonical
+  // bytes and nothing else.
+  EXPECT_EQ(Index.retainedBytes(), SumBlobBytes);
+
+  // Ingest-side scratch memory is bounded by the recycle threshold (plus
+  // one decoded expression), regardless of how many classes exist.
+  EXPECT_LE(Index.scratchStats().ArenaBytes,
+            uint64_t(Index.numShards()) * DecodeScratch::DefaultRecycleBytes);
+}
+
+TEST(IndexMemory, SteadyStateFallbackReusesOneScratchContext) {
+  // Hammer ONE class with renamed duplicates on a single-shard index:
+  // every insert after the first runs exactly one fallback check, i.e.
+  // one decode into the shard's write scratch. Steady state must reuse
+  // that scratch, not create a context per decode.
+  AlphaHashIndex<> Index({/*Shards=*/1, HashSchema::DefaultSeed});
+  ExprContext Ctx;
+  Rng R(9);
+  const Expr *E = parseT(Ctx, "(lam (x) (lam (y) (x (y x))))");
+  const unsigned N = 200;
+  for (unsigned I = 0; I != N; ++I)
+    Index.insert(Ctx, alphaRename(Ctx, R, E));
+
+  EXPECT_EQ(Index.numClasses(), 1u);
+  IndexStats S = Index.stats();
+  EXPECT_EQ(S.FallbackChecks, uint64_t(N - 1));
+
+  ScratchStats Scratch = Index.scratchStats();
+  // One decode per fallback check...
+  EXPECT_EQ(Scratch.Decodes, uint64_t(N - 1));
+  // ...but (almost) no context churn: the first decode creates the
+  // scratch, and these small expressions stay far below the recycle
+  // threshold. Allow one extra recycle so the bound is about *reuse*,
+  // not about the exact threshold crossing.
+  EXPECT_LE(Scratch.Recycles, 2u);
+}
+
+TEST(IndexMemory, DecodeScratchRecyclesOnceOverThreshold) {
+  ExprContext Ctx;
+  Rng R(1);
+  std::string Big = serializeExpr(Ctx, genBalanced(Ctx, R, 400));
+  std::string Small = serializeExpr(Ctx, parseT(Ctx, "(lam (x) x)"));
+
+  // A tiny threshold forces a recycle before every decode once the first
+  // big expression lands in the arena.
+  DecodeScratch Tight(/*RecycleBytes=*/64);
+  for (int I = 0; I != 5; ++I)
+    ASSERT_NE(Tight.decode(Big), nullptr);
+  EXPECT_EQ(Tight.decodes(), 5u);
+  EXPECT_EQ(Tight.recycles(), 5u);
+
+  // The default threshold sustains many small decodes on one context.
+  DecodeScratch Roomy;
+  for (int I = 0; I != 100; ++I)
+    ASSERT_NE(Roomy.decode(Small), nullptr);
+  EXPECT_EQ(Roomy.decodes(), 100u);
+  EXPECT_EQ(Roomy.recycles(), 1u);
+  EXPECT_LE(Roomy.arenaBytes(), DecodeScratch::DefaultRecycleBytes);
+
+  // Malformed bytes are a nullptr, counted as a decode, never UB.
+  EXPECT_EQ(Roomy.decode("garbage"), nullptr);
+  EXPECT_EQ(Roomy.decodes(), 101u);
+}

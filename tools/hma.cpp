@@ -12,13 +12,18 @@
 ///           [--count K]                 K expressions, one per line
 ///   hma bench-expr [file]               hash with all four algorithms
 ///   hma index build <corpus> [--threads T] [--shards S] [--out FILE]
-///   hma index query <corpus> [--expr E | --expr-file F]
+///   hma index query <corpus> [--expr E | --expr-file F | --batch FILE]
 ///   hma index stats <corpus> [--threads T] [--shards S]
+///   hma index open <file> [stats | query ...]
+///   hma index update <file> <corpus> [--threads T] [--out FILE]
 ///
 /// Expressions are read from the file argument or stdin. A corpus is
 /// either a text file with one expression per line or a binary "HMAC"
-/// container (as written by `index build --out`). Exit status is non-zero
-/// on parse/usage errors, with a byte-offset diagnostic.
+/// container. `index build --out` writes a binary "HMAI" *index* file
+/// (classes + counts + stats); `index open` serves queries from it
+/// without re-ingesting anything, and `index update` appends a corpus to
+/// it and rewrites the file. Exit status is non-zero on parse/usage
+/// errors, with a byte-offset diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +42,7 @@
 #include "gen/RandomExpr.h"
 #include "index/AlphaHashIndex.h"
 #include "index/CorpusIO.h"
+#include "index/IndexIO.h"
 
 #include <algorithm>
 #include <chrono>
@@ -45,6 +51,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -68,16 +75,26 @@ int usage() {
       "             [--count K] (K expressions, one per line)\n"
       "  bench-expr time all four hashing algorithms on the input\n"
       "  index build <corpus> [--threads T] [--shards S] [--out FILE]\n"
-      "             intern a corpus modulo alpha; --out writes the\n"
-      "             deduplicated corpus as a binary HMAC container\n"
+      "             intern a corpus modulo alpha; --out persists the\n"
+      "             index (classes+counts+stats) as a binary HMAI file\n"
       "  index query <corpus> [--expr E | --expr-file F | --batch FILE]\n"
       "             build, then look expressions up (default: stdin).\n"
       "             --batch FILE bulk-queries a whole corpus of\n"
       "             expressions on --threads shared-lock readers\n"
       "  index stats <corpus> [--threads T] [--shards S]\n"
-      "             build, then print collision/shard diagnostics\n"
+      "             build, then print schema/collision/shard diagnostics\n"
+      "  index open <file> [stats | query [--expr E | --expr-file F |\n"
+      "             --batch FILE]] [--shards S] [--out FILE]\n"
+      "             reopen an HMAI index file (no re-ingest) and print\n"
+      "             its summary, full stats, or serve queries from it;\n"
+      "             --shards re-stripes on load, --out saves the reopened\n"
+      "             (possibly re-sharded) index to a new file\n"
+      "  index update <file> <corpus> [--threads T] [--out FILE]\n"
+      "             reopen an HMAI file, ingest another corpus into it,\n"
+      "             and rewrite the file in place (--out: write the\n"
+      "             updated index elsewhere, leaving <file> untouched)\n"
       "Expressions are read from [file] or stdin. A corpus is one\n"
-      "expression per line, or a binary container from index build --out.\n");
+      "expression per line, or a binary HMAC container.\n");
   return 2;
 }
 
@@ -221,20 +238,22 @@ int cmdGen(ExprContext &, int Argc, char **Argv) {
 
 struct IndexArgs {
   const char *Sub = nullptr;
-  const char *CorpusPath = nullptr;
+  const char *Path = nullptr;       ///< Corpus (build/query/stats) or HMAI file.
+  const char *CorpusPath = nullptr; ///< `update`'s second positional.
+  const char *OpenSub = nullptr;    ///< `open`'s optional "stats" / "query".
   const char *OutPath = nullptr;
   const char *ExprText = nullptr;
   const char *ExprFile = nullptr;
   const char *BatchFile = nullptr;
   unsigned Threads = std::max(1u, std::thread::hardware_concurrency());
   unsigned Shards = 64;
+  bool ShardsSet = false; ///< --shards given explicitly (open/update
+                          ///< re-stripe a loaded file only on request).
 };
 
-bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
-  if (Argc < 4)
-    return false;
-  A.Sub = Argv[2];
-  A.CorpusPath = Argv[3];
+/// Parse `--threads/--shards/--out/--expr/--expr-file/--batch` starting
+/// at Argv[\p First].
+bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
   auto Positive = [](const char *Flag, const char *Arg, long long Max,
                      unsigned &Out) {
     long long V = std::atoll(Arg);
@@ -245,7 +264,7 @@ bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
     Out = static_cast<unsigned>(V);
     return true;
   };
-  for (int I = 4; I < Argc; ++I) {
+  for (int I = First; I < Argc; ++I) {
     auto Want = [&](const char *Flag) {
       return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
     };
@@ -256,6 +275,7 @@ bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
       if (!Positive("--shards", Argv[++I],
                     AlphaHashIndex<Hash128>::MaxShards, A.Shards))
         return false;
+      A.ShardsSet = true;
     } else if (Want("--out"))
       A.OutPath = Argv[++I];
     else if (Want("--expr"))
@@ -270,18 +290,52 @@ bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
   return true;
 }
 
-/// Load + ingest a corpus, printing the one-line build summary.
-bool buildIndex(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
-  std::string Bytes;
-  if (!readInput(A.CorpusPath, Bytes))
+bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
+  if (Argc < 4)
     return false;
-  CorpusLoadResult Corpus = loadCorpus(Bytes);
+  A.Sub = Argv[2];
+  A.Path = Argv[3];
+  int First = 4;
+  if (std::strcmp(A.Sub, "update") == 0) {
+    if (Argc < 5)
+      return false;
+    A.CorpusPath = Argv[4];
+    First = 5;
+  } else if (std::strcmp(A.Sub, "open") == 0 && Argc >= 5 &&
+             Argv[4][0] != '-') {
+    A.OpenSub = Argv[4];
+    First = 5;
+  }
+  return parseIndexFlags(Argc, Argv, First, A);
+}
+
+/// Read a corpus file, refusing `HMAI` index files with a pointer to the
+/// right subcommand (their magic makes the mistake cheap to diagnose).
+bool readCorpus(const char *Path, CorpusLoadResult &Corpus) {
+  std::string Bytes;
+  if (!readInput(Path, Bytes))
+    return false;
+  if (isIndexFile(Bytes)) {
+    std::fprintf(stderr,
+                 "corpus error: '%s' is an HMAI index file, not a corpus; "
+                 "use `hma index open`\n",
+                 Path ? Path : "<stdin>");
+    return false;
+  }
+  Corpus = loadCorpus(Bytes);
   if (!Corpus.ok()) {
     std::fprintf(stderr, "corpus error: %s\n", Corpus.Error.c_str());
     return false;
   }
-  size_t NumBlobs = Corpus.Blobs.size();
+  return true;
+}
 
+/// Ingest \p Corpus, printing the one-line build summary. The duplicate
+/// count is for *this* ingest only (an opened index may carry restored
+/// duplicates from previous runs in its cumulative stats).
+void ingestCorpus(const IndexArgs &A, AlphaHashIndex<Hash128> &Index,
+                  const CorpusLoadResult &Corpus) {
+  uint64_t DupesBefore = Index.stats().Duplicates;
   auto Start = std::chrono::steady_clock::now();
   auto Batch = Index.insertBatch(Corpus.Blobs, A.Threads);
   auto End = std::chrono::steady_clock::now();
@@ -290,12 +344,40 @@ bool buildIndex(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
   IndexStats S = Index.stats();
   std::printf("%zu expressions -> %zu classes (%llu duplicates merged, "
               "%llu decode errors)\n",
-              NumBlobs, Index.numClasses(),
-              static_cast<unsigned long long>(S.Duplicates),
+              Corpus.Blobs.size(), Index.numClasses(),
+              static_cast<unsigned long long>(S.Duplicates - DupesBefore),
               static_cast<unsigned long long>(Batch.DecodeErrors));
   std::printf("ingest: %u threads, %u shards, %.3f s, %.0f exprs/sec\n",
               A.Threads, Index.numShards(), Sec,
               Sec > 0 ? static_cast<double>(Batch.Ingested) / Sec : 0.0);
+}
+
+/// Load + ingest a corpus, printing the one-line build summary.
+bool buildIndex(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
+  CorpusLoadResult Corpus;
+  if (!readCorpus(A.Path, Corpus))
+    return false;
+  ingestCorpus(A, Index, Corpus);
+  return true;
+}
+
+/// The compatibility surface of an index: two indexes (or files) can be
+/// compared by hash iff both lines match.
+void printSchema(const AlphaHashIndex<Hash128> &Index) {
+  std::printf("schema seed:         0x%016llx\n",
+              static_cast<unsigned long long>(Index.schema().seed()));
+  std::printf("hash bits:           %u\n", HashWidth<Hash128>::Bits);
+}
+
+bool writeIndexFile(const AlphaHashIndex<Hash128> &Index, const char *Path) {
+  std::string Error;
+  std::string Bytes = saveIndexBytes(Index);
+  if (!writeFileReplacing(Path, Bytes, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return false;
+  }
+  std::printf("wrote index: %zu classes (%zu bytes) to %s\n",
+              Index.numClasses(), Bytes.size(), Path);
   return true;
 }
 
@@ -303,33 +385,17 @@ int cmdIndexBuild(const IndexArgs &A) {
   AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
   if (!buildIndex(A, Index))
     return 1;
-  if (A.OutPath) {
-    std::vector<std::string> Canon;
-    for (auto &C : Index.snapshot())
-      Canon.push_back(std::move(C.CanonicalBytes));
-    std::string Packed = packCorpus(Canon);
-    std::ofstream Out(A.OutPath, std::ios::binary);
-    if (!Out.write(Packed.data(), static_cast<std::streamsize>(Packed.size()))) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", A.OutPath);
-      return 1;
-    }
-    std::printf("wrote %zu canonical expressions (%zu bytes) to %s\n",
-                Canon.size(), Packed.size(), A.OutPath);
-  }
+  if (A.OutPath && !writeIndexFile(Index, A.OutPath))
+    return 1;
   return 0;
 }
 
 /// `hma index query <corpus> --batch FILE`: bulk-lookup a whole corpus of
 /// query expressions over the shared-lock read path.
 int cmdIndexQueryBatch(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
-  std::string Bytes;
-  if (!readInput(A.BatchFile, Bytes))
+  CorpusLoadResult Queries;
+  if (!readCorpus(A.BatchFile, Queries))
     return 1;
-  CorpusLoadResult Queries = loadCorpus(Bytes);
-  if (!Queries.ok()) {
-    std::fprintf(stderr, "batch corpus error: %s\n", Queries.Error.c_str());
-    return 1;
-  }
 
   auto Start = std::chrono::steady_clock::now();
   auto Results = Index.lookupBatch(Queries.Blobs, A.Threads);
@@ -355,11 +421,9 @@ int cmdIndexQueryBatch(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
   return 0;
 }
 
-int cmdIndexQuery(const IndexArgs &A) {
-  AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
-  if (!buildIndex(A, Index))
-    return 1;
-
+/// Look one expression (--expr / --expr-file / stdin) or a --batch corpus
+/// up in an already-populated index. Shared by `query` and `open query`.
+int runQueries(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
   if (A.BatchFile)
     return cmdIndexQueryBatch(A, Index);
 
@@ -389,11 +453,17 @@ int cmdIndexQuery(const IndexArgs &A) {
   return 0;
 }
 
-int cmdIndexStats(const IndexArgs &A) {
+int cmdIndexQuery(const IndexArgs &A) {
   AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
   if (!buildIndex(A, Index))
     return 1;
+  return runQueries(A, Index);
+}
 
+/// Schema, collision, shard-occupancy and largest-class diagnostics.
+/// Shared by `stats` (freshly built) and `open stats` (reopened).
+void printStatsReport(const AlphaHashIndex<Hash128> &Index) {
+  printSchema(Index);
   IndexStats S = Index.stats();
   std::printf("fallback checks:     %llu\n",
               static_cast<unsigned long long>(S.FallbackChecks));
@@ -413,6 +483,12 @@ int cmdIndexStats(const IndexArgs &A) {
               Loads.empty() ? 0.0
                             : static_cast<double>(Total) / Loads.size(),
               MaxLoad);
+  std::printf("retained: %zu bytes of canonical blobs (%.1f per class)\n",
+              Index.retainedBytes(),
+              Index.numClasses()
+                  ? static_cast<double>(Index.retainedBytes()) /
+                        static_cast<double>(Index.numClasses())
+                  : 0.0);
 
   auto Classes = Index.snapshot();
   std::stable_sort(Classes.begin(), Classes.end(),
@@ -427,7 +503,80 @@ int cmdIndexStats(const IndexArgs &A) {
                 static_cast<unsigned long long>(Classes[I].Count),
                 R.ok() ? printExpr(Ctx, R.E).c_str() : "<undecodable>");
   }
+}
+
+int cmdIndexStats(const IndexArgs &A) {
+  AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
+  if (!buildIndex(A, Index))
+    return 1;
+  printStatsReport(Index);
   return 0;
+}
+
+/// Reopen an HMAI file (re-striping over `--shards` if given explicitly;
+/// placement is a pure function of the hash, so that is always safe). On
+/// success prints the one-line reopen summary.
+std::unique_ptr<AlphaHashIndex<Hash128>> openIndexFile(const IndexArgs &A) {
+  auto Start = std::chrono::steady_clock::now();
+  IndexLoadResult<Hash128> R =
+      loadIndexFile<Hash128>(A.Path, A.ShardsSet ? A.Shards : 0);
+  auto End = std::chrono::steady_clock::now();
+  if (!R.ok()) {
+    std::fprintf(stderr, "index error: %s (byte %zu)\n", R.Error.c_str(),
+                 R.ErrorPos);
+    return nullptr;
+  }
+  std::printf("opened %s: %zu classes, %llu members, %u shards, %.3f s "
+              "(no re-ingest)\n",
+              A.Path, R.Index->numClasses(),
+              static_cast<unsigned long long>(R.Index->stats().Inserted),
+              R.Index->numShards(),
+              std::chrono::duration<double>(End - Start).count());
+  return std::move(R.Index);
+}
+
+int cmdIndexOpen(const IndexArgs &A) {
+  bool IsQuery = A.OpenSub && std::strcmp(A.OpenSub, "query") == 0;
+  bool IsStats = A.OpenSub && std::strcmp(A.OpenSub, "stats") == 0;
+  if (A.OpenSub && !IsQuery && !IsStats)
+    return usage(); // reject a bogus subcommand before loading anything
+  if ((A.ExprText || A.ExprFile || A.BatchFile) && !IsQuery) {
+    // `open F --batch Q` (without the `query` word) must not silently
+    // succeed while ignoring the flags.
+    std::fprintf(stderr,
+                 "error: --expr/--expr-file/--batch require `index open "
+                 "<file> query ...`\n");
+    return 2;
+  }
+  auto Index = openIndexFile(A);
+  if (!Index)
+    return 1;
+  // `open F --shards 8 --out G` is the re-shard tool: reopen re-striped,
+  // then persist the result.
+  if (A.OutPath && !writeIndexFile(*Index, A.OutPath))
+    return 1;
+  if (IsStats)
+    printStatsReport(*Index);
+  else if (IsQuery)
+    return runQueries(A, *Index);
+  else
+    printSchema(*Index);
+  return 0;
+}
+
+int cmdIndexUpdate(const IndexArgs &A) {
+  auto Index = openIndexFile(A);
+  if (!Index)
+    return 1;
+  CorpusLoadResult Corpus;
+  if (!readCorpus(A.CorpusPath, Corpus))
+    return 1;
+  size_t Before = Index->numClasses();
+  ingestCorpus(A, *Index, Corpus);
+  std::printf("update: %zu -> %zu classes\n", Before, Index->numClasses());
+  // Rewrite in place by default; --out redirects to a new file and
+  // leaves the original untouched.
+  return writeIndexFile(*Index, A.OutPath ? A.OutPath : A.Path) ? 0 : 1;
 }
 
 int cmdIndex(int Argc, char **Argv) {
@@ -440,6 +589,10 @@ int cmdIndex(int Argc, char **Argv) {
     return cmdIndexQuery(A);
   if (std::strcmp(A.Sub, "stats") == 0)
     return cmdIndexStats(A);
+  if (std::strcmp(A.Sub, "open") == 0)
+    return cmdIndexOpen(A);
+  if (std::strcmp(A.Sub, "update") == 0)
+    return cmdIndexUpdate(A);
   return usage();
 }
 
