@@ -55,6 +55,11 @@
 /// the genuine data flow at a narrow width, not by truncating after the
 /// fact.
 ///
+/// The read-side surface (lookup / lookupBatch / stats / snapshot)
+/// implements \ref IndexReader, the interface shared with the zero-copy
+/// \ref MappedIndex file reader -- serving code programs against the
+/// interface and does not care whether classes are resident or mapped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HMA_INDEX_ALPHAHASHINDEX_H
@@ -64,8 +69,9 @@
 #include "ast/Serialize.h"
 #include "ast/Uniquify.h"
 #include "core/AlphaHasher.h"
+#include "index/BatchDriver.h"
+#include "index/IndexReader.h"
 #include "index/ShardStore.h"
-#include "index/ThreadPool.h"
 #include "support/HashCode.h"
 #include "support/HashSchema.h"
 
@@ -82,29 +88,9 @@
 
 namespace hma {
 
-/// Aggregated ingest/collision counters for an \ref AlphaHashIndex.
-struct IndexStats {
-  uint64_t Inserted = 0;       ///< Successful ingest operations.
-  uint64_t NewClasses = 0;     ///< Inserts that created a class.
-  uint64_t Duplicates = 0;     ///< Inserts merged into an existing class.
-  uint64_t FallbackChecks = 0; ///< Exact alpha-equivalence checks run.
-  uint64_t VerifiedCollisions = 0; ///< Hash hits refuted by the oracle.
-  uint64_t DecodeErrors = 0;   ///< Corpus blobs that failed to deserialise.
-
-  IndexStats &operator+=(const IndexStats &O) {
-    Inserted += O.Inserted;
-    NewClasses += O.NewClasses;
-    Duplicates += O.Duplicates;
-    FallbackChecks += O.FallbackChecks;
-    VerifiedCollisions += O.VerifiedCollisions;
-    DecodeErrors += O.DecodeErrors;
-    return *this;
-  }
-};
-
 /// A thread-safe interning service for expressions modulo
 /// alpha-equivalence, keyed by their alpha-hash.
-template <typename H = Hash128> class AlphaHashIndex {
+template <typename H = Hash128> class AlphaHashIndex : public IndexReader<H> {
 public:
   struct Options {
     /// Number of lock stripes; rounded up to a power of two. More shards
@@ -115,19 +101,15 @@ public:
     uint64_t Seed = HashSchema::DefaultSeed;
   };
 
-  /// Result of a membership query.
-  struct LookupResult {
-    H Hash{};           ///< Alpha-hash of the queried expression.
-    uint64_t Count = 0; ///< Members ingested into the matching class.
-    std::string CanonicalBytes; ///< Serialised canonical representative.
-  };
+  /// Result of a membership query (see index/IndexReader.h). The
+  /// canonical bytes are a zero-copy view into this index's shard store:
+  /// class bytes are immutable and never relocate once interned, so the
+  /// view stays valid -- even across further ingest -- until the index
+  /// is destroyed.
+  using LookupResult = hma::LookupResult<H>;
 
-  /// One equivalence class, as exported by \ref snapshot.
-  struct ClassSummary {
-    H Hash{};
-    uint64_t Count = 0;
-    std::string CanonicalBytes;
-  };
+  /// One equivalence class, as exported by \ref snapshot (owning).
+  using ClassSummary = hma::ClassSummary<H>;
 
   /// Outcome of a batch ingest.
   struct BatchResult {
@@ -160,8 +142,9 @@ public:
   AlphaHashIndex(const AlphaHashIndex &) = delete;
   AlphaHashIndex &operator=(const AlphaHashIndex &) = delete;
 
-  unsigned numShards() const { return ShardMask + 1; }
-  const HashSchema &schema() const { return Schema; }
+  unsigned numShards() const override { return ShardMask + 1; }
+  const HashSchema &schema() const override { return Schema; }
+  const char *backendName() const override { return "live"; }
 
   //===--------------------------------------------------------------------===//
   // Ingest
@@ -214,27 +197,29 @@ public:
                           unsigned Threads) {
     BatchResult Result;
     std::mutex ResultMu;
-    forEachChunk(Blobs.size(), Threads, [&](AlphaHasher<H> &Hasher,
-                                            ExprContext &Ctx, size_t Begin,
-                                            size_t End, BatchWorkerState &W) {
-      for (size_t I = Begin; I != End; ++I) {
-        DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
-        if (!R.ok()) {
-          ++W.Local.DecodeErrors;
-          shardFor(H{}).bumpDecodeError();
-          continue;
-        }
-        const Expr *Root = uniquifyBinders(Ctx, R.E);
-        insertHashed(Ctx, Root, Hasher.hashRoot(Root));
-        ++W.Local.Ingested;
-      }
-    }, [&](BatchWorkerState &W) {
-      std::lock_guard<std::mutex> Lock(ResultMu);
-      Result.Ingested += W.Local.Ingested;
-      Result.DecodeErrors += W.Local.DecodeErrors;
-      Result.PoolNodesAllocated += W.Local.PoolNodesAllocated;
-      Result.SteadyPoolNodesAllocated += W.Local.SteadyPoolNodesAllocated;
-    });
+    detail::forEachHashedChunk<H, BatchWorkerState>(
+        Schema, Blobs.size(), Threads,
+        [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
+            size_t End, BatchWorkerState &W) {
+          for (size_t I = Begin; I != End; ++I) {
+            DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+            if (!R.ok()) {
+              ++W.Local.DecodeErrors;
+              shardFor(H{}).bumpDecodeError();
+              continue;
+            }
+            const Expr *Root = uniquifyBinders(Ctx, R.E);
+            insertHashed(Ctx, Root, Hasher.hashRoot(Root));
+            ++W.Local.Ingested;
+          }
+        },
+        [&](BatchWorkerState &W, uint64_t PoolNodes, uint64_t SteadyNodes) {
+          std::lock_guard<std::mutex> Lock(ResultMu);
+          Result.Ingested += W.Local.Ingested;
+          Result.DecodeErrors += W.Local.DecodeErrors;
+          Result.PoolNodesAllocated += PoolNodes;
+          Result.SteadyPoolNodesAllocated += SteadyNodes;
+        });
     return Result;
   }
 
@@ -244,7 +229,8 @@ public:
 
   /// Find the class of \p Root, if it has been interned. Takes only a
   /// shared (reader) lock on the owning stripe.
-  std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root) {
+  std::optional<LookupResult> lookup(ExprContext &Ctx,
+                                     const Expr *Root) override {
     AlphaHasher<H> Hasher(Ctx, Schema);
     return lookup(Ctx, Root, Hasher);
   }
@@ -272,15 +258,6 @@ public:
     return lookupHashed(Ctx, Root, Hasher.hashRoot(Root), Scratch);
   }
 
-  /// Membership query in `ast/Serialize` format.
-  std::optional<LookupResult> lookupSerialized(std::string_view Bytes) {
-    ExprContext Ctx;
-    DeserializeResult R = deserializeExpr(Ctx, Bytes);
-    if (!R.ok())
-      return std::nullopt;
-    return lookup(Ctx, R.E);
-  }
-
   /// Look up a whole corpus of serialised expressions on \p Threads
   /// workers: the read-mostly mirror of \ref insertBatch (ROADMAP's bulk
   /// `lookupBatch`). Result i corresponds to blob i; a blob that fails to
@@ -288,19 +265,23 @@ public:
   /// lock and probe their stripes under shared locks, so batch queries
   /// neither block each other nor serialise against concurrent readers.
   std::vector<std::optional<LookupResult>>
-  lookupBatch(const std::vector<std::string> &Blobs, unsigned Threads) {
+  lookupBatch(const std::vector<std::string> &Blobs,
+              unsigned Threads) override {
     std::vector<std::optional<LookupResult>> Results(Blobs.size());
-    forEachChunk(Blobs.size(), Threads, [&](AlphaHasher<H> &Hasher,
-                                            ExprContext &Ctx, size_t Begin,
-                                            size_t End, BatchWorkerState &W) {
-      for (size_t I = Begin; I != End; ++I) {
-        DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
-        if (!R.ok())
-          continue; // leave Results[I] empty; read path mutates no stats
-        const Expr *Root = uniquifyBinders(Ctx, R.E);
-        Results[I] = lookupHashed(Ctx, Root, Hasher.hashRoot(Root), W.Scratch);
-      }
-    }, [](BatchWorkerState &) {});
+    detail::forEachHashedChunk<H, BatchWorkerState>(
+        Schema, Blobs.size(), Threads,
+        [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
+            size_t End, BatchWorkerState &W) {
+          for (size_t I = Begin; I != End; ++I) {
+            DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+            if (!R.ok())
+              continue; // leave Results[I] empty; read path mutates no stats
+            const Expr *Root = uniquifyBinders(Ctx, R.E);
+            Results[I] =
+                lookupHashed(Ctx, Root, Hasher.hashRoot(Root), W.Scratch);
+          }
+        },
+        [](BatchWorkerState &, uint64_t, uint64_t) {});
     return Results;
   }
 
@@ -309,7 +290,7 @@ public:
   }
 
   /// Number of distinct alpha-equivalence classes interned.
-  size_t numClasses() const {
+  size_t numClasses() const override {
     size_t N = 0;
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
@@ -323,7 +304,7 @@ public:
 
   /// Aggregate counters across all shards (including the atomics the
   /// shared-lock read path bumps).
-  IndexStats stats() const {
+  IndexStats stats() const override {
     IndexStats Total;
     for (unsigned I = 0; I != numShards(); ++I) {
       const Shard &S = ShardsArr[I];
@@ -338,7 +319,7 @@ public:
   }
 
   /// Number of classes per shard (for load-balance diagnostics).
-  std::vector<size_t> shardLoads() const {
+  std::vector<size_t> shardLoads() const override {
     std::vector<size_t> Loads(numShards());
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
@@ -349,7 +330,7 @@ public:
 
   /// Export every class, sorted by (hash, canonical bytes) so the result
   /// is a canonical value suitable for equality comparison across runs.
-  std::vector<ClassSummary> snapshot() const {
+  std::vector<ClassSummary> snapshot() const override {
     std::vector<ClassSummary> Out;
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
@@ -357,13 +338,21 @@ public:
         Out.push_back(ClassSummary{C.Hash, C.Count, C.Bytes});
       });
     }
-    std::sort(Out.begin(), Out.end(),
-              [](const ClassSummary &A, const ClassSummary &B) {
-                if (A.Hash != B.Hash)
-                  return A.Hash < B.Hash;
-                return A.CanonicalBytes < B.CanonicalBytes;
-              });
+    std::sort(Out.begin(), Out.end(), detail::lessByHashThenBytes<H>);
     return Out;
+  }
+
+  std::vector<ClassSummary> largestClasses(size_t N) const override {
+    std::vector<ClassSummary> Top;
+    if (N == 0)
+      return Top;
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
+      ShardsArr[I].Store.forEach([&](const auto &C) {
+        detail::considerLargest<H>(Top, N, C.Hash, C.Count, C.Bytes);
+      });
+    }
+    return Top;
   }
 
   //===--------------------------------------------------------------------===//
@@ -375,7 +364,7 @@ public:
   /// proportional table overhead -- shards keep no decoded
   /// representatives (scratch memory is bounded and reported by
   /// \ref scratchStats).
-  size_t retainedBytes() const {
+  size_t retainedBytes() const override {
     size_t N = 0;
     for (unsigned I = 0; I != numShards(); ++I) {
       std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
@@ -449,77 +438,17 @@ private:
     }
   };
 
-  /// Per-worker accounting for \ref forEachChunk batch drivers. The
-  /// scratch serves lookupBatch's shared-lock fallback decodes and, like
-  /// the worker's hasher, persists across every chunk the worker pulls.
+  /// Per-worker accounting for the \ref detail::forEachHashedChunk batch
+  /// drivers. The scratch serves lookupBatch's shared-lock fallback
+  /// decodes and, like the worker's hasher, persists across every chunk
+  /// the worker pulls.
   struct BatchWorkerState {
     BatchResult Local;
     DecodeScratch Scratch;
   };
 
   Shard &shardFor(H Hash) const {
-    // Re-mix before masking: the low bits of the alpha-hash are already
-    // well distributed, but re-mixing keeps the stripe choice independent
-    // of the ByHash bucket choice.
-    size_t Mixed = detail::splitmix64(HashCodeHasher{}(Hash));
-    return ShardsArr[Mixed & ShardMask];
-  }
-
-  /// Shared driver for insertBatch/lookupBatch: split [0, Count) into
-  /// chunks, spawn min(Threads, chunks) workers that pull chunk indices
-  /// from an atomic counter. Each worker owns one AlphaHasher for the
-  /// whole batch (scratch stays warm) and one fresh ExprContext per chunk
-  /// (arena growth stays bounded); the hasher is rebound at each chunk.
-  /// \p Body processes one chunk; \p Finish merges the worker's state.
-  template <typename BodyFn, typename FinishFn>
-  void forEachChunk(size_t Count, unsigned Threads, BodyFn Body,
-                    FinishFn Finish) {
-    // Hashing parallelism is useful regardless of shard count, but an
-    // absurd caller value must not translate into thousands of threads
-    // (or overflow the chunk arithmetic below).
-    Threads = std::clamp(Threads, 1u, 1024u);
-    // One chunk per pull: big enough to amortise scheduling (and to warm
-    // a worker's scratch), small enough to spread a 10k-expression corpus
-    // over 8 workers.
-    const size_t Chunk =
-        std::clamp<size_t>(Count / (size_t(8) * Threads), 16, 512);
-    const size_t NumChunks = (Count + Chunk - 1) / Chunk;
-    std::atomic<size_t> NextChunk{0};
-
-    auto Worker = [&] {
-      BatchWorkerState W;
-      // The hasher outlives every per-chunk context; it is rebound before
-      // each use, so the briefly-dangling context pointer between chunks
-      // is never dereferenced.
-      ExprContext BootCtx;
-      AlphaHasher<H> Hasher(BootCtx, Schema);
-      bool Warmed = false;
-      uint64_t WarmMark = 0;
-      for (size_t C = NextChunk.fetch_add(1); C < NumChunks;
-           C = NextChunk.fetch_add(1)) {
-        size_t Begin = C * Chunk;
-        size_t End = std::min(Begin + Chunk, Count);
-        ExprContext Ctx;
-        Hasher.rebind(Ctx);
-        Body(Hasher, Ctx, Begin, End, W);
-        Hasher.rebind(BootCtx);
-        if (!Warmed) {
-          Warmed = true;
-          WarmMark = Hasher.poolAllocatedNodes();
-        }
-      }
-      W.Local.PoolNodesAllocated = Hasher.poolAllocatedNodes();
-      W.Local.SteadyPoolNodesAllocated =
-          Warmed ? Hasher.poolAllocatedNodes() - WarmMark : 0;
-      Finish(W);
-    };
-
-    // Never spawn more OS threads than there are chunks to process.
-    size_t Workers = std::min<size_t>(Threads, NumChunks);
-    ThreadPool Pool(static_cast<unsigned>(Workers));
-    for (size_t T = 0; T != Workers; ++T)
-      Pool.run(Worker);
-    Pool.wait();
+    return ShardsArr[detail::shardIndexForHash(Hash, ShardMask)];
   }
 
   /// Read-path probe: \p Root (owned by \p SrcCtx, binders distinct) with

@@ -1,0 +1,104 @@
+//===- index/BatchDriver.h - Shared chunked batch-worker driver -------------===//
+///
+/// \file
+/// The worker-loop driver behind every batch entry point in the index
+/// layer: \ref AlphaHashIndex::insertBatch / lookupBatch and \ref
+/// MappedIndex::lookupBatch all fan a corpus of serialised expressions
+/// out over a \ref ThreadPool with exactly the same shape, so the shape
+/// lives here once:
+///
+///  - split [0, Count) into chunks; workers pull chunk indices from an
+///    atomic counter (work stealing without a queue);
+///  - each worker owns ONE long-lived \ref AlphaHasher for the whole
+///    batch, so its scratch (map-node pool, worklist, value stack, name
+///    cache) stays warm across chunks -- the zero-allocation pipeline;
+///  - each *chunk* gets a fresh \ref ExprContext (arena growth stays
+///    bounded) and the hasher is \ref AlphaHasher::rebind -ed to it;
+///  - per-worker pool-allocation counters are split into total and
+///    post-warm-up ("steady") so callers can assert the steady-state
+///    allocation count is zero.
+///
+/// The driver knows nothing about what a chunk *does*: the body callback
+/// decodes/hashes/probes however its backend requires, accumulating into
+/// a caller-defined per-worker state that the finish callback merges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_BATCHDRIVER_H
+#define HMA_INDEX_BATCHDRIVER_H
+
+#include "ast/Expr.h"
+#include "core/AlphaHasher.h"
+#include "index/ThreadPool.h"
+#include "support/HashSchema.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hma::detail {
+
+/// Run \p Body over chunks of [0, \p Count) on up to \p Threads workers
+/// (<= 1 means inline on the caller).
+///
+/// \p Body is `void(AlphaHasher<H>&, ExprContext&, size_t Begin,
+/// size_t End, WorkerState&)`, called once per chunk with the worker's
+/// hasher already rebound to the chunk's fresh context. \p Finish is
+/// `void(WorkerState&, uint64_t PoolNodes, uint64_t SteadyPoolNodes)`,
+/// called once per worker after its last chunk with the hasher's total
+/// and post-first-chunk pool-allocation counts; it typically locks a
+/// mutex and merges. WorkerState must be default-constructible.
+template <typename H, typename WorkerState, typename BodyFn,
+          typename FinishFn>
+void forEachHashedChunk(const HashSchema &Schema, size_t Count,
+                        unsigned Threads, BodyFn Body, FinishFn Finish) {
+  // Hashing parallelism is useful regardless of backend, but an absurd
+  // caller value must not translate into thousands of threads (or
+  // overflow the chunk arithmetic below).
+  Threads = std::clamp(Threads, 1u, 1024u);
+  // One chunk per pull: big enough to amortise scheduling (and to warm a
+  // worker's scratch), small enough to spread a 10k-expression corpus
+  // over 8 workers.
+  const size_t Chunk =
+      std::clamp<size_t>(Count / (size_t(8) * Threads), 16, 512);
+  const size_t NumChunks = (Count + Chunk - 1) / Chunk;
+  std::atomic<size_t> NextChunk{0};
+
+  auto Worker = [&] {
+    WorkerState W;
+    // The hasher outlives every per-chunk context; it is rebound before
+    // each use, so the briefly-dangling context pointer between chunks
+    // is never dereferenced.
+    ExprContext BootCtx;
+    AlphaHasher<H> Hasher(BootCtx, Schema);
+    bool Warmed = false;
+    uint64_t WarmMark = 0;
+    for (size_t C = NextChunk.fetch_add(1); C < NumChunks;
+         C = NextChunk.fetch_add(1)) {
+      size_t Begin = C * Chunk;
+      size_t End = std::min(Begin + Chunk, Count);
+      ExprContext Ctx;
+      Hasher.rebind(Ctx);
+      Body(Hasher, Ctx, Begin, End, W);
+      Hasher.rebind(BootCtx);
+      if (!Warmed) {
+        Warmed = true;
+        WarmMark = Hasher.poolAllocatedNodes();
+      }
+    }
+    Finish(W, Hasher.poolAllocatedNodes(),
+           Warmed ? Hasher.poolAllocatedNodes() - WarmMark : 0);
+  };
+
+  // Never spawn more OS threads than there are chunks to process.
+  size_t Workers = std::min<size_t>(Threads, NumChunks);
+  ThreadPool Pool(static_cast<unsigned>(Workers));
+  for (size_t T = 0; T != Workers; ++T)
+    Pool.run(Worker);
+  Pool.wait();
+}
+
+} // namespace hma::detail
+
+#endif // HMA_INDEX_BATCHDRIVER_H

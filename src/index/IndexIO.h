@@ -129,6 +129,63 @@ template <typename H> constexpr size_t recordSize() {
   return HashWidth<H>::Bits / 8 + 24; // hash + offset + length + count
 }
 
+/// Reject a file whose hash width does not match the reader's
+/// instantiation. Returns the diagnostic (empty on a match); the
+/// position is always byte 16 (the header's hash-bits field). Shared by
+/// the eager loader and \ref MappedIndex::open so their error surfaces
+/// cannot drift.
+template <typename H> std::string checkWidth(const IndexFileInfo &Info) {
+  if (Info.HashBits == HashWidth<H>::Bits)
+    return std::string();
+  return "index file is b=" + std::to_string(Info.HashBits) +
+         " but the reader is instantiated at b=" +
+         std::to_string(HashWidth<H>::Bits);
+}
+constexpr size_t WidthErrorPos = 16;
+
+/// One decoded shard-table record.
+template <typename H> struct Record {
+  H Hash{};
+  uint64_t Offset = 0; ///< Absolute file offset of the blob.
+  uint64_t Length = 0; ///< Blob length in bytes.
+  uint64_t Count = 0;  ///< Class member count.
+};
+
+template <typename H> Record<H> readRecord(const char *Rec) {
+  constexpr unsigned HashBytes = HashWidth<H>::Bits / 8;
+  Record<H> R;
+  getHashLE(Rec, R.Hash);
+  R.Offset = getWordLE(Rec + HashBytes, 8);
+  R.Length = getWordLE(Rec + HashBytes + 8, 8);
+  R.Count = getWordLE(Rec + HashBytes + 16, 8);
+  return R;
+}
+
+/// Validate one record against the image envelope and its shard's sort
+/// order: the blob range must lie inside the bytes region (an offset
+/// below \p BytesStart aliases the header/directory/tables -- in-file,
+/// but never something the writer emits) and hashes must be
+/// non-decreasing. Returns the diagnostic, empty on success. Shared by
+/// the eager loader and \ref MappedIndex::verify so the two read paths
+/// cannot drift apart on what counts as a well-formed file (their
+/// acceptance parity is pinned by tests/index_io_test.cpp).
+template <typename H>
+std::string checkRecord(const Record<H> &R, H PrevHash, bool First,
+                        size_t FileSize, uint64_t BytesStart, unsigned Shard,
+                        uint64_t I) {
+  auto At = [&](const char *What) {
+    return "shard " + std::to_string(Shard) + " record " + std::to_string(I) +
+           ": " + What;
+  };
+  if (R.Offset > FileSize || R.Length > FileSize - R.Offset)
+    return At("blob overruns the file");
+  if (R.Offset < BytesStart)
+    return At("blob offset points outside the bytes region");
+  if (!First && R.Hash < PrevHash)
+    return "shard " + std::to_string(Shard) + " table is not sorted by hash";
+  return std::string();
+}
+
 template <typename H>
 IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
   IndexLoadResult<H> R;
@@ -221,19 +278,17 @@ IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
   size_t ErrorPos = 0;
   if (!probeIndexBytes(Bytes, Info, &Error, &ErrorPos))
     return iio::loadFail<H>(std::move(Error), ErrorPos);
-  if (Info.HashBits != HashWidth<H>::Bits)
-    return iio::loadFail<H>(
-        "index file is b=" + std::to_string(Info.HashBits) +
-            " but the reader is instantiated at b=" +
-            std::to_string(HashWidth<H>::Bits),
-        16);
+  if (std::string WidthError = iio::checkWidth<H>(Info); !WidthError.empty())
+    return iio::loadFail<H>(std::move(WidthError), iio::WidthErrorPos);
 
   IndexLoadResult<H> R;
   R.Index = std::make_unique<AlphaHashIndex<H>>(typename AlphaHashIndex<
       H>::Options{OverrideShards ? OverrideShards : Info.Shards, Info.Seed});
 
   const size_t RecSize = iio::recordSize<H>();
-  const unsigned HashBytes = HashWidth<H>::Bits / 8;
+  const uint64_t BytesStart = iio::HeaderSize +
+                              uint64_t(Info.Shards) * iio::DirEntrySize +
+                              Info.NumClasses * RecSize;
   uint64_t Restored = 0;
   for (unsigned S = 0; S != Info.Shards; ++S) {
     const char *Dir = Bytes.data() + iio::HeaderSize + S * iio::DirEntrySize;
@@ -242,24 +297,15 @@ IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
     H Prev{};
     for (uint64_t I = 0; I != Count; ++I) {
       const size_t RecPos = TableOffset + I * RecSize;
-      const char *Rec = Bytes.data() + RecPos;
-      H Hash;
-      iio::getHashLE(Rec, Hash);
-      const uint64_t Offset = iio::getWordLE(Rec + HashBytes, 8);
-      const uint64_t Length = iio::getWordLE(Rec + HashBytes + 8, 8);
-      const uint64_t MemberCount = iio::getWordLE(Rec + HashBytes + 16, 8);
-      if (Offset > Bytes.size() || Length > Bytes.size() - Offset)
-        return iio::loadFail<H>("shard " + std::to_string(S) + " record " +
-                                    std::to_string(I) +
-                                    ": blob overruns the file",
-                                RecPos);
-      if (I != 0 && Hash < Prev)
-        return iio::loadFail<H>("shard " + std::to_string(S) +
-                                    " table is not sorted by hash",
-                                RecPos);
-      Prev = Hash;
-      R.Index->restoreClass(
-          Hash, std::string(Bytes.substr(Offset, Length)), MemberCount);
+      iio::Record<H> Rec = iio::readRecord<H>(Bytes.data() + RecPos);
+      std::string RecError = iio::checkRecord(Rec, Prev, I == 0,
+                                              Bytes.size(), BytesStart, S, I);
+      if (!RecError.empty())
+        return iio::loadFail<H>(std::move(RecError), RecPos);
+      Prev = Rec.Hash;
+      R.Index->restoreClass(Rec.Hash,
+                            std::string(Bytes.substr(Rec.Offset, Rec.Length)),
+                            Rec.Count);
       ++Restored;
     }
   }

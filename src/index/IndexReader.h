@@ -1,0 +1,211 @@
+//===- index/IndexReader.h - Shared lookup surface of index backends --------===//
+///
+/// \file
+/// The read-side contract every index backend serves.
+///
+/// The paper's hash-then-verify design means "an index" is observably
+/// nothing but a class table -- (alpha-hash, canonical bytes, count) --
+/// plus a way to probe it exactly. Two backends provide that table:
+///
+///  - \ref AlphaHashIndex: the live, mutable, sharded in-memory store
+///    (whether built by ingest or materialized from an `HMAI` file by
+///    `index/IndexIO.h`);
+///  - \ref MappedIndex: a read-only, zero-copy view over an mmap'd
+///    `HMAI` file that binary-searches the on-disk tables directly.
+///
+/// \ref IndexReader is the surface they share: single and batch lookups,
+/// the stats/diagnostics the CLI prints, and the canonical snapshot
+/// export. Serving code (`hma index open`, the future `hma indexd`)
+/// programs against this interface and does not care whether classes are
+/// resident or paged.
+///
+/// The shared result types live here too. \ref LookupResult returns the
+/// canonical representative as a *view* (`std::string_view`): the live
+/// index points into its shard store (class bytes are immutable and
+/// never relocate once interned), the mapped index points straight into
+/// the mapping -- in both cases a query copies no blob bytes. The view
+/// is valid for as long as the backend it came from (for \ref
+/// MappedIndex: the mapping) is alive; callers that outlive the backend
+/// must copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_INDEXREADER_H
+#define HMA_INDEX_INDEXREADER_H
+
+#include "ast/Expr.h"
+#include "ast/Serialize.h"
+#include "support/HashCode.h"
+#include "support/HashSchema.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hma {
+
+/// Aggregated ingest/collision counters for an index (live or mapped).
+struct IndexStats {
+  uint64_t Inserted = 0;       ///< Successful ingest operations.
+  uint64_t NewClasses = 0;     ///< Inserts that created a class.
+  uint64_t Duplicates = 0;     ///< Inserts merged into an existing class.
+  uint64_t FallbackChecks = 0; ///< Exact alpha-equivalence checks run.
+  uint64_t VerifiedCollisions = 0; ///< Hash hits refuted by the oracle.
+  uint64_t DecodeErrors = 0;   ///< Corpus blobs that failed to deserialise.
+
+  IndexStats &operator+=(const IndexStats &O) {
+    Inserted += O.Inserted;
+    NewClasses += O.NewClasses;
+    Duplicates += O.Duplicates;
+    FallbackChecks += O.FallbackChecks;
+    VerifiedCollisions += O.VerifiedCollisions;
+    DecodeErrors += O.DecodeErrors;
+    return *this;
+  }
+};
+
+/// Result of a membership query. \p CanonicalBytes is a zero-copy view
+/// into the answering backend (see the file comment for lifetime rules).
+template <typename H> struct LookupResult {
+  H Hash{};           ///< Alpha-hash of the queried expression.
+  uint64_t Count = 0; ///< Members ingested into the matching class.
+  std::string_view CanonicalBytes; ///< Serialised canonical representative.
+};
+
+/// One equivalence class, as exported by \ref IndexReader::snapshot. An
+/// owning export (unlike \ref LookupResult): snapshots outlive backends.
+template <typename H> struct ClassSummary {
+  H Hash{};
+  uint64_t Count = 0;
+  std::string CanonicalBytes;
+};
+
+namespace detail {
+
+/// Canonical \ref IndexReader::snapshot order: ascending (hash, bytes).
+/// Shared by every backend so snapshots are equality-comparable values.
+template <typename H>
+bool lessByHashThenBytes(const ClassSummary<H> &A, const ClassSummary<H> &B) {
+  if (A.Hash != B.Hash)
+    return A.Hash < B.Hash;
+  return A.CanonicalBytes < B.CanonicalBytes;
+}
+
+/// Ordering of "largest classes" reports: descending member count, ties
+/// by ascending (hash, bytes) -- deterministic and identical across
+/// backends.
+template <typename H>
+bool moreDuplicated(const ClassSummary<H> &A, const ClassSummary<H> &B) {
+  if (A.Count != B.Count)
+    return A.Count > B.Count;
+  if (A.Hash != B.Hash)
+    return A.Hash < B.Hash;
+  return A.CanonicalBytes < B.CanonicalBytes;
+}
+
+/// Offer one class to a top-\p N selection held in \p Top (kept sorted
+/// by \ref moreDuplicated). Copies the candidate's bytes only when it
+/// actually enters the selection, so a backend can scan its whole table
+/// while materializing at most N blobs -- what keeps
+/// \ref IndexReader::largestClasses cheap on the zero-copy mapped
+/// reader.
+template <typename H>
+void considerLargest(std::vector<ClassSummary<H>> &Top, size_t N, H Hash,
+                     uint64_t Count, std::string_view Bytes) {
+  bool Take = Top.size() < N;
+  if (!Take) {
+    const ClassSummary<H> &Worst = Top.back();
+    Take = Count > Worst.Count ||
+           (Count == Worst.Count &&
+            (Hash < Worst.Hash ||
+             (Hash == Worst.Hash && Bytes < Worst.CanonicalBytes)));
+  }
+  if (!Take)
+    return;
+  Top.push_back(ClassSummary<H>{Hash, Count, std::string(Bytes)});
+  std::sort(Top.begin(), Top.end(), moreDuplicated<H>);
+  if (Top.size() > N)
+    Top.pop_back();
+}
+
+/// Which shard a hash maps to for a power-of-two shard count with mask
+/// \p ShardMask. Shared by the live index, the `HMAI` writer and the
+/// mapped reader: placement must be a pure function of the hash so that
+/// a file's per-shard tables can be binary-searched by any of them.
+/// Re-mixing before masking keeps the stripe choice independent of the
+/// ByHash bucket choice in the live store.
+template <typename H> unsigned shardIndexForHash(H Hash, unsigned ShardMask) {
+  return static_cast<unsigned>(detail::splitmix64(HashCodeHasher{}(Hash)) &
+                               ShardMask);
+}
+
+} // namespace detail
+
+/// The read-side surface shared by every index backend.
+template <typename H> class IndexReader {
+public:
+  virtual ~IndexReader() = default;
+
+  /// Short backend tag for diagnostics ("live", "mapped", ...).
+  virtual const char *backendName() const = 0;
+
+  /// The hash-function family (seed); lookups only make sense against
+  /// hashes produced under the same schema.
+  virtual const HashSchema &schema() const = 0;
+
+  virtual unsigned numShards() const = 0;
+  virtual size_t numClasses() const = 0;
+
+  /// Aggregate counters: ingest-time stats plus the fallback checks the
+  /// read path itself has run.
+  virtual IndexStats stats() const = 0;
+
+  /// Number of classes per shard (for load-balance diagnostics).
+  virtual std::vector<size_t> shardLoads() const = 0;
+
+  /// Bytes of canonical blobs the backend serves (resident for the live
+  /// index, mapped for the file-backed one).
+  virtual size_t retainedBytes() const = 0;
+
+  /// Export every class, sorted by (hash, canonical bytes): a canonical
+  /// owning value suitable for equality comparison across backends.
+  virtual std::vector<ClassSummary<H>> snapshot() const = 0;
+
+  /// The up-to-\p N most-duplicated classes, sorted by descending count
+  /// (ties by ascending (hash, bytes)). Unlike \ref snapshot this
+  /// copies only the winners' blobs -- an O(classes) scan materializing
+  /// O(N) bytes, cheap even through the mapped reader.
+  virtual std::vector<ClassSummary<H>> largestClasses(size_t N) const = 0;
+
+  /// Find the class of \p Root, if present. \p Ctx is mutable because
+  /// hashing requires distinct binders, which may force a uniquifying
+  /// rewrite.
+  virtual std::optional<LookupResult<H>> lookup(ExprContext &Ctx,
+                                                const Expr *Root) = 0;
+
+  /// Membership query in `ast/Serialize` format: decode into a scratch
+  /// context and \ref lookup. One definition for every backend, so a
+  /// behavior change (e.g. how undecodable query blobs are reported)
+  /// cannot reach one read path and miss another.
+  virtual std::optional<LookupResult<H>> lookupSerialized(
+      std::string_view Bytes) {
+    ExprContext Ctx;
+    DeserializeResult R = deserializeExpr(Ctx, Bytes);
+    if (!R.ok())
+      return std::nullopt;
+    return lookup(Ctx, R.E);
+  }
+
+  /// Bulk lookup of serialised expressions on \p Threads workers. Result
+  /// i answers blob i; undecodable blobs yield std::nullopt, same as a
+  /// miss.
+  virtual std::vector<std::optional<LookupResult<H>>>
+  lookupBatch(const std::vector<std::string> &Blobs, unsigned Threads) = 0;
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_INDEXREADER_H

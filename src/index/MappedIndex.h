@@ -1,0 +1,448 @@
+//===- index/MappedIndex.h - Zero-copy mmap'd HMAI reader -------------------===//
+///
+/// \file
+/// A read-only \ref IndexReader over an mmap'd `HMAI` file: the
+/// zero-copy serving path the on-disk format was laid out for.
+///
+/// `HMAI` (index/IndexIO.h) stores each shard's classes as a *sorted*
+/// fixed-width (hash, blob offset, blob length, count) table with
+/// absolute offsets into a trailing bytes region. \ref MappedIndex
+/// therefore never materializes anything:
+///
+///  - **open is O(shards), not O(classes)**: decode the 80-byte header,
+///    walk the directory, done -- open time is independent of index
+///    size. Contrast `loadIndexBytes`, which copies every class into a
+///    live \ref AlphaHashIndex.
+///  - **find is a binary search on the file**: hash the query, pick the
+///    shard (\ref detail::shardIndexForHash -- the same pure function of
+///    the hash the writer grouped by), lower-bound its table, and for
+///    each record under the hash decode the candidate blob *on demand*
+///    into a caller-owned bounded \ref DecodeScratch for the exact
+///    \ref alphaEquivalent fallback. No class vectors, no byte copies:
+///    the returned \ref LookupResult views the mapping itself.
+///  - **reads are defensively bounds-checked**: every record-designated
+///    blob range is validated against the mapping before any byte is
+///    touched, so a corrupt (unverified) file can mis-answer but never
+///    read out of bounds. \ref verify runs the loader's full O(classes)
+///    integrity check (sort order, blob ranges) on demand for untrusted
+///    files; `loadIndexBytes(image).ok()` iff `open` + `verify` succeed
+///    (asserted by the adversarial sweep in tests/index_io_test.cpp).
+///
+/// Concurrency: the mapping is immutable, so any number of threads may
+/// query one MappedIndex concurrently -- no locks anywhere on the read
+/// path. Each thread supplies (or a batch worker owns) its own
+/// \ref DecodeScratch; the only shared mutable state is the pair of
+/// relaxed atomic fallback counters folded into \ref stats.
+///
+/// Lifetime: lookup results view the mapping. The MappedIndex (and, for
+/// \ref openBytes, the caller's buffer) must outlive every outstanding
+/// \ref LookupResult, including whole `lookupBatch` result vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_MAPPEDINDEX_H
+#define HMA_INDEX_MAPPEDINDEX_H
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Serialize.h"
+#include "ast/Uniquify.h"
+#include "core/AlphaHasher.h"
+#include "index/BatchDriver.h"
+#include "index/IndexIO.h"
+#include "index/IndexReader.h"
+#include "index/ShardStore.h"
+#include "support/HashCode.h"
+#include "support/HashSchema.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hma {
+
+/// RAII owner of an `HMAI` image's backing bytes: an mmap'd file where
+/// the platform provides one, else a buffered read of the whole file
+/// (the graceful-fallback path; same bytes, no page-cache sharing).
+class MappedBytes {
+public:
+  /// Map (or, with \p ForceBuffered or where mmap is unavailable, read)
+  /// \p Path. Returns nullptr with \p Error set on I/O failure.
+  static std::unique_ptr<MappedBytes> openFile(const std::string &Path,
+                                               bool ForceBuffered,
+                                               std::string *Error);
+
+  /// Wrap an in-memory image (ownership taken). Lets tests and benches
+  /// run the mapped read path without touching the filesystem.
+  static std::unique_ptr<MappedBytes> fromBuffer(std::string Buffer);
+
+  MappedBytes(const MappedBytes &) = delete;
+  MappedBytes &operator=(const MappedBytes &) = delete;
+  ~MappedBytes();
+
+  std::string_view bytes() const { return View; }
+  /// True when the bytes come from an actual mmap (false: buffered).
+  bool isMapped() const { return Map != nullptr; }
+
+private:
+  MappedBytes() = default;
+
+  void *Map = nullptr; ///< mmap base, or nullptr in buffered mode.
+  size_t MapLen = 0;
+  std::string Buffer; ///< Buffered-mode storage.
+  std::string_view View;
+};
+
+/// Read-only, zero-copy index reader over an `HMAI` image.
+template <typename H = Hash128> class MappedIndex : public IndexReader<H> {
+public:
+  using LookupResult = hma::LookupResult<H>;
+  using ClassSummary = hma::ClassSummary<H>;
+
+  /// Outcome of opening an image: the reader or a diagnostic (same shape
+  /// as \ref IndexLoadResult).
+  struct OpenResult {
+    std::unique_ptr<MappedIndex> Reader;
+    std::string Error;   ///< Empty on success.
+    size_t ErrorPos = 0; ///< Byte offset of the failure.
+
+    bool ok() const { return Reader != nullptr; }
+  };
+
+  /// Aggregate read-side counters of one \ref lookupBatch call: scratch
+  /// reuse (Decodes vs Recycles) and worker-hasher pool allocations
+  /// (steady-state must be 0 -- the zero-allocation read pipeline).
+  struct ReadBatchStats {
+    uint64_t Hits = 0;
+    uint64_t Decodes = 0;  ///< Fallback blob decodes across all workers.
+    uint64_t Recycles = 0; ///< Scratch context (re-)creations.
+    uint64_t PoolNodesAllocated = 0;
+    uint64_t SteadyPoolNodesAllocated = 0;
+  };
+
+  /// Open \p Path: mmap where available, buffered read otherwise (or
+  /// when \p ForceBuffered). O(shards): no per-class work, no blob
+  /// reads.
+  static OpenResult open(const std::string &Path, bool ForceBuffered = false) {
+    std::string Error;
+    std::unique_ptr<MappedBytes> Storage =
+        MappedBytes::openFile(Path, ForceBuffered, &Error);
+    if (!Storage) {
+      OpenResult R;
+      R.Error = std::move(Error);
+      return R;
+    }
+    std::string_view Bytes = Storage->bytes();
+    return fromView(Bytes, std::move(Storage));
+  }
+
+  /// Open over caller-owned bytes (which must outlive the reader).
+  static OpenResult openBytes(std::string_view Bytes) {
+    return fromView(Bytes, nullptr);
+  }
+
+  /// Open over an owned in-memory image.
+  static OpenResult openBuffer(std::string Bytes) {
+    std::unique_ptr<MappedBytes> Storage =
+        MappedBytes::fromBuffer(std::move(Bytes));
+    std::string_view View = Storage->bytes();
+    return fromView(View, std::move(Storage));
+  }
+
+  /// True when the image is served from an actual mmap (false for the
+  /// buffered fallback and the in-memory open variants).
+  bool isFileMapped() const { return Storage && Storage->isMapped(); }
+
+  /// The raw image this reader serves from (tests assert lookup results
+  /// view into it).
+  std::string_view imageBytes() const { return Bytes; }
+
+  /// Deep integrity check, O(classes): per-shard sort order and every
+  /// blob range. \ref open is O(shards) by design, so table-level
+  /// corruption in an untrusted file is caught either here or --
+  /// harmlessly, as a miss/refutation -- by the bounds-checked read
+  /// path. Mirrors `loadIndexBytes`' record validation exactly.
+  bool verify(std::string *Error = nullptr, size_t *ErrorPos = nullptr) const {
+    const size_t RecSize = iio::recordSize<H>();
+    for (size_t S = 0; S != Tables.size(); ++S) {
+      const ShardTable &T = Tables[S];
+      H Prev{};
+      for (uint64_t I = 0; I != T.Count; ++I) {
+        const size_t RecPos = static_cast<size_t>(T.Offset) + I * RecSize;
+        iio::Record<H> Rec = iio::readRecord<H>(Bytes.data() + RecPos);
+        std::string RecError =
+            iio::checkRecord(Rec, Prev, I == 0, Bytes.size(), BytesStart,
+                             static_cast<unsigned>(S), I);
+        if (!RecError.empty()) {
+          if (Error)
+            *Error = std::move(RecError);
+          if (ErrorPos)
+            *ErrorPos = RecPos;
+          return false;
+        }
+        Prev = Rec.Hash;
+      }
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // IndexReader surface
+  //===--------------------------------------------------------------------===//
+
+  const char *backendName() const override {
+    return isFileMapped() ? "mapped" : "mapped (buffered)";
+  }
+  const HashSchema &schema() const override { return Schema; }
+  unsigned numShards() const override { return Info.Shards; }
+  size_t numClasses() const override {
+    return static_cast<size_t>(Info.NumClasses);
+  }
+
+  /// Header stats plus the fallback checks this reader has run -- the
+  /// same aggregation a live index reports, so differential tests can
+  /// compare stats across backends after identical query streams.
+  IndexStats stats() const override {
+    IndexStats S = Info.Stats;
+    S.FallbackChecks += ReadFallbackChecks.load(std::memory_order_relaxed);
+    S.VerifiedCollisions +=
+        ReadVerifiedCollisions.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  std::vector<size_t> shardLoads() const override {
+    std::vector<size_t> Loads;
+    Loads.reserve(Tables.size());
+    for (const ShardTable &T : Tables)
+      Loads.push_back(static_cast<size_t>(T.Count));
+    return Loads;
+  }
+
+  /// Size of the mapped bytes region: for a well-formed image, exactly
+  /// the canonical-blob bytes a live index would retain on heap.
+  size_t retainedBytes() const override {
+    return Bytes.size() > BytesStart ? Bytes.size() - BytesStart : 0;
+  }
+
+  /// Owning export of every class, sorted by (hash, bytes) -- the one
+  /// deliberately materializing operation (snapshots outlive backends).
+  std::vector<ClassSummary> snapshot() const override {
+    std::vector<ClassSummary> Out;
+    Out.reserve(numClasses());
+    for (const ShardTable &T : Tables) {
+      for (uint64_t I = 0; I != T.Count; ++I) {
+        iio::Record<H> R = record(T, I);
+        std::string_view Blob = blobRange(R.Offset, R.Length);
+        Out.push_back(ClassSummary{
+            R.Hash, R.Count,
+            std::string(Blob.data() ? Blob : std::string_view())});
+      }
+    }
+    std::sort(Out.begin(), Out.end(), detail::lessByHashThenBytes<H>);
+    return Out;
+  }
+
+  std::vector<ClassSummary> largestClasses(size_t N) const override {
+    std::vector<ClassSummary> Top;
+    if (N == 0)
+      return Top;
+    for (const ShardTable &T : Tables) {
+      for (uint64_t I = 0; I != T.Count; ++I) {
+        iio::Record<H> R = record(T, I);
+        std::string_view Blob = blobRange(R.Offset, R.Length);
+        detail::considerLargest<H>(Top, N, R.Hash, R.Count,
+                                   Blob.data() ? Blob : std::string_view());
+      }
+    }
+    return Top;
+  }
+
+  std::optional<LookupResult> lookup(ExprContext &Ctx,
+                                     const Expr *Root) override {
+    AlphaHasher<H> Hasher(Ctx, Schema);
+    DecodeScratch Scratch;
+    return lookup(Ctx, Root, Hasher, Scratch);
+  }
+
+  /// Fully scratch-reusing lookup: caller owns both the hasher and the
+  /// fallback decode scratch (what \ref lookupBatch gives each worker).
+  std::optional<LookupResult> lookup(ExprContext &Ctx, const Expr *Root,
+                                     AlphaHasher<H> &Hasher,
+                                     DecodeScratch &Scratch) const {
+    assert(Hasher.schema().seed() == Schema.seed() &&
+           "hasher seed does not match the index file");
+    Hasher.bindIfNeeded(Ctx);
+    Root = uniquifyBinders(Ctx, Root);
+    return findHashed(Ctx, Root, Hasher.hashRoot(Root), Scratch);
+  }
+
+  std::vector<std::optional<LookupResult>>
+  lookupBatch(const std::vector<std::string> &Blobs,
+              unsigned Threads) override {
+    return lookupBatch(Blobs, Threads, nullptr);
+  }
+
+  /// \ref lookupBatch with read-side counters reported (scratch reuse
+  /// and steady-state allocation; see \ref ReadBatchStats).
+  std::vector<std::optional<LookupResult>>
+  lookupBatch(const std::vector<std::string> &Blobs, unsigned Threads,
+              ReadBatchStats *StatsOut) const {
+    std::vector<std::optional<LookupResult>> Results(Blobs.size());
+    ReadBatchStats Total;
+    std::mutex TotalMu;
+    struct WorkerState {
+      DecodeScratch Scratch;
+    };
+    detail::forEachHashedChunk<H, WorkerState>(
+        Schema, Blobs.size(), Threads,
+        [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
+            size_t End, WorkerState &W) {
+          for (size_t I = Begin; I != End; ++I) {
+            DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+            if (!R.ok())
+              continue; // leave Results[I] empty, same as a miss
+            const Expr *Root = uniquifyBinders(Ctx, R.E);
+            Results[I] =
+                findHashed(Ctx, Root, Hasher.hashRoot(Root), W.Scratch);
+          }
+        },
+        [&](WorkerState &W, uint64_t PoolNodes, uint64_t SteadyNodes) {
+          std::lock_guard<std::mutex> Lock(TotalMu);
+          Total.Decodes += W.Scratch.decodes();
+          Total.Recycles += W.Scratch.recycles();
+          Total.PoolNodesAllocated += PoolNodes;
+          Total.SteadyPoolNodesAllocated += SteadyNodes;
+        });
+    if (StatsOut) {
+      for (const std::optional<LookupResult> &R : Results)
+        Total.Hits += R.has_value();
+      *StatsOut = Total;
+    }
+    return Results;
+  }
+
+private:
+  struct ShardTable {
+    uint64_t Offset = 0; ///< Absolute file offset of the shard's table.
+    uint64_t Count = 0;  ///< Records in the table.
+  };
+
+  MappedIndex(std::string_view Bytes, const IndexFileInfo &Info,
+              std::unique_ptr<MappedBytes> Storage)
+      : Storage(std::move(Storage)), Bytes(Bytes), Info(Info),
+        Schema(Info.Seed), ShardMask(Info.Shards - 1) {
+    const size_t RecSize = iio::recordSize<H>();
+    // Canonical start of the bytes region; every blob range is checked
+    // against it (an offset below aliases the header/directory/tables).
+    BytesStart = iio::HeaderSize +
+                 size_t(Info.Shards) * iio::DirEntrySize +
+                 static_cast<size_t>(Info.NumClasses) * RecSize;
+    Tables.reserve(Info.Shards);
+    for (unsigned S = 0; S != Info.Shards; ++S) {
+      const char *Dir = Bytes.data() + iio::HeaderSize + S * iio::DirEntrySize;
+      Tables.push_back(
+          ShardTable{iio::getWordLE(Dir, 8), iio::getWordLE(Dir + 8, 8)});
+    }
+  }
+
+  static OpenResult fromView(std::string_view Bytes,
+                             std::unique_ptr<MappedBytes> Storage) {
+    OpenResult R;
+    IndexFileInfo Info;
+    if (!probeIndexBytes(Bytes, Info, &R.Error, &R.ErrorPos))
+      return R;
+    if (std::string WidthError = iio::checkWidth<H>(Info);
+        !WidthError.empty()) {
+      R.Error = std::move(WidthError);
+      R.ErrorPos = iio::WidthErrorPos;
+      return R;
+    }
+    R.Reader.reset(new MappedIndex(Bytes, Info, std::move(Storage)));
+    return R;
+  }
+
+  iio::Record<H> record(const ShardTable &T, uint64_t I) const {
+    return iio::readRecord<H>(Bytes.data() + T.Offset +
+                              I * iio::recordSize<H>());
+  }
+
+  /// Just the hash field of record \p I -- what the binary search
+  /// compares; decoding the other 24 bytes per probe step would be
+  /// wasted work on the hot path.
+  H hashAt(const ShardTable &T, uint64_t I) const {
+    H V;
+    iio::getHashLE(Bytes.data() + T.Offset + I * iio::recordSize<H>(), V);
+    return V;
+  }
+
+  /// The record's blob as a view into the image, or a null view when the
+  /// designated range is out of bounds (corrupt unverified file) -- the
+  /// caller treats that as an undecodable candidate, never as bytes.
+  std::string_view blobRange(uint64_t Offset, uint64_t Length) const {
+    if (Offset < BytesStart || Offset > Bytes.size() ||
+        Length > Bytes.size() - Offset)
+      return std::string_view();
+    return Bytes.substr(static_cast<size_t>(Offset),
+                        static_cast<size_t>(Length));
+  }
+
+  /// Read-path probe: binary-search the shard's sorted table for \p
+  /// Hash, then decode-and-verify each candidate under it. Lock-free;
+  /// \p Scratch must be private to the calling thread.
+  std::optional<LookupResult> findHashed(const ExprContext &SrcCtx,
+                                         const Expr *Root, H Hash,
+                                         DecodeScratch &Scratch) const {
+    const ShardTable &T =
+        Tables[detail::shardIndexForHash(Hash, ShardMask)];
+    // Lower bound by hash over the fixed-width records.
+    uint64_t Lo = 0, Hi = T.Count;
+    while (Lo != Hi) {
+      uint64_t Mid = Lo + (Hi - Lo) / 2;
+      if (hashAt(T, Mid) < Hash)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    uint64_t Checks = 0, Refuted = 0;
+    std::optional<LookupResult> Result;
+    for (uint64_t I = Lo; I != T.Count; ++I) {
+      iio::Record<H> R = record(T, I);
+      if (R.Hash != Hash)
+        break;
+      ++Checks;
+      std::string_view Blob = blobRange(R.Offset, R.Length);
+      const Expr *Canon = Blob.data() ? Scratch.decode(Blob) : nullptr;
+      if (Canon && alphaEquivalent(SrcCtx, Root, Scratch.context(), Canon)) {
+        Result = LookupResult{Hash, R.Count, Blob};
+        break;
+      }
+      ++Refuted;
+    }
+    if (Checks) {
+      ReadFallbackChecks.fetch_add(Checks, std::memory_order_relaxed);
+      ReadVerifiedCollisions.fetch_add(Refuted, std::memory_order_relaxed);
+    }
+    return Result;
+  }
+
+  std::unique_ptr<MappedBytes> Storage; ///< Null for \ref openBytes.
+  std::string_view Bytes;
+  IndexFileInfo Info;
+  HashSchema Schema;
+  unsigned ShardMask = 0;
+  size_t BytesStart = 0;
+  std::vector<ShardTable> Tables;
+  mutable std::atomic<uint64_t> ReadFallbackChecks{0};
+  mutable std::atomic<uint64_t> ReadVerifiedCollisions{0};
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_MAPPEDINDEX_H

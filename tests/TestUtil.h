@@ -10,8 +10,11 @@
 
 #include "ast/Expr.h"
 #include "ast/Parser.h"
+#include "index/IndexReader.h"
 
 #include "gtest/gtest.h"
+
+#include <vector>
 
 namespace hma {
 
@@ -21,6 +24,50 @@ inline const Expr *parseT(ExprContext &Ctx, std::string_view Src) {
   EXPECT_TRUE(R.ok()) << "parse error at offset " << R.ErrorPos << ": "
                       << R.Error << "\n  in: " << Src;
   return R.E;
+}
+
+/// Field-by-field equality of two aggregated index stats blocks.
+/// The differential contract of the live/loaded/mapped index backends
+/// lives in these helpers (and the two below) so every suite asserts
+/// the same identity.
+inline void expectStatsEq(const IndexStats &A, const IndexStats &B) {
+  EXPECT_EQ(A.Inserted, B.Inserted);
+  EXPECT_EQ(A.NewClasses, B.NewClasses);
+  EXPECT_EQ(A.Duplicates, B.Duplicates);
+  EXPECT_EQ(A.FallbackChecks, B.FallbackChecks);
+  EXPECT_EQ(A.VerifiedCollisions, B.VerifiedCollisions);
+  EXPECT_EQ(A.DecodeErrors, B.DecodeErrors);
+}
+
+/// Field-by-field equality of two class-summary exports (snapshots or
+/// largest-classes selections) from any pair of index backends.
+template <typename H>
+void expectClassSummariesEq(const std::vector<ClassSummary<H>> &SA,
+                            const std::vector<ClassSummary<H>> &SB) {
+  ASSERT_EQ(SA.size(), SB.size());
+  for (size_t I = 0; I != SA.size(); ++I) {
+    EXPECT_EQ(SA[I].Hash, SB[I].Hash);
+    EXPECT_EQ(SA[I].Count, SB[I].Count);
+    EXPECT_EQ(SA[I].CanonicalBytes, SB[I].CanonicalBytes);
+  }
+}
+
+/// Assert two lookup-result vectors (vector<optional<LookupResult<H>>>,
+/// from any pair of index read paths) answer identically, field by
+/// field.
+template <typename ResultVec>
+void expectSameLookupAnswers(const ResultVec &A, const ResultVec &B,
+                             const std::string &What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I != A.size(); ++I) {
+    ASSERT_EQ(A[I].has_value(), B[I].has_value()) << What << " query " << I;
+    if (!A[I])
+      continue;
+    EXPECT_EQ(A[I]->Hash, B[I]->Hash) << What << " query " << I;
+    EXPECT_EQ(A[I]->Count, B[I]->Count) << What << " query " << I;
+    EXPECT_EQ(A[I]->CanonicalBytes, B[I]->CanonicalBytes)
+        << What << " query " << I;
+  }
 }
 
 } // namespace hma

@@ -193,3 +193,119 @@ TEST(ThreadPoolTest, AllTasksRunExactlyOnceAcrossWorkers) {
   Pool.wait();
   EXPECT_EQ(Sum.load(), -1);
 }
+
+//===----------------------------------------------------------------------===//
+// Shared MappedIndex under concurrency
+//
+// The mapped read path has no locks at all: the mapping is immutable and
+// the only shared mutable state is a pair of relaxed counters. N threads
+// issuing mixed single `lookup`s and `lookupBatch`es against ONE shared
+// MappedIndex must therefore produce answers identical to a
+// single-threaded run, while every thread's decode scratch stays bounded
+// (contexts are created once and reused, not once per decode) and
+// steady-state hashing allocates nothing.
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexIO.h"
+#include "index/MappedIndex.h"
+
+TEST(MappedIndexConcurrency, MixedFindAndBatchAnswersMatchSingleThreaded) {
+  std::vector<std::string> Corpus = makeCorpus(150, 321);
+  AlphaHashIndex<> Live;
+  Live.insertBatch(Corpus, 1);
+  auto Open = MappedIndex<Hash128>::openBuffer(saveIndexBytes(Live));
+  ASSERT_TRUE(Open.ok()) << Open.Error;
+  MappedIndex<Hash128> &Mapped = *Open.Reader;
+
+  // Queries: every member (hits), some fresh expressions (misses), one
+  // undecodable blob.
+  std::vector<std::string> Queries = Corpus;
+  {
+    ExprContext Ctx;
+    Rng R(5);
+    for (int I = 0; I != 10; ++I)
+      Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 40)));
+  }
+  Queries.push_back("garbage");
+
+  // The single-threaded baseline every thread checks against.
+  const auto Baseline = Mapped.lookupBatch(Queries, 1);
+  size_t BaselineHits = 0;
+  for (const auto &R : Baseline)
+    BaselineHits += R.has_value();
+  ASSERT_GT(BaselineHits, 0u);
+
+  const unsigned Threads = 8;
+  std::atomic<unsigned> Mismatches{0};
+  std::atomic<uint64_t> BatchSteadyAllocs{0};
+  std::atomic<uint64_t> BatchRecycles{0};
+  std::atomic<uint64_t> FindRecycles{0};
+  std::atomic<uint64_t> FindDecodes{0};
+
+  auto SameAsBaseline = [&](size_t I,
+                            const std::optional<LookupResult<Hash128>> &R) {
+    if (R.has_value() != Baseline[I].has_value())
+      return false;
+    if (!R)
+      return true;
+    return R->Hash == Baseline[I]->Hash && R->Count == Baseline[I]->Count &&
+           R->CanonicalBytes == Baseline[I]->CanonicalBytes;
+  };
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      if (T % 2 == 0) {
+        // Batch reader: one thread-pooled bulk lookup over the shared
+        // mapping.
+        MappedIndex<Hash128>::ReadBatchStats BS;
+        auto Results = Mapped.lookupBatch(Queries, 2, &BS);
+        for (size_t I = 0; I != Results.size(); ++I)
+          if (!SameAsBaseline(I, Results[I]))
+            ++Mismatches;
+        BatchSteadyAllocs += BS.SteadyPoolNodesAllocated;
+        BatchRecycles += BS.Recycles;
+      } else {
+        // Single-find reader: long-lived private hasher + scratch, one
+        // query at a time.
+        ExprContext Ctx;
+        AlphaHasher<Hash128> Hasher(Ctx, Mapped.schema());
+        DecodeScratch Scratch;
+        for (size_t I = 0; I != Queries.size(); ++I) {
+          DeserializeResult D = deserializeExpr(Ctx, Queries[I]);
+          if (!D.ok()) {
+            if (Baseline[I].has_value())
+              ++Mismatches;
+            continue;
+          }
+          if (!SameAsBaseline(I, Mapped.lookup(Ctx, D.E, Hasher, Scratch)))
+            ++Mismatches;
+        }
+        FindRecycles += Scratch.recycles();
+        FindDecodes += Scratch.decodes();
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Mismatches.load(), 0u);
+
+  // Steady-state decode allocations: zero. Each batch worker's hasher
+  // warms up on its first chunk and allocates nothing afterwards.
+  EXPECT_EQ(BatchSteadyAllocs.load(), 0u);
+  // Scratch contexts are created once per worker and *reused* across
+  // decodes, recycled only on the (rare) arena-threshold crossing --
+  // never one context per decode.
+  EXPECT_GT(FindDecodes.load(), uint64_t(Threads / 2) * BaselineHits / 2);
+  EXPECT_LE(FindRecycles.load(), uint64_t(Threads / 2) * 4);
+  EXPECT_LE(BatchRecycles.load(), uint64_t((Threads + 1) / 2) * 2 * 4);
+
+  // The shared counters aggregated exactly: every hit on every thread
+  // ran at least one fallback check (b=128: exactly one per hit).
+  uint64_t ExpectedChecks = uint64_t(Threads + 1) * BaselineHits;
+  EXPECT_EQ(Mapped.stats().FallbackChecks - Live.stats().FallbackChecks,
+            ExpectedChecks);
+  EXPECT_EQ(Mapped.stats().VerifiedCollisions,
+            Live.stats().VerifiedCollisions);
+}

@@ -18,6 +18,7 @@
 #include "ast/AlphaEquivalence.h"
 #include "ast/Serialize.h"
 #include "gen/RandomExpr.h"
+#include "index/MappedIndex.h"
 #include "index/ShardStore.h"
 
 #include "TestUtil.h"
@@ -29,25 +30,9 @@ using namespace hma;
 
 namespace {
 
-void expectStatsEq(const IndexStats &A, const IndexStats &B) {
-  EXPECT_EQ(A.Inserted, B.Inserted);
-  EXPECT_EQ(A.NewClasses, B.NewClasses);
-  EXPECT_EQ(A.Duplicates, B.Duplicates);
-  EXPECT_EQ(A.FallbackChecks, B.FallbackChecks);
-  EXPECT_EQ(A.VerifiedCollisions, B.VerifiedCollisions);
-  EXPECT_EQ(A.DecodeErrors, B.DecodeErrors);
-}
-
 template <typename H>
 void expectSnapshotEq(const AlphaHashIndex<H> &A, const AlphaHashIndex<H> &B) {
-  auto SA = A.snapshot();
-  auto SB = B.snapshot();
-  ASSERT_EQ(SA.size(), SB.size());
-  for (size_t I = 0; I != SA.size(); ++I) {
-    EXPECT_EQ(SA[I].Hash, SB[I].Hash);
-    EXPECT_EQ(SA[I].Count, SB[I].Count);
-    EXPECT_EQ(SA[I].CanonicalBytes, SB[I].CanonicalBytes);
-  }
+  expectClassSummariesEq<H>(A.snapshot(), B.snapshot());
 }
 
 /// A corpus with duplicates (alpha-renamed) and one undecodable blob, so
@@ -414,4 +399,241 @@ TEST(IndexMemory, DecodeScratchRecyclesOnceOverThreshold) {
   // Malformed bytes are a nullptr, counted as a decode, never UB.
   EXPECT_EQ(Roomy.decode("garbage"), nullptr);
   EXPECT_EQ(Roomy.decodes(), 101u);
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial battery: deterministic corruption sweep over both read
+// paths
+//
+// The loader (`loadIndexBytes`, O(classes) validation up front) and the
+// mapped reader (`MappedIndex::open`, O(shards) probe + `verify()` deep
+// check + defensively bounds-checked reads) must agree on every image:
+//
+//     loadIndexBytes(image).ok()  ==  open(image).ok() && verify()
+//
+// and a rejection must be clean (diagnostic + position, no OOB). For
+// images that survive -- including semantically corrupt but structurally
+// valid ones (stats/seed flips, overlapping blob ranges) -- both paths
+// must also *answer identically* and never read out of bounds, which the
+// HMA_SANITIZE CI job enforces with ASan.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drive one (possibly corrupted) image through both read paths and
+/// enforce the acceptance-parity contract above. \p MustReject upgrades
+/// "both agree" to "both reject".
+void expectPathsAgreeOn(const std::string &Image,
+                        const std::vector<std::string> &Queries,
+                        bool MustReject, const std::string &What) {
+  IndexLoadResult<Hash128> L = loadIndexBytes<Hash128>(Image);
+  MappedIndex<Hash128>::OpenResult M = MappedIndex<Hash128>::openBytes(Image);
+  std::string VerifyError;
+  size_t VerifyPos = 0;
+  bool MappedOk = M.ok() && M.Reader->verify(&VerifyError, &VerifyPos);
+  EXPECT_EQ(L.ok(), MappedOk)
+      << What << ": loader says " << (L.ok() ? "ok" : L.Error)
+      << "; mapped says "
+      << (M.ok() ? (MappedOk ? "ok" : VerifyError) : M.Error);
+  if (MustReject) {
+    EXPECT_FALSE(L.ok()) << What;
+    EXPECT_FALSE(MappedOk) << What;
+  }
+  if (!L.ok()) {
+    EXPECT_FALSE(L.Error.empty()) << What;
+  }
+  if (M.ok() && !MappedOk) {
+    EXPECT_FALSE(VerifyError.empty()) << What;
+  }
+
+  // Whatever was accepted -- or merely *opened*, for a deep corruption
+  // the O(shards) probe cannot see -- must serve queries, stats and
+  // snapshots without reading out of bounds. When both paths accept,
+  // they must also answer identically.
+  std::vector<std::optional<LookupResult<Hash128>>> FromLoaded, FromMapped;
+  if (L.ok())
+    FromLoaded = L.Index->lookupBatch(Queries, 2);
+  if (M.ok()) {
+    FromMapped = M.Reader->lookupBatch(Queries, 2);
+    M.Reader->snapshot();
+    M.Reader->stats();
+    M.Reader->shardLoads();
+  }
+  if (L.ok() && M.ok())
+    expectSameLookupAnswers(FromLoaded, FromMapped, What);
+}
+
+/// A small single-shard index image with known record layout, plus a
+/// query battery (members, a fresh miss, garbage) against it.
+struct AdversarialFixture {
+  std::string Image;
+  std::vector<std::string> Queries;
+  size_t NumRecords = 0;
+  size_t TablesStart = 0;
+  size_t RecSize = 0;
+  size_t BytesStart = 0;
+};
+
+AdversarialFixture singleShardFixture() {
+  AdversarialFixture F;
+  AlphaHashIndex<> Live({/*Shards=*/1, HashSchema::DefaultSeed});
+  ExprContext Gen;
+  Rng R(31);
+  for (int I = 0; I != 8; ++I) {
+    const Expr *E = genBalanced(Gen, R, 20 + 4 * I);
+    Live.insert(Gen, E);
+    F.Queries.push_back(serializeExpr(Gen, E));
+  }
+  F.Queries.push_back(serializeExpr(Gen, genBalanced(Gen, R, 64)));
+  F.Queries.push_back("garbage");
+  F.Image = saveIndexBytes(Live);
+  F.NumRecords = Live.numClasses();
+  F.TablesStart = iio::HeaderSize + iio::DirEntrySize; // one shard
+  F.RecSize = iio::recordSize<Hash128>();
+  F.BytesStart = F.TablesStart + F.NumRecords * F.RecSize;
+  return F;
+}
+
+/// Overwrite the 8-byte little-endian word at \p Pos.
+std::string patchWord64(std::string Image, size_t Pos, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Image[Pos + I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  return Image;
+}
+
+} // namespace
+
+TEST(IndexIOAdversarial, TruncationAtEveryRegionBoundaryRejectsBothPaths) {
+  AdversarialFixture F = singleShardFixture();
+  const size_t Size = F.Image.size();
+  ASSERT_GT(F.BytesStart, 0u);
+  ASSERT_GT(Size, F.BytesStart);
+
+  // Every strict prefix of a valid image is invalid: the cut lands in
+  // the header, the directory, some table record, or some blob. Sweep
+  // the region boundaries (and their neighbours) plus mid-region cuts.
+  std::vector<size_t> Cuts = {0,
+                              1,
+                              sizeof(iio::Magic),
+                              iio::HeaderSize - 1,
+                              iio::HeaderSize,
+                              F.TablesStart - 1,
+                              F.TablesStart,
+                              F.TablesStart + F.RecSize - 1,
+                              F.TablesStart + F.RecSize,
+                              F.TablesStart + (F.NumRecords / 2) * F.RecSize,
+                              F.BytesStart - 1,
+                              F.BytesStart,
+                              F.BytesStart + (Size - F.BytesStart) / 2,
+                              Size - 1};
+  for (size_t Cut : Cuts) {
+    ASSERT_LT(Cut, Size);
+    expectPathsAgreeOn(F.Image.substr(0, Cut), F.Queries,
+                       /*MustReject=*/true,
+                       "truncated at byte " + std::to_string(Cut));
+  }
+}
+
+TEST(IndexIOAdversarial, HeaderBitFlipSweepKeepsBothPathsInAgreement) {
+  AdversarialFixture F = singleShardFixture();
+  for (size_t Pos = 0; Pos != iio::HeaderSize; ++Pos) {
+    for (unsigned char Bit : {0x01, 0x80}) {
+      std::string Bad = F.Image;
+      Bad[Pos] = static_cast<char>(static_cast<unsigned char>(Bad[Pos]) ^ Bit);
+      // Structural fields must reject; the seed ([8,16): a different --
+      // valid -- hash family) and the stats ([32,80): counters) yield
+      // well-formed images that must survive and stay in agreement.
+      bool Structural = Pos < 8 || (Pos >= 16 && Pos < 32);
+      expectPathsAgreeOn(Bad, F.Queries, /*MustReject=*/Structural,
+                         "header byte " + std::to_string(Pos) + " ^ " +
+                             std::to_string(Bit));
+    }
+  }
+}
+
+TEST(IndexIOAdversarial, TableFieldCorruptionsRejectOrStaySafe) {
+  AdversarialFixture F = singleShardFixture();
+  ASSERT_GE(F.NumRecords, 3u);
+  const size_t Size = F.Image.size();
+  const unsigned HashBytes = HashWidth<Hash128>::Bits / 8;
+  auto RecPos = [&](size_t I) { return F.TablesStart + I * F.RecSize; };
+  auto OffsetPos = [&](size_t I) { return RecPos(I) + HashBytes; };
+  auto LengthPos = [&](size_t I) { return RecPos(I) + HashBytes + 8; };
+  auto CountPos = [&](size_t I) { return RecPos(I) + HashBytes + 16; };
+
+  // Out-of-bounds blob ranges: every variant must reject on both paths.
+  expectPathsAgreeOn(patchWord64(F.Image, OffsetPos(1), 0), F.Queries,
+                     /*MustReject=*/true, "blob offset -> header");
+  expectPathsAgreeOn(patchWord64(F.Image, OffsetPos(1), F.TablesStart),
+                     F.Queries, true, "blob offset -> tables region");
+  expectPathsAgreeOn(patchWord64(F.Image, OffsetPos(1), Size), F.Queries,
+                     true, "blob offset -> EOF");
+  expectPathsAgreeOn(patchWord64(F.Image, OffsetPos(1), ~uint64_t(0)),
+                     F.Queries, true, "blob offset -> u64 max");
+  expectPathsAgreeOn(patchWord64(F.Image, LengthPos(1), Size), F.Queries,
+                     true, "blob length -> file size");
+  expectPathsAgreeOn(patchWord64(F.Image, LengthPos(1), ~uint64_t(0)),
+                     F.Queries, true, "blob length -> u64 max (overflow)");
+  // Offset+length arithmetic must not wrap around.
+  {
+    std::string Bad = patchWord64(F.Image, OffsetPos(1), Size - 1);
+    Bad = patchWord64(std::move(Bad), LengthPos(1), ~uint64_t(0) - 2);
+    expectPathsAgreeOn(Bad, F.Queries, true, "offset+length wraps");
+  }
+
+  // An unsorted table: swap two adjacent records. (b=128 hashes are
+  // distinct, so one of the two orders must violate sortedness.)
+  {
+    std::string Bad = F.Image;
+    for (size_t B = 0; B != F.RecSize; ++B)
+      std::swap(Bad[RecPos(0) + B], Bad[RecPos(1) + B]);
+    expectPathsAgreeOn(Bad, F.Queries, true, "swapped records 0 and 1");
+  }
+
+  // Overlapping blob ranges -- record 1 re-pointed at record 0's blob --
+  // are structurally valid: both paths must accept, answer identically
+  // (the aliased class simply fails exact verification for its old
+  // members), and never read out of bounds.
+  {
+    uint64_t Off0 = iio::getWordLE(F.Image.data() + OffsetPos(0), 8);
+    uint64_t Len0 = iio::getWordLE(F.Image.data() + LengthPos(0), 8);
+    std::string Bad = patchWord64(F.Image, OffsetPos(1), Off0);
+    Bad = patchWord64(std::move(Bad), LengthPos(1), Len0);
+    expectPathsAgreeOn(Bad, F.Queries, /*MustReject=*/false,
+                       "record 1 aliases record 0's blob");
+  }
+
+  // A flipped member count is semantically wrong but structurally fine:
+  // accepted by both, in agreement.
+  expectPathsAgreeOn(patchWord64(F.Image, CountPos(2), 41), F.Queries,
+                     /*MustReject=*/false, "count patched");
+
+  // A flipped low hash byte either breaks sortedness (reject) or yields
+  // a sorted-but-wrong table (accept; queries for the original class
+  // miss identically on both paths). Either way the paths agree.
+  for (size_t I = 0; I != F.NumRecords; ++I) {
+    std::string Bad = F.Image;
+    Bad[RecPos(I)] =
+        static_cast<char>(static_cast<unsigned char>(Bad[RecPos(I)]) ^ 0x01);
+    expectPathsAgreeOn(Bad, F.Queries, /*MustReject=*/false,
+                       "hash bit flip in record " + std::to_string(I));
+  }
+}
+
+TEST(IndexIOAdversarial, DirectoryCorruptionsReject) {
+  AdversarialFixture F = singleShardFixture();
+  const size_t DirPos = iio::HeaderSize;
+  const size_t Size = F.Image.size();
+  // Table offset past EOF / count too large for the remaining bytes.
+  expectPathsAgreeOn(patchWord64(F.Image, DirPos, Size + 1), F.Queries, true,
+                     "table offset past EOF");
+  expectPathsAgreeOn(patchWord64(F.Image, DirPos + 8, F.NumRecords + 1000),
+                     F.Queries, true, "table count overruns");
+  // Count lowered: directory no longer sums to the header's class count.
+  expectPathsAgreeOn(patchWord64(F.Image, DirPos + 8, F.NumRecords - 1),
+                     F.Queries, true, "table count undercounts");
+  // Table re-pointed at the blob region: record fields decode as noise;
+  // both paths must agree on the outcome and stay in bounds.
+  expectPathsAgreeOn(patchWord64(F.Image, DirPos, F.BytesStart), F.Queries,
+                     /*MustReject=*/false, "table aliases bytes region");
 }

@@ -1,0 +1,398 @@
+//===- tests/mapped_index_test.cpp - Zero-copy mapped read path -------------===//
+///
+/// \file
+/// The differential contract of the three `HMAI` read paths: the same
+/// query stream driven through (1) the live \ref AlphaHashIndex that was
+/// saved, (2) the index materialized back by `loadIndexBytes`, and (3)
+/// the zero-copy \ref MappedIndex over the same image must produce
+/// byte-identical answers -- hits, misses, forced b=16 collision
+/// fallbacks, batch and single-shot -- and matching stats. Also pins the
+/// zero-copy claims themselves: results view the image (no blob copies),
+/// open does no per-class work, and steady-state batch reads allocate
+/// nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/MappedIndex.h"
+
+#include "ast/AlphaEquivalence.h"
+#include "ast/Serialize.h"
+#include "gen/RandomExpr.h"
+#include "index/IndexIO.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace hma;
+
+namespace {
+
+/// A corpus with alpha-renamed duplicates, largest expression first (so
+/// batch workers warm their scratch on the worst case and the
+/// steady-allocation assertions below are deterministic).
+std::vector<std::string> dupCorpus(unsigned Classes, uint64_t Seed) {
+  ExprContext Gen;
+  Rng R(Seed);
+  std::vector<std::string> Blobs;
+  Blobs.push_back(serializeExpr(Gen, genBalanced(Gen, R, 120)));
+  for (unsigned I = 1; I != Classes; ++I) {
+    const Expr *E = genBalanced(Gen, R, 24 + I % 40);
+    Blobs.push_back(serializeExpr(Gen, E));
+    if (I % 3 == 0)
+      Blobs.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+  }
+  return Blobs;
+}
+
+/// Queries over \p Corpus: renamed members (hits modulo alpha), fresh
+/// expressions (misses), and one undecodable blob.
+std::vector<std::string> queriesOver(const std::vector<std::string> &Corpus,
+                                     uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::string> Queries;
+  for (size_t I = 0; I < Corpus.size(); I += 2) {
+    ExprContext Ctx;
+    DeserializeResult D = deserializeExpr(Ctx, Corpus[I]);
+    EXPECT_TRUE(D.ok());
+    Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, D.E)));
+  }
+  for (int I = 0; I != 12; ++I) {
+    ExprContext Ctx;
+    Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 72)));
+  }
+  Queries.push_back("garbage query blob");
+  return Queries;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: live vs loaded vs mapped, b=128
+//===----------------------------------------------------------------------===//
+
+TEST(MappedIndex, DifferentialAnswersAcrossAllThreeReadPathsAtB128) {
+  AlphaHashIndex<> Live({/*Shards=*/16, HashSchema::DefaultSeed});
+  std::vector<std::string> Corpus = dupCorpus(60, 2025);
+  Live.insertBatch(Corpus, /*Threads=*/1);
+  ASSERT_GT(Live.stats().Duplicates, 0u);
+
+  std::string Image = saveIndexBytes(Live);
+  IndexLoadResult<Hash128> Loaded = loadIndexBytes<Hash128>(Image);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Error;
+  auto Mapped = MappedIndex<Hash128>::openBytes(Image);
+  ASSERT_TRUE(Mapped.ok()) << Mapped.Error << " at byte " << Mapped.ErrorPos;
+  EXPECT_TRUE(Mapped.Reader->verify());
+
+  // The class tables agree before any query runs.
+  expectClassSummariesEq<Hash128>(Live.snapshot(), Mapped.Reader->snapshot());
+  expectClassSummariesEq<Hash128>(Loaded.Index->snapshot(),
+                            Mapped.Reader->snapshot());
+  EXPECT_EQ(Live.retainedBytes(), Mapped.Reader->retainedBytes());
+  EXPECT_EQ(Live.shardLoads(), Mapped.Reader->shardLoads());
+
+  // The top-N selection (what `stats` prints) agrees across all three
+  // backends, winners' blobs included.
+  auto TopLive = Live.largestClasses(5);
+  auto TopLoaded = Loaded.Index->largestClasses(5);
+  auto TopMapped = Mapped.Reader->largestClasses(5);
+  ASSERT_EQ(TopLive.size(), 5u);
+  EXPECT_GT(TopLive.front().Count, 1u);
+  expectClassSummariesEq<Hash128>(TopLive, TopMapped);
+  expectClassSummariesEq<Hash128>(TopLoaded, TopMapped);
+
+  std::vector<std::string> Queries = queriesOver(Corpus, 7);
+  for (unsigned Threads : {1u, 4u}) {
+    auto FromLive = Live.lookupBatch(Queries, Threads);
+    auto FromLoaded = Loaded.Index->lookupBatch(Queries, Threads);
+    auto FromMapped = Mapped.Reader->lookupBatch(Queries, Threads);
+    expectSameLookupAnswers(FromLive, FromMapped, "live-vs-mapped");
+    expectSameLookupAnswers(FromLoaded, FromMapped, "loaded-vs-mapped");
+    size_t Hits = 0;
+    for (const auto &R : FromMapped)
+      Hits += R.has_value();
+    EXPECT_GT(Hits, 0u);
+    EXPECT_LT(Hits, Queries.size());
+  }
+
+  // Single-shot serialized lookups agree blob by blob too. (Every
+  // backend sees the same stream so the stats comparison below stays
+  // meaningful.)
+  for (const std::string &Q : Queries) {
+    auto L = Live.lookupSerialized(Q);
+    auto D = Loaded.Index->lookupSerialized(Q);
+    auto M = Mapped.Reader->lookupSerialized(Q);
+    ASSERT_EQ(L.has_value(), M.has_value());
+    ASSERT_EQ(D.has_value(), M.has_value());
+    if (L) {
+      EXPECT_EQ(L->Hash, M->Hash);
+      EXPECT_EQ(L->Count, M->Count);
+      EXPECT_EQ(L->CanonicalBytes, M->CanonicalBytes);
+      EXPECT_EQ(D->CanonicalBytes, M->CanonicalBytes);
+    }
+  }
+
+  // After identical query streams, all three backends report identical
+  // stats (at b=128 every bucket holds one candidate, so even the
+  // fallback-check counts cannot depend on probe order).
+  expectStatsEq(Live.stats(), Mapped.Reader->stats());
+  expectStatsEq(Loaded.Index->stats(), Mapped.Reader->stats());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential at b=16: forced collisions exercise the exact-verify
+// fallback against file bytes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Birthday-search two non-alpha-equivalent expressions whose 16-bit
+/// alpha-hashes collide (as in tests/index_test.cpp).
+std::pair<const Expr *, const Expr *> findColliding16(ExprContext &Ctx,
+                                                      Rng &R,
+                                                      AlphaHasher<Hash16> &H) {
+  std::map<Hash16, const Expr *> Seen;
+  for (int T = 0; T != 20000; ++T) {
+    const Expr *E = genBalanced(Ctx, R, 48);
+    Hash16 Code = H.hashRoot(E);
+    auto [It, Fresh] = Seen.emplace(Code, E);
+    if (!Fresh && !alphaEquivalent(Ctx, E, It->second))
+      return {It->second, E};
+  }
+  return {nullptr, nullptr};
+}
+
+} // namespace
+
+TEST(MappedIndex16, ForcedCollisionsResolveIdenticallyToTheLoadedReader) {
+  ExprContext Ctx;
+  Rng R(4242);
+  AlphaHashIndex<Hash16> Live({/*Shards=*/4, HashSchema::DefaultSeed});
+  AlphaHasher<Hash16> H(Ctx, Live.schema());
+
+  auto [A, B] = findColliding16(Ctx, R, H);
+  ASSERT_NE(A, nullptr) << "no 16-bit collision found -- width suspect";
+  Live.insert(Ctx, A);
+  Live.insert(Ctx, B);
+  Live.insert(Ctx, alphaRename(Ctx, R, A));
+  for (int I = 0; I != 40; ++I)
+    Live.insert(Ctx, genBalanced(Ctx, R, 24));
+
+  std::string Image = saveIndexBytes(Live);
+  IndexLoadResult<Hash16> Loaded = loadIndexBytes<Hash16>(Image);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Error;
+  auto Mapped = MappedIndex<Hash16>::openBytes(Image);
+  ASSERT_TRUE(Mapped.ok()) << Mapped.Error;
+  EXPECT_TRUE(Mapped.Reader->verify());
+
+  // Both colliding classes resolve separately on the mapped reader: the
+  // fallback decodes the mapped bytes and refuses the wrong merge.
+  auto HitA = Mapped.Reader->lookup(Ctx, A);
+  auto HitB = Mapped.Reader->lookup(Ctx, B);
+  ASSERT_TRUE(HitA.has_value());
+  ASSERT_TRUE(HitB.has_value());
+  EXPECT_EQ(HitA->Hash, HitB->Hash);
+  EXPECT_EQ(HitA->Count, 2u);
+  EXPECT_EQ(HitB->Count, 1u);
+  EXPECT_NE(HitA->CanonicalBytes, HitB->CanonicalBytes);
+  // At least one of the two probes had to refute a same-hash candidate.
+  EXPECT_GE(Mapped.Reader->stats().VerifiedCollisions,
+            Live.stats().VerifiedCollisions + 1);
+
+  // Loaded and mapped probe candidates in the same (file) order, so
+  // their stats agree exactly after identical query streams; answers
+  // agree with the live index as well.
+  std::vector<std::string> Queries;
+  Queries.push_back(serializeExpr(Ctx, A));
+  Queries.push_back(serializeExpr(Ctx, B));
+  Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, A)));
+  Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, B)));
+  Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 48)));
+
+  // Reset the mapped reader's counters by reopening: the lookups above
+  // already bumped them.
+  auto Mapped2 = MappedIndex<Hash16>::openBytes(Image);
+  ASSERT_TRUE(Mapped2.ok());
+  IndexLoadResult<Hash16> Loaded2 = loadIndexBytes<Hash16>(Image);
+  ASSERT_TRUE(Loaded2.ok());
+
+  auto FromLoaded = Loaded2.Index->lookupBatch(Queries, 2);
+  auto FromMapped = Mapped2.Reader->lookupBatch(Queries, 2);
+  auto FromLive = Live.lookupBatch(Queries, 2);
+  expectSameLookupAnswers(FromLoaded, FromMapped, "loaded-vs-mapped");
+  expectSameLookupAnswers(FromLive, FromMapped, "live-vs-mapped");
+  expectStatsEq(Loaded2.Index->stats(), Mapped2.Reader->stats());
+}
+
+//===----------------------------------------------------------------------===//
+// The zero-copy claims themselves
+//===----------------------------------------------------------------------===//
+
+TEST(MappedIndex, ResultsViewTheImageAndBatchReadsReuseScratch) {
+  AlphaHashIndex<> Live;
+  std::vector<std::string> Corpus = dupCorpus(50, 11);
+  Live.insertBatch(Corpus, 1);
+  std::string Image = saveIndexBytes(Live);
+  auto Mapped = MappedIndex<Hash128>::openBytes(Image);
+  ASSERT_TRUE(Mapped.ok());
+
+  // Immediately after an open, no per-class work has happened: the
+  // reader has run no fallback decodes (open is O(shards), not
+  // O(classes)) and its stats are exactly the header's.
+  expectStatsEq(Mapped.Reader->stats(), Live.stats());
+
+  // A hit's canonical bytes are a view into the image, not a copy.
+  std::string_view ImageView = Mapped.Reader->imageBytes();
+  auto Hit = Mapped.Reader->lookupSerialized(Corpus.front());
+  ASSERT_TRUE(Hit.has_value());
+  const char *Data = Hit->CanonicalBytes.data();
+  EXPECT_GE(Data, ImageView.data());
+  EXPECT_LE(Data + Hit->CanonicalBytes.size(),
+            ImageView.data() + ImageView.size());
+
+  // Batch reads: one decode per fallback check, scratch contexts created
+  // once per worker (not per decode), and zero steady-state pool
+  // allocations once each worker is past its first chunk.
+  MappedIndex<Hash128>::ReadBatchStats BS;
+  auto Results = Mapped.Reader->lookupBatch(Corpus, /*Threads=*/1, &BS);
+  uint64_t Hits = 0;
+  for (const auto &R : Results)
+    Hits += R.has_value();
+  EXPECT_EQ(Hits, Corpus.size()); // every member is present
+  EXPECT_EQ(BS.Hits, Hits);
+  EXPECT_EQ(BS.Decodes, Hits); // b=128: exactly one candidate per probe
+  EXPECT_LE(BS.Recycles, 1u);  // one scratch context for the whole batch
+  EXPECT_EQ(BS.SteadyPoolNodesAllocated, 0u)
+      << "hashing in steady state must not allocate";
+  // (PoolNodesAllocated may legitimately be 0: the adaptive small-map
+  // policy keeps these expressions' variable maps inline, so not even
+  // warm-up needs the pool.)
+}
+
+TEST(MappedIndex, FileOpenMmapAndBufferedFallbackAnswerIdentically) {
+  AlphaHashIndex<> Live;
+  std::vector<std::string> Corpus = dupCorpus(30, 5);
+  Live.insertBatch(Corpus, 1);
+  std::string Image = saveIndexBytes(Live);
+
+  const std::string Path = "mapped_index_test.tmp.hmai";
+  std::string Error;
+  ASSERT_TRUE(writeFileReplacing(Path, Image, &Error)) << Error;
+
+  auto ViaMmap = MappedIndex<Hash128>::open(Path);
+  auto ViaBuffer = MappedIndex<Hash128>::open(Path, /*ForceBuffered=*/true);
+  ASSERT_TRUE(ViaMmap.ok()) << ViaMmap.Error;
+  ASSERT_TRUE(ViaBuffer.ok()) << ViaBuffer.Error;
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(ViaMmap.Reader->isFileMapped());
+  EXPECT_STREQ(ViaMmap.Reader->backendName(), "mapped");
+#endif
+  EXPECT_FALSE(ViaBuffer.Reader->isFileMapped());
+  EXPECT_STREQ(ViaBuffer.Reader->backendName(), "mapped (buffered)");
+
+  std::vector<std::string> Queries = queriesOver(Corpus, 3);
+  expectSameLookupAnswers(ViaMmap.Reader->lookupBatch(Queries, 2),
+                             ViaBuffer.Reader->lookupBatch(Queries, 2),
+                             "mmap-vs-buffered");
+  expectSameLookupAnswers(ViaMmap.Reader->lookupBatch(Queries, 2),
+                             Live.lookupBatch(Queries, 2), "mmap-vs-live");
+
+  std::remove(Path.c_str());
+  auto Missing = MappedIndex<Hash128>::open(Path);
+  EXPECT_FALSE(Missing.ok());
+  EXPECT_NE(Missing.Error.find("cannot open"), std::string::npos)
+      << Missing.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Empty and single-class indexes round-trip through both read paths
+//===----------------------------------------------------------------------===//
+
+TEST(MappedIndex, EmptyIndexServesBothReadPaths) {
+  AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+  std::string Image = saveIndexBytes(Live); // header + directory only
+
+  IndexLoadResult<Hash128> Loaded = loadIndexBytes<Hash128>(Image);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Error;
+  auto Mapped = MappedIndex<Hash128>::openBytes(Image);
+  ASSERT_TRUE(Mapped.ok()) << Mapped.Error;
+  EXPECT_TRUE(Mapped.Reader->verify());
+
+  EXPECT_EQ(Mapped.Reader->numClasses(), 0u);
+  EXPECT_EQ(Mapped.Reader->retainedBytes(), 0u);
+  EXPECT_TRUE(Mapped.Reader->snapshot().empty());
+
+  ExprContext Ctx;
+  const Expr *Q = parseT(Ctx, "(lam (x) (x x))");
+  EXPECT_FALSE(Mapped.Reader->lookup(Ctx, Q).has_value());
+  EXPECT_FALSE(Loaded.Index->lookup(Ctx, Q).has_value());
+
+  // Batch queries against an empty index: all absent, on both paths, at
+  // both thread counts; an empty *query list* is also fine.
+  std::vector<std::string> Queries;
+  Queries.push_back(serializeExpr(Ctx, Q));
+  Queries.push_back("garbage");
+  for (unsigned Threads : {1u, 4u}) {
+    for (const auto &R : Mapped.Reader->lookupBatch(Queries, Threads))
+      EXPECT_FALSE(R.has_value());
+    for (const auto &R : Loaded.Index->lookupBatch(Queries, Threads))
+      EXPECT_FALSE(R.has_value());
+    EXPECT_TRUE(Mapped.Reader->lookupBatch({}, Threads).empty());
+    EXPECT_TRUE(Loaded.Index->lookupBatch({}, Threads).empty());
+  }
+  expectStatsEq(Loaded.Index->stats(), Mapped.Reader->stats());
+}
+
+TEST(MappedIndex, SingleClassIndexRoundTripsBothReadPaths) {
+  ExprContext Ctx;
+  Rng R(77);
+  AlphaHashIndex<> Live;
+  const Expr *E = parseT(Ctx, "(lam (x y) (x (y x)))");
+  Live.insert(Ctx, E);
+  std::string Image = saveIndexBytes(Live);
+
+  IndexLoadResult<Hash128> Loaded = loadIndexBytes<Hash128>(Image);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Error;
+  auto Mapped = MappedIndex<Hash128>::openBytes(Image);
+  ASSERT_TRUE(Mapped.ok()) << Mapped.Error;
+  EXPECT_EQ(Mapped.Reader->numClasses(), 1u);
+
+  std::vector<std::string> Queries;
+  Queries.push_back(serializeExpr(Ctx, E));
+  Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, E)));
+  Queries.push_back(serializeExpr(Ctx, parseT(Ctx, "(lam (z) z)")));
+  Queries.push_back("garbage");
+  auto FromLoaded = Loaded.Index->lookupBatch(Queries, 2);
+  auto FromMapped = Mapped.Reader->lookupBatch(Queries, 2);
+  expectSameLookupAnswers(FromLoaded, FromMapped, "loaded-vs-mapped");
+  ASSERT_TRUE(FromMapped[0].has_value());
+  ASSERT_TRUE(FromMapped[1].has_value()); // hit modulo alpha
+  EXPECT_FALSE(FromMapped[2].has_value());
+  EXPECT_FALSE(FromMapped[3].has_value());
+  EXPECT_EQ(FromMapped[0]->Count, 1u);
+  expectStatsEq(Loaded.Index->stats(), Mapped.Reader->stats());
+}
+
+//===----------------------------------------------------------------------===//
+// Incompatible files
+//===----------------------------------------------------------------------===//
+
+TEST(MappedIndex, WidthMismatchIsRejectedAtOpen) {
+  AlphaHashIndex<> Live;
+  ExprContext Ctx;
+  Live.insert(Ctx, parseT(Ctx, "(lam (x) x)"));
+  std::string Image = saveIndexBytes(Live);
+
+  auto Wrong = MappedIndex<Hash64>::openBytes(Image);
+  ASSERT_FALSE(Wrong.ok());
+  EXPECT_NE(Wrong.Error.find("b=128"), std::string::npos) << Wrong.Error;
+  EXPECT_NE(Wrong.Error.find("b=64"), std::string::npos) << Wrong.Error;
+  EXPECT_EQ(Wrong.ErrorPos, 16u);
+
+  auto NotAnIndex = MappedIndex<Hash128>::openBytes("HMACnope");
+  ASSERT_FALSE(NotAnIndex.ok());
+  EXPECT_NE(NotAnIndex.Error.find("magic"), std::string::npos)
+      << NotAnIndex.Error;
+}

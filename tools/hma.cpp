@@ -14,16 +14,19 @@
 ///   hma index build <corpus> [--threads T] [--shards S] [--out FILE]
 ///   hma index query <corpus> [--expr E | --expr-file F | --batch FILE]
 ///   hma index stats <corpus> [--threads T] [--shards S]
-///   hma index open <file> [stats | query ...]
+///   hma index open <file> [stats | query ...] [--mmap | --load]
 ///   hma index update <file> <corpus> [--threads T] [--out FILE]
 ///
 /// Expressions are read from the file argument or stdin. A corpus is
 /// either a text file with one expression per line or a binary "HMAC"
 /// container. `index build --out` writes a binary "HMAI" *index* file
 /// (classes + counts + stats); `index open` serves queries from it
-/// without re-ingesting anything, and `index update` appends a corpus to
-/// it and rewrites the file. Exit status is non-zero on parse/usage
-/// errors, with a byte-offset diagnostic.
+/// without re-ingesting anything -- by default over the zero-copy
+/// mmap'd reader (`MappedIndex`; `--load` forces the materializing
+/// loader, which `--shards`/`--out` re-sharding also requires) -- and
+/// `index update` appends a corpus to it and rewrites the file. Exit
+/// status is non-zero on parse/usage errors, with a byte-offset
+/// diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +46,8 @@
 #include "index/AlphaHashIndex.h"
 #include "index/CorpusIO.h"
 #include "index/IndexIO.h"
+#include "index/IndexReader.h"
+#include "index/MappedIndex.h"
 
 #include <algorithm>
 #include <chrono>
@@ -84,11 +89,16 @@ int usage() {
       "  index stats <corpus> [--threads T] [--shards S]\n"
       "             build, then print schema/collision/shard diagnostics\n"
       "  index open <file> [stats | query [--expr E | --expr-file F |\n"
-      "             --batch FILE]] [--shards S] [--out FILE]\n"
+      "             --batch FILE]] [--mmap | --load] [--no-verify]\n"
+      "             [--shards S] [--out FILE]\n"
       "             reopen an HMAI index file (no re-ingest) and print\n"
-      "             its summary, full stats, or serve queries from it;\n"
-      "             --shards re-stripes on load, --out saves the reopened\n"
-      "             (possibly re-sharded) index to a new file\n"
+      "             its summary, full stats, or serve queries from it.\n"
+      "             Default: the zero-copy mmap'd reader, table\n"
+      "             integrity checked up front (--no-verify skips the\n"
+      "             check for an open independent of index size; reads\n"
+      "             stay bounds-checked); --load materializes the index\n"
+      "             instead, which --shards (re-stripe) and --out\n"
+      "             (re-save) also imply\n"
       "  index update <file> <corpus> [--threads T] [--out FILE]\n"
       "             reopen an HMAI file, ingest another corpus into it,\n"
       "             and rewrite the file in place (--out: write the\n"
@@ -249,6 +259,9 @@ struct IndexArgs {
   unsigned Shards = 64;
   bool ShardsSet = false; ///< --shards given explicitly (open/update
                           ///< re-stripe a loaded file only on request).
+  bool ForceMmap = false; ///< --mmap: insist on the zero-copy reader.
+  bool ForceLoad = false; ///< --load: insist on the materializing loader.
+  bool NoVerify = false;  ///< --no-verify: skip the mapped table check.
 };
 
 /// Parse `--threads/--shards/--out/--expr/--expr-file/--batch` starting
@@ -276,7 +289,13 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
                     AlphaHashIndex<Hash128>::MaxShards, A.Shards))
         return false;
       A.ShardsSet = true;
-    } else if (Want("--out"))
+    } else if (std::strcmp(Argv[I], "--mmap") == 0)
+      A.ForceMmap = true;
+    else if (std::strcmp(Argv[I], "--load") == 0)
+      A.ForceLoad = true;
+    else if (std::strcmp(Argv[I], "--no-verify") == 0)
+      A.NoVerify = true;
+    else if (Want("--out"))
       A.OutPath = Argv[++I];
     else if (Want("--expr"))
       A.ExprText = Argv[++I];
@@ -363,7 +382,7 @@ bool buildIndex(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
 
 /// The compatibility surface of an index: two indexes (or files) can be
 /// compared by hash iff both lines match.
-void printSchema(const AlphaHashIndex<Hash128> &Index) {
+void printSchema(const IndexReader<Hash128> &Index) {
   std::printf("schema seed:         0x%016llx\n",
               static_cast<unsigned long long>(Index.schema().seed()));
   std::printf("hash bits:           %u\n", HashWidth<Hash128>::Bits);
@@ -391,8 +410,8 @@ int cmdIndexBuild(const IndexArgs &A) {
 }
 
 /// `hma index query <corpus> --batch FILE`: bulk-lookup a whole corpus of
-/// query expressions over the shared-lock read path.
-int cmdIndexQueryBatch(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
+/// query expressions over the backend's thread-pooled read path.
+int cmdIndexQueryBatch(const IndexArgs &A, IndexReader<Hash128> &Index) {
   CorpusLoadResult Queries;
   if (!readCorpus(A.BatchFile, Queries))
     return 1;
@@ -422,8 +441,9 @@ int cmdIndexQueryBatch(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
 }
 
 /// Look one expression (--expr / --expr-file / stdin) or a --batch corpus
-/// up in an already-populated index. Shared by `query` and `open query`.
-int runQueries(const IndexArgs &A, AlphaHashIndex<Hash128> &Index) {
+/// up in an already-populated index (live or mapped). Shared by `query`
+/// and `open query`.
+int runQueries(const IndexArgs &A, IndexReader<Hash128> &Index) {
   if (A.BatchFile)
     return cmdIndexQueryBatch(A, Index);
 
@@ -461,8 +481,9 @@ int cmdIndexQuery(const IndexArgs &A) {
 }
 
 /// Schema, collision, shard-occupancy and largest-class diagnostics.
-/// Shared by `stats` (freshly built) and `open stats` (reopened).
-void printStatsReport(const AlphaHashIndex<Hash128> &Index) {
+/// Shared by `stats` (freshly built) and `open stats` (reopened or
+/// mapped).
+void printStatsReport(const IndexReader<Hash128> &Index) {
   printSchema(Index);
   IndexStats S = Index.stats();
   std::printf("fallback checks:     %llu\n",
@@ -490,17 +511,17 @@ void printStatsReport(const AlphaHashIndex<Hash128> &Index) {
                         static_cast<double>(Index.numClasses())
                   : 0.0);
 
-  auto Classes = Index.snapshot();
-  std::stable_sort(Classes.begin(), Classes.end(),
-                   [](const auto &X, const auto &Y) { return X.Count > Y.Count; });
-  size_t Shown = std::min<size_t>(Classes.size(), 5);
-  if (Shown && Classes.front().Count > 1)
+  // Top-5 selection through the interface: copies only the winners'
+  // blobs, so the mapped backend never materializes its bytes region.
+  auto Largest = Index.largestClasses(5);
+  if (!Largest.empty() && Largest.front().Count > 1)
     std::printf("largest classes:\n");
-  for (size_t I = 0; I != Shown && Classes[I].Count > 1; ++I) {
+  for (const auto &C : Largest) {
+    if (C.Count < 2)
+      break;
     ExprContext Ctx;
-    DeserializeResult R = deserializeExpr(Ctx, Classes[I].CanonicalBytes);
-    std::printf("  %llux  %s\n",
-                static_cast<unsigned long long>(Classes[I].Count),
+    DeserializeResult R = deserializeExpr(Ctx, C.CanonicalBytes);
+    std::printf("  %llux  %s\n", static_cast<unsigned long long>(C.Count),
                 R.ok() ? printExpr(Ctx, R.E).c_str() : "<undecodable>");
   }
 }
@@ -535,6 +556,41 @@ std::unique_ptr<AlphaHashIndex<Hash128>> openIndexFile(const IndexArgs &A) {
   return std::move(R.Index);
 }
 
+/// Open \p A.Path over the zero-copy mapped reader, printing the
+/// one-line open summary (the mirror of \ref openIndexFile). The CLI
+/// runs the O(classes) `verify()` table check by default so a corrupt
+/// file is rejected up front, exactly as the materializing loader would
+/// reject it; `--no-verify` skips it for the O(shards) open the serving
+/// path uses (reads stay bounds-checked either way).
+std::unique_ptr<MappedIndex<Hash128>> openMappedIndex(const IndexArgs &A) {
+  auto Start = std::chrono::steady_clock::now();
+  MappedIndex<Hash128>::OpenResult R = MappedIndex<Hash128>::open(A.Path);
+  if (!R.ok()) {
+    std::fprintf(stderr, "index error: %s (byte %zu)\n", R.Error.c_str(),
+                 R.ErrorPos);
+    return nullptr;
+  }
+  if (!A.NoVerify) {
+    std::string Error;
+    size_t ErrorPos = 0;
+    if (!R.Reader->verify(&Error, &ErrorPos)) {
+      std::fprintf(stderr, "index error: %s (byte %zu)\n", Error.c_str(),
+                   ErrorPos);
+      return nullptr;
+    }
+  }
+  auto End = std::chrono::steady_clock::now();
+  std::printf("opened %s (%s): %zu classes, %llu members, %u shards, "
+              "%.6f s (%s, %s)\n",
+              A.Path, R.Reader->backendName(), R.Reader->numClasses(),
+              static_cast<unsigned long long>(R.Reader->stats().Inserted),
+              R.Reader->numShards(),
+              std::chrono::duration<double>(End - Start).count(),
+              R.Reader->isFileMapped() ? "zero-copy" : "buffered copy",
+              A.NoVerify ? "tables unverified" : "tables verified");
+  return std::move(R.Reader);
+}
+
 int cmdIndexOpen(const IndexArgs &A) {
   bool IsQuery = A.OpenSub && std::strcmp(A.OpenSub, "query") == 0;
   bool IsStats = A.OpenSub && std::strcmp(A.OpenSub, "stats") == 0;
@@ -548,6 +604,42 @@ int cmdIndexOpen(const IndexArgs &A) {
                  "<file> query ...`\n");
     return 2;
   }
+  if (A.ForceMmap && A.ForceLoad) {
+    std::fprintf(stderr, "error: --mmap and --load are mutually exclusive\n");
+    return 2;
+  }
+  // Re-striping (--shards) and re-saving (--out) need a materialized
+  // index; everything else defaults to the zero-copy mapped reader.
+  const bool NeedsLoad = A.OutPath || A.ShardsSet;
+  if (A.ForceMmap && NeedsLoad) {
+    std::fprintf(stderr,
+                 "error: --shards/--out re-shard a materialized index and "
+                 "cannot be combined with --mmap\n");
+    return 2;
+  }
+  // Both backends serve the same IndexReader surface once opened, so the
+  // stats/query/schema dispatch below is backend-agnostic.
+  auto Serve = [&](IndexReader<Hash128> &Index) {
+    if (IsStats)
+      printStatsReport(Index);
+    else if (IsQuery)
+      return runQueries(A, Index);
+    else
+      printSchema(Index);
+    return 0;
+  };
+  if (!A.ForceLoad && !NeedsLoad) {
+    auto Mapped = openMappedIndex(A);
+    return Mapped ? Serve(*Mapped) : 1;
+  }
+  if (A.NoVerify) {
+    // The loader always validates; silently accepting the flag would
+    // promise a fast open it does not deliver.
+    std::fprintf(stderr, "error: --no-verify applies to the mapped reader "
+                         "and cannot be combined with --load/--shards/"
+                         "--out\n");
+    return 2;
+  }
   auto Index = openIndexFile(A);
   if (!Index)
     return 1;
@@ -555,13 +647,7 @@ int cmdIndexOpen(const IndexArgs &A) {
   // then persist the result.
   if (A.OutPath && !writeIndexFile(*Index, A.OutPath))
     return 1;
-  if (IsStats)
-    printStatsReport(*Index);
-  else if (IsQuery)
-    return runQueries(A, *Index);
-  else
-    printSchema(*Index);
-  return 0;
+  return Serve(*Index);
 }
 
 int cmdIndexUpdate(const IndexArgs &A) {
@@ -583,6 +669,15 @@ int cmdIndex(int Argc, char **Argv) {
   IndexArgs A;
   if (!parseIndexArgs(Argc, Argv, A))
     return usage();
+  // The read-path flags only mean something to `open`; anywhere else
+  // they must not be silently swallowed.
+  if ((A.ForceMmap || A.ForceLoad || A.NoVerify) &&
+      std::strcmp(A.Sub, "open") != 0) {
+    std::fprintf(stderr,
+                 "error: --mmap/--load/--no-verify apply to `index open` "
+                 "only\n");
+    return 2;
+  }
   if (std::strcmp(A.Sub, "build") == 0)
     return cmdIndexBuild(A);
   if (std::strcmp(A.Sub, "query") == 0)
