@@ -68,6 +68,18 @@ template <typename F> double timeMedian(F &&Fn, int MaxReps = 9) {
   return Times[Times.size() / 2];
 }
 
+/// Best-of-\p Reps wall time. Interference (scheduler, page cache,
+/// allocator state) only ever *adds* time, so the minimum is the most
+/// stable estimator of the code's intrinsic cost -- use this for
+/// gated comparisons (CI's obs-overhead gate), timeMedian for
+/// reporting.
+template <typename F> double timeMin(F &&Fn, int Reps = 5) {
+  double Best = timeOnce(Fn);
+  for (int Rep = 1; Rep < Reps; ++Rep)
+    Best = std::min(Best, timeOnce(Fn));
+  return Best;
+}
+
 /// Least-squares slope of log(time) against log(n): the empirical
 /// complexity exponent (1.0 = linear, 2.0 = quadratic, ...).
 inline double fitLogLogSlope(const std::vector<std::pair<double, double>>

@@ -46,6 +46,7 @@
 #include "ast/Serialize.h"
 #include "gen/RandomExpr.h"
 #include "index/AlphaHashIndex.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
 #include <cstring>
@@ -238,6 +239,50 @@ void appendJsonBatchRows(std::string &J, const std::vector<BatchRow> &Rows) {
   J += "  ],\n";
 }
 
+/// The obs snapshot as a JSON section: selected counters plus a summary
+/// of every non-empty histogram. Empty arrays under HMA_OBS_OFF, so
+/// trajectory tooling can key off "obs_enabled" without special-casing.
+void appendJsonObs(std::string &J) {
+  obs::Snapshot Snap = obs::Registry::global().snapshot();
+  J += "  \"obs\": {\n    \"counters\": [\n";
+  size_t Live = 0;
+  for (const obs::CounterRow &C : Snap.Counters)
+    Live += C.Value != 0;
+  size_t Emitted = 0;
+  for (const obs::CounterRow &C : Snap.Counters) {
+    if (!C.Value)
+      continue;
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"name\": \"%s\", \"value\": %llu}%s\n",
+                  C.Name.c_str(), static_cast<unsigned long long>(C.Value),
+                  ++Emitted == Live ? "" : ",");
+    J += Buf;
+  }
+  J += "    ],\n    \"histograms\": [\n";
+  Live = 0;
+  for (const obs::HistogramRow &H : Snap.Histograms)
+    Live += H.Data.Count != 0;
+  Emitted = 0;
+  for (const obs::HistogramRow &H : Snap.Histograms) {
+    if (!H.Data.Count)
+      continue;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"name\": \"%s\", \"count\": %llu, "
+                  "\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
+                  "\"max\": %llu}%s\n",
+                  H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Data.Count),
+                  H.Data.percentile(0.5), H.Data.percentile(0.9),
+                  H.Data.percentile(0.99),
+                  static_cast<unsigned long long>(H.Data.Max),
+                  ++Emitted == Live ? "" : ",");
+    J += Buf;
+  }
+  J += "    ]\n  },\n";
+}
+
 /// Aggregate nodes/sec of one config across all hash rows.
 double aggregateRate(const std::vector<HashRow> &Rows, const char *Config) {
   uint64_t Nodes = 0;
@@ -303,16 +348,19 @@ int main(int Argc, char **Argv) {
 
   std::string J = "{\n";
   {
-    char Buf[256];
+    unsigned HW = std::thread::hardware_concurrency();
+    char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
                   "  \"bench\": \"hash_throughput\",\n  \"quick\": %s,\n"
-                  "  \"hardware_concurrency\": %u,\n",
-                  Quick ? "true" : "false",
-                  std::thread::hardware_concurrency());
+                  "  \"hardware_concurrency\": %u,\n"
+                  "  \"single_core\": %s,\n  \"obs_enabled\": %s,\n",
+                  Quick ? "true" : "false", HW, HW <= 1 ? "true" : "false",
+                  obs::Enabled ? "true" : "false");
     J += Buf;
   }
   appendJsonHashRows(J, HashRows);
   appendJsonBatchRows(J, BatchRows);
+  appendJsonObs(J);
   {
     char Buf[256];
     std::snprintf(Buf, sizeof(Buf),

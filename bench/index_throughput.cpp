@@ -33,10 +33,25 @@
 /// speedup and both query latencies land in the `CSV,index_reopen` row.
 ///
 ///   HMA_BENCH_FULL=1   10x corpus size
+///   --lookup-only      skip everything except one 1-thread ingest and
+///                      the `CSV,lookup_throughput` row per family (the
+///                      fast mode CI's obs-overhead gate interleaves
+///                      across the instrumented and HMA_OBS_OFF builds)
 ///
 /// Output: a human table plus machine-readable `CSV,...` rows
+///   CSV,env,<hardware_concurrency>,<single_core>,<obs_enabled>
 ///   CSV,index_throughput,<family>,<threads>,<exprs>,<sec>,<exprs_per_sec>,<alloc_per_expr>,<steady_alloc_per_expr>
 ///   CSV,index_reopen,<family>,<classes>,<file_bytes>,<reopen_sec>,<rebuild_sec>,<retained_bytes_per_class>,<mmap_open_sec>,<mmap_batch_sec>,<load_batch_sec>
+///   CSV,lookup_throughput,<family>,<queries>,<sec>,<queries_per_sec>,<obs_enabled>
+///   CSV,obs_hist,<name>,<count>,<p50_ns>,<p90_ns>,<p99_ns>,<max_ns>
+///
+/// `CSV,env` records the machine (a single hardware thread makes the
+/// speedup column meaningless) and whether the obs layer is compiled in.
+/// `CSV,lookup_throughput` is a median-of-reps steady-state read-path
+/// measurement: CI's overhead smoke diffs its queries_per_sec between a
+/// default build and an `-DHMA_OBS_OFF=ON` build and requires the
+/// instrumented run within 5%. `CSV,obs_hist` dumps every non-empty obs
+/// histogram the run populated (absent under HMA_OBS_OFF).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,8 +62,10 @@
 #include "index/AlphaHashIndex.h"
 #include "index/IndexIO.h"
 #include "index/MappedIndex.h"
+#include "obs/Metrics.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -58,6 +75,30 @@ using namespace hma;
 using namespace hma::bench;
 
 namespace {
+
+/// Best-of-reps steady-state lookupBatch throughput over \p Index, as
+/// the `CSV,lookup_throughput` row. The number CI's obs-overhead gate
+/// compares across builds, so it uses timeMin (see BenchUtil.h).
+void measureLookup(const char *Family, AlphaHashIndex<> &Index,
+                   const std::vector<std::string> &Corpus) {
+  size_t Hits = 0;
+  double LookupSec = timeMin([&] {
+    Hits = 0;
+    for (const auto &R : Index.lookupBatch(Corpus, 1))
+      Hits += R.has_value();
+  });
+  double LookupRate =
+      LookupSec > 0 ? static_cast<double>(Corpus.size()) / LookupSec : 0.0;
+  std::printf("%8s steady lookup %s for %zu queries (%.0f queries/sec, "
+              "obs %s)\n",
+              "", fmtSeconds(LookupSec).c_str(), Corpus.size(), LookupRate,
+              obs::Enabled ? "on" : "off");
+  if (Hits != Corpus.size())
+    std::printf("ERROR: steady lookup hit %zu/%zu queries\n", Hits,
+                Corpus.size());
+  std::printf("CSV,lookup_throughput,%s,%zu,%.6f,%.0f,%d\n", Family,
+              Corpus.size(), LookupSec, LookupRate, obs::Enabled ? 1 : 0);
+}
 
 /// A corpus of \p Count serialised expressions, one third of which are
 /// alpha-renamed duplicates (an interning service that never sees a
@@ -186,15 +227,61 @@ void runFamily(const char *Family, size_t Count, uint32_t Size) {
   std::printf("CSV,index_reopen,%s,%zu,%zu,%.6f,%.6f,%.1f,%.6f,%.6f,%.6f\n",
               Family, Classes, SavedIndex.size(), ReopenSec, Base, PerClass,
               MmapOpenSec, MmapBatchSec, LoadBatchSec);
+
+  // Steady-state read-path throughput (see measureLookup: best-of-reps
+  // so the number is stable enough for CI's 5% obs-overhead gate).
+  if (Reopened)
+    measureLookup(Family, *Reopened, Corpus);
+}
+
+/// `--lookup-only`: one 1-thread ingest then the lookup_throughput row,
+/// nothing else. Fast enough (~5 s/family) that CI's obs-overhead gate
+/// can interleave several runs of the instrumented and the HMA_OBS_OFF
+/// binary and min out machine drift between them.
+void runFamilyLookupOnly(const char *Family, size_t Count, uint32_t Size) {
+  std::vector<std::string> Corpus = makeCorpus(Family, Count, Size, 2024);
+  AlphaHashIndex<> Index;
+  Index.insertBatch(Corpus, 1);
+  measureLookup(Family, Index, Corpus);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool LookupOnly = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--lookup-only") == 0)
+      LookupOnly = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--lookup-only]\n", Argv[0]);
+      return 2;
+    }
+  }
   size_t Count = fullMode() ? 100000 : 10000;
-  std::printf("index ingest throughput (hardware_concurrency=%u)\n",
-              std::thread::hardware_concurrency());
+  unsigned HW = std::thread::hardware_concurrency();
+  std::printf("index ingest throughput (hardware_concurrency=%u, obs %s)\n",
+              HW, obs::Enabled ? "on" : "off");
+  std::printf("CSV,env,%u,%d,%d\n", HW, HW <= 1 ? 1 : 0,
+              obs::Enabled ? 1 : 0);
+  if (LookupOnly) {
+    runFamilyLookupOnly("balanced", Count, 64);
+    runFamilyLookupOnly("unbalanced", Count / 4, 256);
+    return 0;
+  }
   runFamily("balanced", Count, 64);
   runFamily("unbalanced", Count / 4, 256);
+
+  // Every obs histogram the run populated, as log2-bucket summaries.
+  // Nothing is printed under HMA_OBS_OFF (the snapshot is empty).
+  obs::Snapshot Snap = obs::Registry::global().snapshot();
+  for (const obs::HistogramRow &H : Snap.Histograms) {
+    if (!H.Data.Count)
+      continue;
+    std::printf("CSV,obs_hist,%s,%llu,%.0f,%.0f,%.0f,%llu\n", H.Name.c_str(),
+                static_cast<unsigned long long>(H.Data.Count),
+                H.Data.percentile(0.5), H.Data.percentile(0.9),
+                H.Data.percentile(0.99),
+                static_cast<unsigned long long>(H.Data.Max));
+  }
   return 0;
 }

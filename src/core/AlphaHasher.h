@@ -58,6 +58,7 @@
 #include "adt/SmallVarMap.h"
 #include "ast/Expr.h"
 #include "ast/Traversal.h"
+#include "obs/Metrics.h"
 #include "support/HashSchema.h"
 
 #include <cassert>
@@ -94,6 +95,12 @@ public:
   /// but its capacity is retained, so a worker that recycles contexts
   /// every chunk stays allocation-free once warmed up.
   void rebind(const ExprContext &NewCtx) {
+    // Rebinds happen at chunk granularity (never per expression), so a
+    // registry bump here is free relative to the work it brackets.
+    static const obs::Counter Rebinds = obs::Counter::get(
+        "hma_hasher_rebinds_total",
+        "Hasher rebinds to a recycled context (chunk granularity)");
+    Rebinds.add(1);
     Ctx = &NewCtx;
     CtxEpoch = NewCtx.epoch();
     NameHashes.clear();

@@ -72,6 +72,7 @@
 #include "index/BatchDriver.h"
 #include "index/IndexReader.h"
 #include "index/ShardStore.h"
+#include "obs/Metrics.h"
 #include "support/HashCode.h"
 #include "support/HashSchema.h"
 
@@ -198,7 +199,7 @@ public:
     BatchResult Result;
     std::mutex ResultMu;
     detail::forEachHashedChunk<H, BatchWorkerState>(
-        Schema, Blobs.size(), Threads,
+        Schema, Blobs.size(), Threads, "ingest",
         [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
             size_t End, BatchWorkerState &W) {
           for (size_t I = Begin; I != End; ++I) {
@@ -269,7 +270,7 @@ public:
               unsigned Threads) override {
     std::vector<std::optional<LookupResult>> Results(Blobs.size());
     detail::forEachHashedChunk<H, BatchWorkerState>(
-        Schema, Blobs.size(), Threads,
+        Schema, Blobs.size(), Threads, "query_live",
         [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
             size_t End, BatchWorkerState &W) {
           for (size_t I = Begin; I != End; ++I) {
@@ -326,6 +327,17 @@ public:
       Loads[I] = ShardsArr[I].Store.size();
     }
     return Loads;
+  }
+
+  /// Canonical-blob bytes per shard (the per-shard split of
+  /// \ref retainedBytes).
+  std::vector<size_t> shardBytes() const override {
+    std::vector<size_t> Bytes(numShards());
+    for (unsigned I = 0; I != numShards(); ++I) {
+      std::shared_lock<std::shared_mutex> Lock(ShardsArr[I].Mu);
+      Bytes[I] = ShardsArr[I].Store.retainedBytes();
+    }
+    return Bytes;
   }
 
   /// Export every class, sorted by (hash, canonical bytes) so the result
@@ -458,13 +470,40 @@ private:
   std::optional<LookupResult> lookupHashed(const ExprContext &SrcCtx,
                                            const Expr *Root, H Hash,
                                            DecodeScratch &Scratch) const {
+    static const obs::Histogram LockWaitNs = obs::Histogram::get(
+        "hma_index_read_lock_wait_ns",
+        "Time a reader waited to acquire its shard's shared lock, ns");
+    static const obs::Histogram LockHoldNs = obs::Histogram::get(
+        "hma_index_read_lock_hold_ns",
+        "Time a reader held its shard's shared lock, ns");
+    static const obs::Histogram VerifyNs = obs::Histogram::get(
+        "hma_index_verify_ns",
+        "Latency of a probe that ran the exact alpha-equivalence "
+        "fallback at least once, ns");
+    static const obs::Counter ReadVerifies = obs::Counter::get(
+        "hma_index_read_fallback_checks_total",
+        "Exact-verify fallback runs on the shared-lock read path");
+    static const obs::Counter ReadCollisions = obs::Counter::get(
+        "hma_index_read_verified_collisions_total",
+        "Hash matches refuted by the exact oracle on the read path");
     const Shard &S = shardFor(Hash);
+    const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
     std::shared_lock<std::shared_mutex> Lock(S.Mu);
+    const uint64_t T1 = obs::Enabled ? obs::nowNanos() : 0;
     uint64_t Checks = 0, Refuted = 0;
     size_t Id = S.Store.find(SrcCtx, Root, Hash, Scratch, Checks, Refuted);
+    if (obs::Enabled) {
+      const uint64_t T2 = obs::nowNanos();
+      LockWaitNs.record(T1 - T0);
+      LockHoldNs.record(T2 - T1);
+      if (Checks)
+        VerifyNs.record(T2 - T1);
+    }
     if (Checks) {
       S.ReadFallbackChecks.fetch_add(Checks, std::memory_order_relaxed);
       S.ReadVerifiedCollisions.fetch_add(Refuted, std::memory_order_relaxed);
+      ReadVerifies.add(Checks);
+      ReadCollisions.add(Refuted);
     }
     if (Id == ShardStore<H>::npos)
       return std::nullopt;
@@ -475,8 +514,22 @@ private:
   /// Core ingest: \p Root (owned by \p SrcCtx, binders distinct) with its
   /// already-computed alpha-hash. Returns true if a new class was created.
   bool insertHashed(const ExprContext &SrcCtx, const Expr *Root, H Hash) {
+    static const obs::Histogram LockWaitNs = obs::Histogram::get(
+        "hma_index_write_lock_wait_ns",
+        "Time ingest waited to acquire its shard's exclusive lock, ns");
+    static const obs::Histogram LockHoldNs = obs::Histogram::get(
+        "hma_index_write_lock_hold_ns",
+        "Time ingest held its shard's exclusive lock, ns");
+    static const obs::Counter WriteVerifies = obs::Counter::get(
+        "hma_index_write_fallback_checks_total",
+        "Exact-verify fallback runs on the ingest path");
+    static const obs::Counter WriteCollisions = obs::Counter::get(
+        "hma_index_write_verified_collisions_total",
+        "Hash matches refuted by the exact oracle during ingest");
     Shard &S = shardFor(Hash);
+    const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
     std::lock_guard<std::shared_mutex> Lock(S.Mu);
+    const uint64_t T1 = obs::Enabled ? obs::nowNanos() : 0;
     ++S.Stats.Inserted;
 
     // Hash hit: Theorem 6.7 says this is almost surely a duplicate, but
@@ -487,16 +540,24 @@ private:
         S.Store.find(SrcCtx, Root, Hash, S.WriteScratch, Checks, Refuted);
     S.Stats.FallbackChecks += Checks;
     S.Stats.VerifiedCollisions += Refuted;
-    if (Id != ShardStore<H>::npos) {
+    if (Checks) {
+      WriteVerifies.add(Checks);
+      WriteCollisions.add(Refuted);
+    }
+    bool NewClass = Id == ShardStore<H>::npos;
+    if (!NewClass) {
       S.Store.bumpCount(Id);
       ++S.Stats.Duplicates;
-      return false;
+    } else {
+      // New class: only the serialised canonical representative is kept.
+      S.Store.addClass(Hash, serializeExpr(SrcCtx, Root), /*Count=*/1);
+      ++S.Stats.NewClasses;
     }
-
-    // New class: only the serialised canonical representative is kept.
-    S.Store.addClass(Hash, serializeExpr(SrcCtx, Root), /*Count=*/1);
-    ++S.Stats.NewClasses;
-    return true;
+    if (obs::Enabled) {
+      LockWaitNs.record(T1 - T0);
+      LockHoldNs.record(obs::nowNanos() - T1);
+    }
+    return NewClass;
   }
 
   Options Opts;

@@ -30,6 +30,8 @@
 #include "ast/Expr.h"
 #include "core/AlphaHasher.h"
 #include "index/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/HashSchema.h"
 
 #include <algorithm>
@@ -42,6 +44,13 @@ namespace hma::detail {
 /// Run \p Body over chunks of [0, \p Count) on up to \p Threads workers
 /// (<= 1 means inline on the caller).
 ///
+/// \p OpName is a string literal naming the operation ("ingest",
+/// "query_live", "query_mapped"): it labels the per-worker chunk spans
+/// in the trace layer. The driver also owns the batch-level metrics --
+/// chunk-latency histogram, chunk counter, and the fold of each worker's
+/// hasher pool-allocation counters into the registry -- so every batch
+/// entry point reports them identically.
+///
 /// \p Body is `void(AlphaHasher<H>&, ExprContext&, size_t Begin,
 /// size_t End, WorkerState&)`, called once per chunk with the worker's
 /// hasher already rebound to the chunk's fresh context. \p Finish is
@@ -52,7 +61,20 @@ namespace hma::detail {
 template <typename H, typename WorkerState, typename BodyFn,
           typename FinishFn>
 void forEachHashedChunk(const HashSchema &Schema, size_t Count,
-                        unsigned Threads, BodyFn Body, FinishFn Finish) {
+                        unsigned Threads, const char *OpName, BodyFn Body,
+                        FinishFn Finish) {
+  static const obs::Histogram ChunkNs = obs::Histogram::get(
+      "hma_batch_chunk_ns",
+      "Latency of one batch-worker chunk (decode+hash+probe), ns");
+  static const obs::Counter Chunks = obs::Counter::get(
+      "hma_batch_chunks_total", "Batch-worker chunks processed");
+  static const obs::Counter PoolNodes = obs::Counter::get(
+      "hma_hasher_pool_nodes_total",
+      "Map nodes carved out of worker hashers' pool arenas (warm-up cost)");
+  static const obs::Counter SteadyPoolNodes = obs::Counter::get(
+      "hma_hasher_steady_pool_nodes_total",
+      "Pool nodes allocated after a worker's first chunk (steady state; "
+      "~0 is the zero-allocation claim)");
   // Hashing parallelism is useful regardless of backend, but an absurd
   // caller value must not translate into thousands of threads (or
   // overflow the chunk arithmetic below).
@@ -78,15 +100,24 @@ void forEachHashedChunk(const HashSchema &Schema, size_t Count,
          C = NextChunk.fetch_add(1)) {
       size_t Begin = C * Chunk;
       size_t End = std::min(Begin + Chunk, Count);
+      obs::ScopedTrace Span(OpName, "chunk",
+                            static_cast<int64_t>(End - Begin));
+      const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
       ExprContext Ctx;
       Hasher.rebind(Ctx);
       Body(Hasher, Ctx, Begin, End, W);
       Hasher.rebind(BootCtx);
+      if (obs::Enabled) {
+        ChunkNs.record(obs::nowNanos() - T0);
+        Chunks.add(1);
+      }
       if (!Warmed) {
         Warmed = true;
         WarmMark = Hasher.poolAllocatedNodes();
       }
     }
+    PoolNodes.add(Hasher.poolAllocatedNodes());
+    SteadyPoolNodes.add(Warmed ? Hasher.poolAllocatedNodes() - WarmMark : 0);
     Finish(W, Hasher.poolAllocatedNodes(),
            Warmed ? Hasher.poolAllocatedNodes() - WarmMark : 0);
   };

@@ -46,6 +46,8 @@
 #define HMA_INDEX_INDEXIO_H
 
 #include "index/AlphaHashIndex.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/HashCode.h"
 
 #include <cstdint>
@@ -208,6 +210,12 @@ IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
 /// set.
 template <typename H>
 std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
+  static const obs::Histogram SaveNs = obs::Histogram::get(
+      "hma_index_save_ns", "Latency of serialising an index to HMAI, ns");
+  static const obs::Counter SavedBytes = obs::Counter::get(
+      "hma_index_saved_bytes_total", "HMAI image bytes produced by saves");
+  obs::ScopedTrace Span("index_save", "io");
+  obs::ScopedTimer Timer(SaveNs);
   using Summary = typename AlphaHashIndex<H>::ClassSummary;
   std::vector<Summary> Classes = Index.snapshot(); // sorted (hash, bytes)
   const unsigned Shards = Index.numShards();
@@ -261,6 +269,7 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
   for (unsigned S = 0; S != Shards; ++S)
     for (const Summary *C : PerShard[S])
       Out += C->CanonicalBytes;
+  SavedBytes.add(Out.size());
   return Out;
 }
 
@@ -273,6 +282,16 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
 template <typename H>
 IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
                                   unsigned OverrideShards = 0) {
+  static const obs::Histogram LoadNs = obs::Histogram::get(
+      "hma_index_load_ns",
+      "Latency of materializing a live index from HMAI bytes (validation "
+      "included), ns");
+  static const obs::Counter LoadedBytes = obs::Counter::get(
+      "hma_index_loaded_bytes_total", "HMAI image bytes consumed by loads");
+  obs::ScopedTrace Span("index_load", "io",
+                        static_cast<int64_t>(Bytes.size()));
+  obs::ScopedTimer Timer(LoadNs);
+  LoadedBytes.add(Bytes.size());
   IndexFileInfo Info;
   std::string Error;
   size_t ErrorPos = 0;

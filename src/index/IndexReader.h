@@ -166,6 +166,11 @@ public:
   /// Number of classes per shard (for load-balance diagnostics).
   virtual std::vector<size_t> shardLoads() const = 0;
 
+  /// Canonical-blob bytes per shard: the per-shard split of
+  /// \ref retainedBytes, for skew diagnostics (`hma index stats --json`
+  /// reports both per-shard vectors).
+  virtual std::vector<size_t> shardBytes() const = 0;
+
   /// Bytes of canonical blobs the backend serves (resident for the live
   /// index, mapped for the file-backed one).
   virtual size_t retainedBytes() const = 0;

@@ -51,6 +51,8 @@
 #include "index/IndexIO.h"
 #include "index/IndexReader.h"
 #include "index/ShardStore.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/HashCode.h"
 #include "support/HashSchema.h"
 
@@ -131,6 +133,11 @@ public:
   /// when \p ForceBuffered). O(shards): no per-class work, no blob
   /// reads.
   static OpenResult open(const std::string &Path, bool ForceBuffered = false) {
+    static const obs::Histogram OpenNs = obs::Histogram::get(
+        "hma_mapped_open_ns",
+        "Latency of opening an HMAI file for mapped reads (O(shards)), ns");
+    obs::ScopedTrace Span("mapped_open", "io");
+    obs::ScopedTimer Timer(OpenNs);
     std::string Error;
     std::unique_ptr<MappedBytes> Storage =
         MappedBytes::openFile(Path, ForceBuffered, &Error);
@@ -170,6 +177,13 @@ public:
   /// harmlessly, as a miss/refutation -- by the bounds-checked read
   /// path. Mirrors `loadIndexBytes`' record validation exactly.
   bool verify(std::string *Error = nullptr, size_t *ErrorPos = nullptr) const {
+    static const obs::Histogram VerifyNs = obs::Histogram::get(
+        "hma_mapped_verify_ns",
+        "Latency of the deep O(classes) integrity check on a mapped "
+        "image, ns");
+    obs::ScopedTrace Span("mapped_verify", "io",
+                          static_cast<int64_t>(Info.NumClasses));
+    obs::ScopedTimer Timer(VerifyNs);
     const size_t RecSize = iio::recordSize<H>();
     for (size_t S = 0; S != Tables.size(); ++S) {
       const ShardTable &T = Tables[S];
@@ -223,6 +237,20 @@ public:
     for (const ShardTable &T : Tables)
       Loads.push_back(static_cast<size_t>(T.Count));
     return Loads;
+  }
+
+  /// Canonical-blob bytes per shard, summed from each shard's record
+  /// lengths (for a well-formed image, sums to \ref retainedBytes).
+  std::vector<size_t> shardBytes() const override {
+    std::vector<size_t> Out;
+    Out.reserve(Tables.size());
+    for (const ShardTable &T : Tables) {
+      size_t N = 0;
+      for (uint64_t I = 0; I != T.Count; ++I)
+        N += static_cast<size_t>(record(T, I).Length);
+      Out.push_back(N);
+    }
+    return Out;
   }
 
   /// Size of the mapped bytes region: for a well-formed image, exactly
@@ -301,7 +329,7 @@ public:
       DecodeScratch Scratch;
     };
     detail::forEachHashedChunk<H, WorkerState>(
-        Schema, Blobs.size(), Threads,
+        Schema, Blobs.size(), Threads, "query_mapped",
         [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
             size_t End, WorkerState &W) {
           for (size_t I = Begin; I != End; ++I) {
@@ -399,6 +427,17 @@ private:
   std::optional<LookupResult> findHashed(const ExprContext &SrcCtx,
                                          const Expr *Root, H Hash,
                                          DecodeScratch &Scratch) const {
+    static const obs::Histogram FindNs = obs::Histogram::get(
+        "hma_mapped_find_ns",
+        "Latency of one mapped-table probe (binary search + on-demand "
+        "decode-verify), ns");
+    static const obs::Counter Verifies = obs::Counter::get(
+        "hma_mapped_fallback_checks_total",
+        "Exact-verify fallback runs against mapped candidates");
+    static const obs::Counter Collisions = obs::Counter::get(
+        "hma_mapped_verified_collisions_total",
+        "Mapped hash matches refuted by the exact oracle");
+    const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
     const ShardTable &T =
         Tables[detail::shardIndexForHash(Hash, ShardMask)];
     // Lower bound by hash over the fixed-width records.
@@ -428,7 +467,11 @@ private:
     if (Checks) {
       ReadFallbackChecks.fetch_add(Checks, std::memory_order_relaxed);
       ReadVerifiedCollisions.fetch_add(Refuted, std::memory_order_relaxed);
+      Verifies.add(Checks);
+      Collisions.add(Refuted);
     }
+    if (obs::Enabled)
+      FindNs.record(obs::nowNanos() - T0);
     return Result;
   }
 

@@ -37,6 +37,7 @@
 #include "ast/AlphaEquivalence.h"
 #include "ast/Expr.h"
 #include "ast/Serialize.h"
+#include "obs/Metrics.h"
 #include "support/HashCode.h"
 
 #include <cstdint>
@@ -75,6 +76,16 @@ public:
   /// malformed blob. The returned expression (and \ref context()) stays
   /// valid until the *next* decode call, which may recycle the context.
   const Expr *decode(std::string_view Bytes) {
+    static const obs::Histogram DecodeNs = obs::Histogram::get(
+        "hma_fallback_decode_ns",
+        "Latency of one on-demand candidate decode for the exact-verify "
+        "fallback, ns");
+    static const obs::Counter DecodedBytes = obs::Counter::get(
+        "hma_fallback_decoded_bytes_total",
+        "Candidate blob bytes decoded on demand by the exact-verify "
+        "fallback (live and mapped read paths)");
+    obs::ScopedTimer Timer(DecodeNs);
+    DecodedBytes.add(Bytes.size());
     if (!Ctx || Ctx->arena().bytesAllocated() > RecycleBytes) {
       Ctx = std::make_unique<ExprContext>();
       ++NumRecycles;

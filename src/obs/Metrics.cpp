@@ -1,0 +1,218 @@
+//===- obs/Metrics.cpp - Registry implementation ----------------------------===//
+///
+/// \file
+/// The out-of-line half of obs/Metrics.h: metric registration, the
+/// thread-shard lifecycle, and snapshot/reset. Everything here is
+/// cold-path (takes the registry mutex); the hot path -- handle
+/// increments into the calling thread's shard -- lives in the header.
+///
+/// Thread-shard lifecycle: the first increment a thread performs calls
+/// \ref Registry::acquireShard through a function-local `thread_local`
+/// owner; the owner's destructor (thread exit) folds the shard's final
+/// values into the registry's retired totals and frees it. The registry
+/// itself is leaked (never destroyed), so those exit hooks are safe in
+/// any shutdown order.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#ifndef HMA_OBS_OFF
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace hma::obs {
+
+namespace {
+
+/// Retired (exited-thread) residue: one plain accumulator per metric kind.
+struct RetiredTotals {
+  uint64_t Counters[detail::MaxCounters] = {};
+  HistogramData Hists[detail::MaxHistograms];
+};
+
+struct MetricDef {
+  std::string Name;
+  std::string Help;
+};
+
+} // namespace
+
+struct Registry::Impl {
+  mutable std::mutex Mu;
+  std::vector<MetricDef> CounterDefs;
+  std::vector<MetricDef> GaugeDefs;
+  std::vector<MetricDef> HistDefs;
+  std::atomic<int64_t> GaugeCells[detail::MaxGauges] = {};
+  std::vector<detail::ThreadShard *> LiveShards;
+  RetiredTotals Retired;
+};
+
+Registry &Registry::global() {
+  // Leaked on purpose: thread_local shard owners retire through this
+  // pointer during thread/process teardown.
+  static Registry *R = new Registry();
+  return *R;
+}
+
+Registry::Impl &Registry::impl() const {
+  static Impl *I = new Impl();
+  return *I;
+}
+
+static unsigned registerIn(std::vector<MetricDef> &Defs, unsigned Max,
+                           std::string_view Name, std::string_view Help) {
+  for (unsigned I = 0; I != Defs.size(); ++I)
+    if (Defs[I].Name == Name)
+      return I;
+  assert(Defs.size() < Max && "metric cap exceeded; raise detail::Max*");
+  if (Defs.size() >= Max)
+    return Max - 1; // release-mode fallback: fold into the last slot
+  Defs.push_back(MetricDef{std::string(Name), std::string(Help)});
+  return static_cast<unsigned>(Defs.size() - 1);
+}
+
+unsigned Registry::counterId(std::string_view Name, std::string_view Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return registerIn(I.CounterDefs, detail::MaxCounters, Name, Help);
+}
+
+unsigned Registry::gaugeId(std::string_view Name, std::string_view Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return registerIn(I.GaugeDefs, detail::MaxGauges, Name, Help);
+}
+
+unsigned Registry::histogramId(std::string_view Name, std::string_view Help) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return registerIn(I.HistDefs, detail::MaxHistograms, Name, Help);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread shards
+//===----------------------------------------------------------------------===//
+
+detail::ThreadShard *Registry::acquireShard() {
+  auto *Shard = new detail::ThreadShard();
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.LiveShards.push_back(Shard);
+  return Shard;
+}
+
+void Registry::retireShard(detail::ThreadShard *Shard) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  for (unsigned C = 0; C != detail::MaxCounters; ++C)
+    I.Retired.Counters[C] +=
+        Shard->Counters[C].load(std::memory_order_relaxed);
+  for (unsigned H = 0; H != detail::MaxHistograms; ++H)
+    I.Retired.Hists[H].merge(Shard->readHist(H));
+  I.LiveShards.erase(
+      std::find(I.LiveShards.begin(), I.LiveShards.end(), Shard));
+  delete Shard;
+}
+
+namespace {
+
+/// RAII owner binding one \ref detail::ThreadShard to the current
+/// thread; destruction (thread exit) retires it into the registry.
+struct ShardOwner {
+  detail::ThreadShard *Shard = nullptr;
+  ~ShardOwner() {
+    if (Shard)
+      Registry::global().retireShard(Shard);
+  }
+};
+
+detail::ThreadShard &localShard() {
+  thread_local ShardOwner Owner;
+  if (!Owner.Shard)
+    Owner.Shard = Registry::global().acquireShard();
+  return *Owner.Shard;
+}
+
+} // namespace
+
+void Registry::add(unsigned CounterId, uint64_t Delta) {
+  localShard().Counters[CounterId].fetch_add(Delta,
+                                             std::memory_order_relaxed);
+}
+
+void Registry::record(unsigned HistogramId, uint64_t Value) {
+  localShard().recordHist(HistogramId, Value);
+}
+
+void Registry::gaugeSet(unsigned GaugeId, int64_t Value) {
+  impl().GaugeCells[GaugeId].store(Value, std::memory_order_relaxed);
+}
+
+void Registry::gaugeAdd(unsigned GaugeId, int64_t Delta) {
+  impl().GaugeCells[GaugeId].fetch_add(Delta, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot / reset
+//===----------------------------------------------------------------------===//
+
+Snapshot Registry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+
+  Snapshot S;
+  S.Counters.reserve(I.CounterDefs.size());
+  for (unsigned C = 0; C != I.CounterDefs.size(); ++C) {
+    uint64_t V = I.Retired.Counters[C];
+    for (const detail::ThreadShard *Shard : I.LiveShards)
+      V += Shard->Counters[C].load(std::memory_order_relaxed);
+    S.Counters.push_back(CounterRow{I.CounterDefs[C].Name,
+                                    I.CounterDefs[C].Help, V});
+  }
+  S.Gauges.reserve(I.GaugeDefs.size());
+  for (unsigned G = 0; G != I.GaugeDefs.size(); ++G)
+    S.Gauges.push_back(
+        GaugeRow{I.GaugeDefs[G].Name, I.GaugeDefs[G].Help,
+                 I.GaugeCells[G].load(std::memory_order_relaxed)});
+  S.Histograms.reserve(I.HistDefs.size());
+  for (unsigned H = 0; H != I.HistDefs.size(); ++H) {
+    HistogramData D = I.Retired.Hists[H];
+    for (const detail::ThreadShard *Shard : I.LiveShards)
+      D.merge(Shard->readHist(H));
+    S.Histograms.push_back(
+        HistogramRow{I.HistDefs[H].Name, I.HistDefs[H].Help, D});
+  }
+
+  auto ByName = [](const auto &A, const auto &B) { return A.Name < B.Name; };
+  std::sort(S.Counters.begin(), S.Counters.end(), ByName);
+  std::sort(S.Gauges.begin(), S.Gauges.end(), ByName);
+  std::sort(S.Histograms.begin(), S.Histograms.end(), ByName);
+  return S;
+}
+
+void Registry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.Retired = RetiredTotals();
+  for (auto &Cell : I.GaugeCells)
+    Cell.store(0, std::memory_order_relaxed);
+  for (detail::ThreadShard *Shard : I.LiveShards) {
+    for (auto &C : Shard->Counters)
+      C.store(0, std::memory_order_relaxed);
+    for (auto &H : Shard->Hists) {
+      H.Count.store(0, std::memory_order_relaxed);
+      H.Sum.store(0, std::memory_order_relaxed);
+      H.Min.store(UINT64_MAX, std::memory_order_relaxed);
+      H.Max.store(0, std::memory_order_relaxed);
+      for (auto &B : H.Buckets)
+        B.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+} // namespace hma::obs
+
+#endif // !HMA_OBS_OFF

@@ -1,0 +1,289 @@
+//===- obs/Prometheus.cpp - Exposition rendering and linting ----------------===//
+
+#include "obs/Prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace hma::obs {
+
+namespace {
+
+void appendHelpType(std::string &Out, const std::string &Name,
+                    const std::string &Help, const char *Type) {
+  Out += "# HELP " + Name + " " + (Help.empty() ? "(no help)" : Help) + "\n";
+  Out += "# TYPE " + Name + " " + Type + "\n";
+}
+
+void appendValue(std::string &Out, double V) {
+  char Buf[64];
+  // Integers (the common case) print exactly; everything else keeps
+  // enough digits to round-trip.
+  if (V == static_cast<double>(static_cast<long long>(V)))
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string renderPrometheus(const Snapshot &S,
+                             const std::vector<PromSample> &Extras) {
+  std::string Out;
+  for (const PromSample &E : Extras) {
+    appendHelpType(Out, E.Name, E.Help, E.IsCounter ? "counter" : "gauge");
+    Out += E.Name + " ";
+    appendValue(Out, E.Value);
+    Out += "\n";
+  }
+  for (const CounterRow &C : S.Counters) {
+    appendHelpType(Out, C.Name, C.Help, "counter");
+    Out += C.Name + " ";
+    appendValue(Out, static_cast<double>(C.Value));
+    Out += "\n";
+  }
+  for (const GaugeRow &G : S.Gauges) {
+    appendHelpType(Out, G.Name, G.Help, "gauge");
+    Out += G.Name + " ";
+    appendValue(Out, static_cast<double>(G.Value));
+    Out += "\n";
+  }
+  for (const HistogramRow &H : S.Histograms) {
+    appendHelpType(Out, H.Name, H.Help, "histogram");
+    // Cumulative buckets up to the highest occupied one, then +Inf.
+    unsigned Top = 0;
+    for (unsigned I = 0; I != HistogramData::NumBuckets; ++I)
+      if (H.Data.Buckets[I])
+        Top = I;
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I <= Top && I < 64; ++I) {
+      Cum += H.Data.Buckets[I];
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                    H.Name.c_str(),
+                    static_cast<unsigned long long>(
+                        HistogramData::bucketHigh(I)),
+                    static_cast<unsigned long long>(Cum));
+      Out += Buf;
+    }
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Data.Count),
+                  H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Data.Sum),
+                  H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Data.Count));
+    Out += Buf;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Format checker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isNameStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == ':';
+}
+bool isNameChar(char C) {
+  return isNameStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+/// Parse a metric name at the front of \p Line; returns its length (0 if
+/// invalid).
+size_t parseName(std::string_view Line) {
+  if (Line.empty() || !isNameStart(Line[0]))
+    return 0;
+  size_t N = 1;
+  while (N < Line.size() && isNameChar(Line[N]))
+    ++N;
+  return N;
+}
+
+/// Parse an optional {label="value",...} block after the name. Returns
+/// false on malformed labels; \p LeOut receives the value of an `le`
+/// label if present.
+bool parseLabels(std::string_view &Rest, std::string *LeOut) {
+  if (Rest.empty() || Rest[0] != '{')
+    return true;
+  size_t Close = Rest.find('}');
+  if (Close == std::string_view::npos)
+    return false;
+  std::string_view Body = Rest.substr(1, Close - 1);
+  Rest = Rest.substr(Close + 1);
+  while (!Body.empty()) {
+    size_t N = parseName(Body);
+    if (!N)
+      return false;
+    std::string_view Key = Body.substr(0, N);
+    Body = Body.substr(N);
+    if (Body.size() < 2 || Body[0] != '=' || Body[1] != '"')
+      return false;
+    Body = Body.substr(2);
+    size_t Q = Body.find('"');
+    if (Q == std::string_view::npos)
+      return false;
+    if (Key == "le" && LeOut)
+      *LeOut = std::string(Body.substr(0, Q));
+    Body = Body.substr(Q + 1);
+    if (!Body.empty()) {
+      if (Body[0] != ',')
+        return false;
+      Body = Body.substr(1);
+    }
+  }
+  return true;
+}
+
+bool parseNumber(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  if (S == "+Inf" || S == "-Inf" || S == "NaN") {
+    Out = 0;
+    return true;
+  }
+  std::string Tmp(S);
+  char *End = nullptr;
+  Out = std::strtod(Tmp.c_str(), &End);
+  return End && *End == '\0' && End != Tmp.c_str();
+}
+
+struct HistCheck {
+  bool SawInf = false;
+  bool SawSum = false;
+  bool SawCount = false;
+  double LastCum = 0;
+  double InfValue = 0;
+  double CountValue = 0;
+  bool Monotone = true;
+};
+
+} // namespace
+
+bool validatePrometheusText(std::string_view Text, std::string *Error) {
+  auto Fail = [&](size_t LineNo, const std::string &Msg) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  };
+
+  std::map<std::string, std::string> Types; // name -> counter|gauge|histogram
+  std::map<std::string, HistCheck> Hists;
+  size_t LineNo = 0;
+  size_t Samples = 0;
+
+  while (!Text.empty()) {
+    size_t NL = Text.find('\n');
+    std::string_view Line =
+        NL == std::string_view::npos ? Text : Text.substr(0, NL);
+    Text = NL == std::string_view::npos ? std::string_view()
+                                        : Text.substr(NL + 1);
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    if (Line[0] == '#') {
+      // `# HELP name text` / `# TYPE name kind`; other comments pass.
+      if (Line.rfind("# HELP ", 0) != 0 && Line.rfind("# TYPE ", 0) != 0)
+        continue;
+      bool IsType = Line.rfind("# TYPE ", 0) == 0;
+      std::string_view Rest = Line.substr(7);
+      size_t N = parseName(Rest);
+      if (!N)
+        return Fail(LineNo, "malformed metric name in comment");
+      if (IsType) {
+        std::string Name(Rest.substr(0, N));
+        std::string_view Kind = Rest.substr(N);
+        while (!Kind.empty() && Kind[0] == ' ')
+          Kind = Kind.substr(1);
+        if (Kind != "counter" && Kind != "gauge" && Kind != "histogram" &&
+            Kind != "summary" && Kind != "untyped")
+          return Fail(LineNo, "unknown TYPE '" + std::string(Kind) + "'");
+        if (Types.count(Name))
+          return Fail(LineNo, "duplicate TYPE for '" + Name + "'");
+        Types[Name] = std::string(Kind);
+        if (Kind == "histogram")
+          Hists[Name]; // expect buckets/sum/count later
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t N = parseName(Line);
+    if (!N)
+      return Fail(LineNo, "malformed metric name");
+    std::string Name(Line.substr(0, N));
+    std::string_view Rest = Line.substr(N);
+    std::string Le;
+    if (!parseLabels(Rest, &Le))
+      return Fail(LineNo, "malformed label block");
+    while (!Rest.empty() && Rest[0] == ' ')
+      Rest = Rest.substr(1);
+    // Tolerate (and ignore) a trailing timestamp field.
+    size_t Space = Rest.find(' ');
+    std::string_view ValueStr =
+        Space == std::string_view::npos ? Rest : Rest.substr(0, Space);
+    double Value = 0;
+    if (!parseNumber(ValueStr, Value))
+      return Fail(LineNo, "malformed sample value '" + std::string(ValueStr) +
+                              "'");
+    ++Samples;
+
+    // Histogram series bookkeeping: name_bucket/_sum/_count tie back to
+    // the TYPE'd base name.
+    auto Base = [&](const char *Suffix) -> std::string {
+      std::string_view S(Suffix);
+      if (Name.size() > S.size() &&
+          Name.compare(Name.size() - S.size(), S.size(), S) == 0) {
+        std::string B = Name.substr(0, Name.size() - S.size());
+        if (Hists.count(B))
+          return B;
+      }
+      return std::string();
+    };
+    if (std::string B = Base("_bucket"); !B.empty()) {
+      HistCheck &H = Hists[B];
+      if (Le.empty())
+        return Fail(LineNo, "histogram bucket without an le label");
+      if (Value < H.LastCum)
+        H.Monotone = false;
+      H.LastCum = Value;
+      if (Le == "+Inf") {
+        H.SawInf = true;
+        H.InfValue = Value;
+      }
+    } else if (std::string B = Base("_sum"); !B.empty()) {
+      Hists[B].SawSum = true;
+    } else if (std::string B = Base("_count"); !B.empty()) {
+      Hists[B].SawCount = true;
+      Hists[B].CountValue = Value;
+    } else if (Types.count(Name) && Types[Name] == "histogram") {
+      return Fail(LineNo, "bare sample for histogram '" + Name + "'");
+    }
+  }
+
+  for (const auto &[Name, H] : Hists) {
+    if (!H.SawInf)
+      return Fail(LineNo, "histogram '" + Name + "' has no +Inf bucket");
+    if (!H.SawSum || !H.SawCount)
+      return Fail(LineNo, "histogram '" + Name + "' is missing _sum/_count");
+    if (!H.Monotone)
+      return Fail(LineNo, "histogram '" + Name + "' buckets are not "
+                                                 "monotone non-decreasing");
+    if (H.InfValue != H.CountValue)
+      return Fail(LineNo, "histogram '" + Name + "' +Inf bucket differs "
+                                                 "from _count");
+  }
+  if (!Samples)
+    return Fail(LineNo, "no samples in document");
+  return true;
+}
+
+} // namespace hma::obs

@@ -1,0 +1,59 @@
+//===- obs/Prometheus.h - Prometheus text-format exposition -----------------===//
+///
+/// \file
+/// Renders a \ref hma::obs::Snapshot (plus caller-supplied single-value
+/// metrics, e.g. an index's \ref IndexStats) as Prometheus text
+/// exposition format, and provides the small format checker CI uses to
+/// lint the output (`hma prom-lint`).
+///
+/// Rendering rules:
+///  - counters/gauges: `# HELP` / `# TYPE` comments then one sample line;
+///  - histograms: cumulative `_bucket{le="..."}` series over the log2
+///    bucket bounds (emitted up to the highest occupied bucket, then
+///    `+Inf`), plus `_sum` and `_count` -- exactly the shape
+///    `histogram_quantile()` expects.
+///
+/// The checker validates line grammar (metric names, label syntax,
+/// numeric values), HELP/TYPE placement, and histogram coherence: every
+/// TYPE'd histogram must have monotone non-decreasing buckets ending in a
+/// `+Inf` bucket equal to its `_count`. It is deliberately stricter than
+/// a scrape needs to be -- it exists to catch exposition bugs in CI, not
+/// to admit every document Prometheus would tolerate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_OBS_PROMETHEUS_H
+#define HMA_OBS_PROMETHEUS_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hma::obs {
+
+/// One caller-supplied single-value metric to expose alongside the
+/// registry snapshot (the CLI passes IndexStats and class/shard totals
+/// this way, so the exposition covers backends that do not route through
+/// the registry).
+struct PromSample {
+  std::string Name;
+  std::string Help;
+  bool IsCounter = true; ///< false: gauge.
+  double Value = 0;
+};
+
+/// Render \p S (and \p Extras) as Prometheus text exposition format.
+std::string renderPrometheus(const Snapshot &S,
+                             const std::vector<PromSample> &Extras = {});
+
+/// Validate \p Text against the exposition grammar (see file comment).
+/// Returns true when clean; otherwise false with a line-numbered
+/// diagnostic in \p Error (if non-null).
+bool validatePrometheusText(std::string_view Text,
+                            std::string *Error = nullptr);
+
+} // namespace hma::obs
+
+#endif // HMA_OBS_PROMETHEUS_H

@@ -1,0 +1,152 @@
+//===- obs/Trace.cpp - Trace-event collection and JSON rendering ------------===//
+///
+/// \file
+/// Event storage and the Chrome `trace_event` JSON writer. Events hold
+/// literal name/category pointers plus two integers, so collecting one is
+/// a mutex acquisition and a vector push -- fine at span granularity
+/// (chunks, phases), never used per expression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#ifndef HMA_OBS_OFF
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hma::obs {
+
+namespace {
+
+struct Event {
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs; ///< Relative to the sink's enable() time.
+  uint64_t DurNs;
+  int64_t Arg;
+  bool Instant;
+  unsigned Tid;
+};
+
+} // namespace
+
+struct TraceSink::Impl {
+  mutable std::mutex Mu;
+  std::vector<Event> Events;
+  uint64_t EpochNs = 0; ///< nowNanos() at enable().
+  std::map<std::thread::id, unsigned> Tids;
+
+  unsigned tidLocked() {
+    auto [It, New] = Tids.emplace(std::this_thread::get_id(),
+                                  static_cast<unsigned>(Tids.size() + 1));
+    (void)New;
+    return It->second;
+  }
+};
+
+TraceSink &TraceSink::global() {
+  static TraceSink *T = new TraceSink();
+  return *T;
+}
+
+TraceSink::Impl &TraceSink::impl() const {
+  static Impl *I = new Impl();
+  return *I;
+}
+
+void TraceSink::enable() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.Events.clear();
+  I.Tids.clear();
+  I.EpochNs = nowNanos();
+  On.store(true, std::memory_order_relaxed);
+}
+
+void TraceSink::disable() { On.store(false, std::memory_order_relaxed); }
+
+void TraceSink::completeSpan(const char *Name, const char *Cat,
+                             uint64_t StartNs, uint64_t DurNs, int64_t Arg) {
+  if (!enabled())
+    return;
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  uint64_t Rel = StartNs > I.EpochNs ? StartNs - I.EpochNs : 0;
+  I.Events.push_back(Event{Name, Cat, Rel, DurNs, Arg, false, I.tidLocked()});
+}
+
+void TraceSink::instant(const char *Name, const char *Cat) {
+  if (!enabled())
+    return;
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  uint64_t Now = nowNanos();
+  uint64_t Rel = Now > I.EpochNs ? Now - I.EpochNs : 0;
+  I.Events.push_back(
+      Event{Name, Cat, Rel, 0, TraceSink::ArgNone, true, I.tidLocked()});
+}
+
+size_t TraceSink::numEvents() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.Events.size();
+}
+
+std::string TraceSink::toJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::string J = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t E = 0; E != I.Events.size(); ++E) {
+    const Event &Ev = I.Events[E];
+    char Buf[256];
+    // trace_event timestamps are microseconds; keep ns precision with
+    // three decimals.
+    if (Ev.Instant)
+      std::snprintf(Buf, sizeof(Buf),
+                    "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
+                    "\"s\": \"t\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    Ev.Name, Ev.Cat, static_cast<double>(Ev.StartNs) / 1e3,
+                    Ev.Tid);
+    else if (Ev.Arg != TraceSink::ArgNone)
+      std::snprintf(Buf, sizeof(Buf),
+                    "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                    "\"args\": {\"n\": %lld}}",
+                    Ev.Name, Ev.Cat, static_cast<double>(Ev.StartNs) / 1e3,
+                    static_cast<double>(Ev.DurNs) / 1e3, Ev.Tid,
+                    static_cast<long long>(Ev.Arg));
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    Ev.Name, Ev.Cat, static_cast<double>(Ev.StartNs) / 1e3,
+                    static_cast<double>(Ev.DurNs) / 1e3, Ev.Tid);
+    J += Buf;
+    J += E + 1 == I.Events.size() ? "\n" : ",\n";
+  }
+  J += "]}\n";
+  return J;
+}
+
+bool TraceSink::writeJson(const std::string &Path, std::string *Error) const {
+  std::string J = toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(J.data(), 1, J.size(), F) == J.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Error)
+    *Error = "short write to '" + Path + "'";
+  return Ok;
+}
+
+} // namespace hma::obs
+
+#endif // !HMA_OBS_OFF

@@ -1,0 +1,141 @@
+//===- obs/Trace.h - Chrome trace_event profiling ---------------------------===//
+///
+/// \file
+/// An opt-in trace-event collector emitting Chrome `trace_event` JSON
+/// (loadable in `chrome://tracing` / Perfetto). Off by default: a
+/// disabled \ref ScopedTrace costs one relaxed atomic load and no clock
+/// read, so instrumentation can stay in place on hot-ish paths (chunk
+/// granularity, phase granularity -- never per-expression).
+///
+/// Usage (the CLI's `--trace-out FILE` does exactly this):
+///
+/// \code
+///   obs::TraceSink::global().enable();
+///   { obs::ScopedTrace T("ingest", "phase"); ... }   // one complete span
+///   std::string Error;
+///   obs::TraceSink::global().writeJson(Path, &Error);
+/// \endcode
+///
+/// Spans record wall time (ns since enable) and the emitting thread; the
+/// JSON writer converts to the microsecond timestamps the format wants.
+/// Collection is mutex-guarded -- span *end* is the only synchronised
+/// point, which at chunk/phase granularity is noise. Gated by
+/// `HMA_OBS_OFF` along with the metrics layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_OBS_TRACE_H
+#define HMA_OBS_TRACE_H
+
+#include "obs/Metrics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hma::obs {
+
+#ifndef HMA_OBS_OFF
+
+/// The process-wide trace-event collector.
+class TraceSink {
+public:
+  static TraceSink &global();
+
+  /// Start collecting; the moment of enabling is timestamp zero. Clears
+  /// any previously collected events.
+  void enable();
+  /// Stop collecting (events already collected are kept for writeJson).
+  void disable();
+  bool enabled() const { return On.load(std::memory_order_relaxed); }
+
+  /// Record one complete span ("ph":"X"): \p StartNs/\p DurNs are
+  /// nanoseconds (start relative to the same clock \ref nowNanos uses;
+  /// conversion to the enable-relative timebase happens here). \p Arg is
+  /// an optional numeric payload rendered into the event's "args" (pass
+  /// ArgNone for none). \p Name and \p Cat must be string literals (the
+  /// sink stores the pointers).
+  static constexpr int64_t ArgNone = INT64_MIN;
+  void completeSpan(const char *Name, const char *Cat, uint64_t StartNs,
+                    uint64_t DurNs, int64_t Arg = ArgNone);
+
+  /// Record an instant event ("ph":"i") at now.
+  void instant(const char *Name, const char *Cat);
+
+  /// Number of events collected so far.
+  size_t numEvents() const;
+
+  /// Render every collected event as Chrome trace JSON. Returns the
+  /// document; empty trace renders as a valid document with no events.
+  std::string toJson() const;
+
+  /// \ref toJson to a file (via the atomic-ish replace protocol used for
+  /// index files). Returns false with \p Error set on I/O failure.
+  bool writeJson(const std::string &Path, std::string *Error = nullptr) const;
+
+private:
+  TraceSink() = default;
+  struct Impl;
+  Impl &impl() const;
+
+  std::atomic<bool> On{false};
+};
+
+/// RAII complete-span probe. When the sink is disabled, construction is
+/// one relaxed load and destruction a branch.
+class ScopedTrace {
+public:
+  ScopedTrace(const char *Name, const char *Cat,
+              int64_t Arg = TraceSink::ArgNone)
+      : Name(Name), Cat(Cat), Arg(Arg),
+        Active(TraceSink::global().enabled()),
+        Start(Active ? nowNanos() : 0) {}
+  ScopedTrace(const ScopedTrace &) = delete;
+  ScopedTrace &operator=(const ScopedTrace &) = delete;
+  ~ScopedTrace() {
+    if (Active)
+      TraceSink::global().completeSpan(Name, Cat, Start, nowNanos() - Start,
+                                       Arg);
+  }
+
+private:
+  const char *Name;
+  const char *Cat;
+  int64_t Arg;
+  bool Active;
+  uint64_t Start;
+};
+
+#else // HMA_OBS_OFF
+
+class TraceSink {
+public:
+  static constexpr int64_t ArgNone = INT64_MIN;
+  static TraceSink &global() {
+    static TraceSink T;
+    return T;
+  }
+  void enable() {}
+  void disable() {}
+  bool enabled() const { return false; }
+  void completeSpan(const char *, const char *, uint64_t, uint64_t,
+                    int64_t = ArgNone) {}
+  void instant(const char *, const char *) {}
+  size_t numEvents() const { return 0; }
+  std::string toJson() const { return "{\"traceEvents\": []}\n"; }
+  bool writeJson(const std::string &, std::string * = nullptr) const {
+    return true;
+  }
+};
+
+class ScopedTrace {
+public:
+  ScopedTrace(const char *, const char *, int64_t = TraceSink::ArgNone) {}
+  ScopedTrace(const ScopedTrace &) = delete;
+  ScopedTrace &operator=(const ScopedTrace &) = delete;
+};
+
+#endif // HMA_OBS_OFF
+
+} // namespace hma::obs
+
+#endif // HMA_OBS_TRACE_H

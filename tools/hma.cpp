@@ -48,6 +48,9 @@
 #include "index/IndexIO.h"
 #include "index/IndexReader.h"
 #include "index/MappedIndex.h"
+#include "obs/Metrics.h"
+#include "obs/Prometheus.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -86,8 +89,12 @@ int usage() {
       "             build, then look expressions up (default: stdin).\n"
       "             --batch FILE bulk-queries a whole corpus of\n"
       "             expressions on --threads shared-lock readers\n"
-      "  index stats <corpus> [--threads T] [--shards S]\n"
+      "  index stats <corpus> [--threads T] [--shards S] [--json | --prom]\n"
       "             build, then print schema/collision/shard diagnostics\n"
+      "             (--json: machine-readable report incl. per-shard\n"
+      "             totals and obs metrics; --prom: Prometheus text\n"
+      "             exposition; both also work after `index open <file>\n"
+      "             stats`)\n"
       "  index open <file> [stats | query [--expr E | --expr-file F |\n"
       "             --batch FILE]] [--mmap | --load] [--no-verify]\n"
       "             [--shards S] [--out FILE]\n"
@@ -103,6 +110,12 @@ int usage() {
       "             reopen an HMAI file, ingest another corpus into it,\n"
       "             and rewrite the file in place (--out: write the\n"
       "             updated index elsewhere, leaving <file> untouched)\n"
+      "  prom-lint  [file]\n"
+      "             validate Prometheus text exposition format (reads\n"
+      "             stdin without a file; used by CI on --prom output)\n"
+      "Every `index` subcommand also accepts --trace-out FILE: collect\n"
+      "Chrome trace_event JSON (chrome://tracing, Perfetto) over the\n"
+      "whole command -- batch chunk spans, save/load/open/verify phases.\n"
       "Expressions are read from [file] or stdin. A corpus is one\n"
       "expression per line, or a binary HMAC container.\n");
   return 2;
@@ -262,6 +275,14 @@ struct IndexArgs {
   bool ForceMmap = false; ///< --mmap: insist on the zero-copy reader.
   bool ForceLoad = false; ///< --load: insist on the materializing loader.
   bool NoVerify = false;  ///< --no-verify: skip the mapped table check.
+  bool Json = false;      ///< --json: machine-readable stats report.
+  bool Prom = false;      ///< --prom: Prometheus text exposition.
+  const char *TraceOut = nullptr; ///< --trace-out: Chrome trace JSON path.
+
+  /// True when stdout must stay machine-readable (narrative summaries go
+  /// to stderr instead).
+  bool machineOutput() const { return Json || Prom; }
+  std::FILE *narrate() const { return machineOutput() ? stderr : stdout; }
 };
 
 /// Parse `--threads/--shards/--out/--expr/--expr-file/--batch` starting
@@ -295,6 +316,12 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
       A.ForceLoad = true;
     else if (std::strcmp(Argv[I], "--no-verify") == 0)
       A.NoVerify = true;
+    else if (std::strcmp(Argv[I], "--json") == 0)
+      A.Json = true;
+    else if (std::strcmp(Argv[I], "--prom") == 0)
+      A.Prom = true;
+    else if (Want("--trace-out"))
+      A.TraceOut = Argv[++I];
     else if (Want("--out"))
       A.OutPath = Argv[++I];
     else if (Want("--expr"))
@@ -361,14 +388,16 @@ void ingestCorpus(const IndexArgs &A, AlphaHashIndex<Hash128> &Index,
   double Sec = std::chrono::duration<double>(End - Start).count();
 
   IndexStats S = Index.stats();
-  std::printf("%zu expressions -> %zu classes (%llu duplicates merged, "
-              "%llu decode errors)\n",
-              Corpus.Blobs.size(), Index.numClasses(),
-              static_cast<unsigned long long>(S.Duplicates - DupesBefore),
-              static_cast<unsigned long long>(Batch.DecodeErrors));
-  std::printf("ingest: %u threads, %u shards, %.3f s, %.0f exprs/sec\n",
-              A.Threads, Index.numShards(), Sec,
-              Sec > 0 ? static_cast<double>(Batch.Ingested) / Sec : 0.0);
+  std::fprintf(A.narrate(),
+               "%zu expressions -> %zu classes (%llu duplicates merged, "
+               "%llu decode errors)\n",
+               Corpus.Blobs.size(), Index.numClasses(),
+               static_cast<unsigned long long>(S.Duplicates - DupesBefore),
+               static_cast<unsigned long long>(Batch.DecodeErrors));
+  std::fprintf(A.narrate(),
+               "ingest: %u threads, %u shards, %.3f s, %.0f exprs/sec\n",
+               A.Threads, Index.numShards(), Sec,
+               Sec > 0 ? static_cast<double>(Batch.Ingested) / Sec : 0.0);
 }
 
 /// Load + ingest a corpus, printing the one-line build summary.
@@ -526,11 +555,126 @@ void printStatsReport(const IndexReader<Hash128> &Index) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Machine-readable stats: --json and --prom
+//===----------------------------------------------------------------------===//
+
+/// `hma index stats --json`: every field the human report derives its
+/// lines from, plus the obs registry. Field names are documented in
+/// tools/README.md -- scripts depend on them, so treat them as API.
+void printStatsJson(const IndexReader<Hash128> &Index) {
+  std::string J;
+  char Buf[256];
+  auto Add = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    J += Buf;
+  };
+
+  IndexStats S = Index.stats();
+  Add("{\n  \"backend\": \"%s\",\n", Index.backendName());
+  Add("  \"schema_seed\": \"0x%016llx\",\n",
+      static_cast<unsigned long long>(Index.schema().seed()));
+  Add("  \"hash_bits\": %u,\n", HashWidth<Hash128>::Bits);
+  Add("  \"shards\": %u,\n", Index.numShards());
+  Add("  \"classes\": %zu,\n", Index.numClasses());
+  Add("  \"retained_bytes\": %zu,\n", Index.retainedBytes());
+  Add("  \"stats\": {\"inserted\": %llu, \"new_classes\": %llu, "
+      "\"duplicates\": %llu, \"fallback_checks\": %llu, "
+      "\"verified_collisions\": %llu, \"decode_errors\": %llu},\n",
+      static_cast<unsigned long long>(S.Inserted),
+      static_cast<unsigned long long>(S.NewClasses),
+      static_cast<unsigned long long>(S.Duplicates),
+      static_cast<unsigned long long>(S.FallbackChecks),
+      static_cast<unsigned long long>(S.VerifiedCollisions),
+      static_cast<unsigned long long>(S.DecodeErrors));
+
+  auto AddSizes = [&](const char *Key, const std::vector<size_t> &V) {
+    J += "  \"";
+    J += Key;
+    J += "\": [";
+    for (size_t I = 0; I != V.size(); ++I) {
+      Add(I ? ", %zu" : "%zu", V[I]);
+    }
+    J += "],\n";
+  };
+  AddSizes("shard_classes", Index.shardLoads());
+  AddSizes("shard_bytes", Index.shardBytes());
+
+  obs::Snapshot Snap = obs::Registry::global().snapshot();
+  J += "  \"metrics\": {\n    \"counters\": {";
+  for (size_t I = 0; I != Snap.Counters.size(); ++I)
+    Add("%s\"%s\": %llu", I ? ", " : "", Snap.Counters[I].Name.c_str(),
+        static_cast<unsigned long long>(Snap.Counters[I].Value));
+  J += "},\n    \"gauges\": {";
+  for (size_t I = 0; I != Snap.Gauges.size(); ++I)
+    Add("%s\"%s\": %lld", I ? ", " : "", Snap.Gauges[I].Name.c_str(),
+        static_cast<long long>(Snap.Gauges[I].Value));
+  J += "},\n    \"histograms\": {";
+  for (size_t I = 0; I != Snap.Histograms.size(); ++I) {
+    const obs::HistogramRow &H = Snap.Histograms[I];
+    Add("%s\n      \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, "
+        "\"p99\": %.1f}",
+        I ? "," : "", H.Name.c_str(),
+        static_cast<unsigned long long>(H.Data.Count),
+        static_cast<unsigned long long>(H.Data.Sum),
+        static_cast<unsigned long long>(H.Data.min()),
+        static_cast<unsigned long long>(H.Data.Max), H.Data.mean(),
+        H.Data.percentile(0.5), H.Data.percentile(0.9),
+        H.Data.percentile(0.99));
+  }
+  J += Snap.Histograms.empty() ? "}\n  }\n}\n" : "\n    }\n  }\n}\n";
+  std::fwrite(J.data(), 1, J.size(), stdout);
+}
+
+/// `hma index stats --prom`: the registry snapshot plus the index's own
+/// aggregate fields as extra samples, so the exposition covers both live
+/// and mapped read paths regardless of which bumped the registry.
+void printStatsProm(const IndexReader<Hash128> &Index) {
+  IndexStats S = Index.stats();
+  std::vector<obs::PromSample> Extras = {
+      {"hma_index_classes", "Distinct alpha-equivalence classes", false,
+       static_cast<double>(Index.numClasses())},
+      {"hma_index_shards", "Lock stripes / table groups", false,
+       static_cast<double>(Index.numShards())},
+      {"hma_index_retained_blob_bytes", "Canonical blob bytes served",
+       false, static_cast<double>(Index.retainedBytes())},
+      {"hma_index_inserted_total", "Successful ingest operations", true,
+       static_cast<double>(S.Inserted)},
+      {"hma_index_new_classes_total", "Inserts that created a class", true,
+       static_cast<double>(S.NewClasses)},
+      {"hma_index_duplicates_total", "Inserts merged into existing classes",
+       true, static_cast<double>(S.Duplicates)},
+      {"hma_index_fallback_checks_total",
+       "Exact alpha-equivalence checks run (ingest + reads)", true,
+       static_cast<double>(S.FallbackChecks)},
+      {"hma_index_verified_collisions_total",
+       "Hash hits refuted by the exact oracle", true,
+       static_cast<double>(S.VerifiedCollisions)},
+      {"hma_index_decode_errors_total", "Corpus blobs that failed to "
+                                        "deserialise",
+       true, static_cast<double>(S.DecodeErrors)},
+  };
+  std::string Text =
+      renderPrometheus(obs::Registry::global().snapshot(), Extras);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+}
+
+/// Stats in whichever format the flags chose.
+void emitStatsReport(const IndexArgs &A, const IndexReader<Hash128> &Index) {
+  if (A.Json)
+    printStatsJson(Index);
+  else if (A.Prom)
+    printStatsProm(Index);
+  else
+    printStatsReport(Index);
+}
+
 int cmdIndexStats(const IndexArgs &A) {
   AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
   if (!buildIndex(A, Index))
     return 1;
-  printStatsReport(Index);
+  emitStatsReport(A, Index);
   return 0;
 }
 
@@ -547,12 +691,13 @@ std::unique_ptr<AlphaHashIndex<Hash128>> openIndexFile(const IndexArgs &A) {
                  R.ErrorPos);
     return nullptr;
   }
-  std::printf("opened %s: %zu classes, %llu members, %u shards, %.3f s "
-              "(no re-ingest)\n",
-              A.Path, R.Index->numClasses(),
-              static_cast<unsigned long long>(R.Index->stats().Inserted),
-              R.Index->numShards(),
-              std::chrono::duration<double>(End - Start).count());
+  std::fprintf(A.narrate(),
+               "opened %s: %zu classes, %llu members, %u shards, %.3f s "
+               "(no re-ingest)\n",
+               A.Path, R.Index->numClasses(),
+               static_cast<unsigned long long>(R.Index->stats().Inserted),
+               R.Index->numShards(),
+               std::chrono::duration<double>(End - Start).count());
   return std::move(R.Index);
 }
 
@@ -580,14 +725,15 @@ std::unique_ptr<MappedIndex<Hash128>> openMappedIndex(const IndexArgs &A) {
     }
   }
   auto End = std::chrono::steady_clock::now();
-  std::printf("opened %s (%s): %zu classes, %llu members, %u shards, "
-              "%.6f s (%s, %s)\n",
-              A.Path, R.Reader->backendName(), R.Reader->numClasses(),
-              static_cast<unsigned long long>(R.Reader->stats().Inserted),
-              R.Reader->numShards(),
-              std::chrono::duration<double>(End - Start).count(),
-              R.Reader->isFileMapped() ? "zero-copy" : "buffered copy",
-              A.NoVerify ? "tables unverified" : "tables verified");
+  std::fprintf(A.narrate(),
+               "opened %s (%s): %zu classes, %llu members, %u shards, "
+               "%.6f s (%s, %s)\n",
+               A.Path, R.Reader->backendName(), R.Reader->numClasses(),
+               static_cast<unsigned long long>(R.Reader->stats().Inserted),
+               R.Reader->numShards(),
+               std::chrono::duration<double>(End - Start).count(),
+               R.Reader->isFileMapped() ? "zero-copy" : "buffered copy",
+               A.NoVerify ? "tables unverified" : "tables verified");
   return std::move(R.Reader);
 }
 
@@ -621,7 +767,7 @@ int cmdIndexOpen(const IndexArgs &A) {
   // stats/query/schema dispatch below is backend-agnostic.
   auto Serve = [&](IndexReader<Hash128> &Index) {
     if (IsStats)
-      printStatsReport(Index);
+      emitStatsReport(A, Index);
     else if (IsQuery)
       return runQueries(A, Index);
     else
@@ -678,17 +824,67 @@ int cmdIndex(int Argc, char **Argv) {
                  "only\n");
     return 2;
   }
+  // --json/--prom reshape the stats report; anywhere else they would be
+  // silently swallowed.
+  bool IsStatsReport =
+      std::strcmp(A.Sub, "stats") == 0 ||
+      (std::strcmp(A.Sub, "open") == 0 && A.OpenSub &&
+       std::strcmp(A.OpenSub, "stats") == 0);
+  if (A.machineOutput() && !IsStatsReport) {
+    std::fprintf(stderr, "error: --json/--prom apply to `index stats` and "
+                         "`index open <file> stats` only\n");
+    return 2;
+  }
+  if (A.Json && A.Prom) {
+    std::fprintf(stderr, "error: --json and --prom are mutually exclusive\n");
+    return 2;
+  }
+
+  if (A.TraceOut)
+    obs::TraceSink::global().enable();
+  int Rc;
   if (std::strcmp(A.Sub, "build") == 0)
-    return cmdIndexBuild(A);
-  if (std::strcmp(A.Sub, "query") == 0)
-    return cmdIndexQuery(A);
-  if (std::strcmp(A.Sub, "stats") == 0)
-    return cmdIndexStats(A);
-  if (std::strcmp(A.Sub, "open") == 0)
-    return cmdIndexOpen(A);
-  if (std::strcmp(A.Sub, "update") == 0)
-    return cmdIndexUpdate(A);
-  return usage();
+    Rc = cmdIndexBuild(A);
+  else if (std::strcmp(A.Sub, "query") == 0)
+    Rc = cmdIndexQuery(A);
+  else if (std::strcmp(A.Sub, "stats") == 0)
+    Rc = cmdIndexStats(A);
+  else if (std::strcmp(A.Sub, "open") == 0)
+    Rc = cmdIndexOpen(A);
+  else if (std::strcmp(A.Sub, "update") == 0)
+    Rc = cmdIndexUpdate(A);
+  else
+    return usage();
+  if (A.TraceOut) {
+    obs::TraceSink &Sink = obs::TraceSink::global();
+    Sink.disable();
+    std::string Error;
+    if (!Sink.writeJson(A.TraceOut, &Error)) {
+      std::fprintf(stderr, "trace error: %s\n", Error.c_str());
+      return Rc ? Rc : 1;
+    }
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n", Sink.numEvents(),
+                 A.TraceOut);
+  }
+  return Rc;
+}
+
+/// `hma prom-lint [file]`: validate Prometheus text exposition read from
+/// \p file or stdin. CI lints `hma index stats --prom` output with this,
+/// so exposition bugs fail the pipeline rather than the scrape.
+int cmdPromLint(int Argc, char **Argv) {
+  const char *Path = Argc >= 3 ? Argv[2] : nullptr;
+  std::string Text;
+  if (!readInput(Path, Text))
+    return 1;
+  std::string Error;
+  if (!obs::validatePrometheusText(Text, &Error)) {
+    std::fprintf(stderr, "prom-lint: %s: %s\n", Path ? Path : "<stdin>",
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("prom-lint: %s: OK\n", Path ? Path : "<stdin>");
+  return 0;
 }
 
 template <typename Hasher>
@@ -726,6 +922,8 @@ int main(int Argc, char **Argv) {
     return cmdGen(Ctx, Argc, Argv);
   if (std::strcmp(Cmd, "index") == 0)
     return cmdIndex(Argc, Argv);
+  if (std::strcmp(Cmd, "prom-lint") == 0)
+    return cmdPromLint(Argc, Argv);
 
   const char *Path = Argc >= 3 ? Argv[2] : nullptr;
   std::string Source;
