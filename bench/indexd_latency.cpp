@@ -1,0 +1,172 @@
+//===- bench/indexd_latency.cpp - daemon round-trip latency ------------------===//
+///
+/// \file
+/// What does putting a Unix socket between the caller and the index
+/// cost? An in-process `serve::Server` is started on a temporary
+/// socket, a `serve::Client` sends batch lookups, and per-request
+/// round-trip latency (encode, send, serve, reply, decode) is sampled
+/// against the same batch answered by a direct in-process
+/// `MappedIndex::lookupBatch` over the same file.
+///
+/// Output: a human table plus machine-readable rows
+///   CSV,indexd_roundtrip,<batch>,<requests>,<p50_us>,<p99_us>,<inproc_p50_us>,<inproc_p99_us>,<queries_per_sec>
+///
+/// one row per batch size. `HMA_BENCH_FULL=1` scales the corpus and
+/// request counts up; on platforms without Unix sockets the binary
+/// prints a skip notice and exits 0 (CI greps for the CSV row only on
+/// Unix).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ast/Serialize.h"
+#include "gen/RandomExpr.h"
+#include "index/AlphaHashIndex.h"
+#include "index/IndexIO.h"
+#include "index/MappedIndex.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace hma;
+using namespace hma::bench;
+
+namespace {
+
+std::vector<std::string> makeCorpus(size_t Count, uint32_t Size,
+                                    uint64_t Seed) {
+  std::vector<std::string> Blobs;
+  Blobs.reserve(Count);
+  Rng R(Seed);
+  ExprContext Ctx;
+  for (size_t I = 0; I != Count; ++I)
+    Blobs.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, Size)));
+  return Blobs;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t I = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[I];
+}
+
+} // namespace
+
+int main() {
+  if (!serve::serverSupported()) {
+    std::printf("indexd latency bench: no Unix sockets on this platform, "
+                "skipping\n");
+    return 0;
+  }
+
+  const size_t CorpusSize = fullMode() ? 20000 : 2000;
+  const int Requests = fullMode() ? 2000 : 400;
+  std::vector<std::string> Corpus = makeCorpus(CorpusSize, 25, 42);
+
+  const std::string Path = "bench_indexd.hmai";
+  const std::string Sock = "bench_indexd.sock";
+  {
+    AlphaHashIndex<> Live({64, HashSchema::DefaultSeed});
+    Live.insertBatch(Corpus, 1);
+    std::string Error;
+    if (!writeFileReplacing(Path, saveIndexBytes(Live), &Error)) {
+      std::fprintf(stderr, "ERROR: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  auto Mapped = MappedIndex<Hash128>::open(Path);
+  if (!Mapped.ok()) {
+    std::fprintf(stderr, "ERROR: %s\n", Mapped.Error.c_str());
+    return 1;
+  }
+
+  serve::ServerOptions SO;
+  SO.IndexPath = Path;
+  SO.UnixSocketPath = Sock;
+  SO.Threads = 2;
+  serve::Server Daemon(SO);
+  std::string Error;
+  if (!Daemon.start(&Error)) {
+    std::fprintf(stderr, "ERROR: start: %s\n", Error.c_str());
+    return 1;
+  }
+
+  serve::ClientOptions CO;
+  CO.UnixSocketPath = Sock;
+  serve::Client C(CO);
+
+  std::printf("indexd round-trip latency: %zu-class index, %d requests "
+              "per batch size, 1 connection\n",
+              Corpus.size(), Requests);
+
+  for (size_t Batch : {size_t(1), size_t(16), size_t(128)}) {
+    std::vector<std::string> Queries(Corpus.begin(),
+                                     Corpus.begin() +
+                                         std::min(Batch, Corpus.size()));
+
+    // Warm both paths (connection, hasher pools, page cache).
+    std::vector<serve::WireLookup> Got;
+    if (!C.lookupBatch(Queries, Got, &Error)) {
+      std::fprintf(stderr, "ERROR: %s\n", Error.c_str());
+      return 1;
+    }
+    Mapped.Reader->lookupBatch(Queries, 1);
+
+    std::vector<double> WireUs, InprocUs;
+    WireUs.reserve(static_cast<size_t>(Requests));
+    InprocUs.reserve(static_cast<size_t>(Requests));
+    size_t WireHits = 0, InprocHits = 0;
+    for (int I = 0; I != Requests; ++I) {
+      double T = timeOnce([&] {
+        if (!C.lookupBatch(Queries, Got, &Error)) {
+          std::fprintf(stderr, "ERROR: %s\n", Error.c_str());
+          std::exit(1);
+        }
+      });
+      WireUs.push_back(T * 1e6);
+      for (const serve::WireLookup &R : Got)
+        WireHits += R.Present;
+      T = timeOnce([&] {
+        for (const auto &R : Mapped.Reader->lookupBatch(Queries, 1))
+          InprocHits += R.has_value();
+      });
+      InprocUs.push_back(T * 1e6);
+    }
+    if (WireHits != InprocHits)
+      std::printf("ERROR: wire hits %zu != in-process hits %zu\n", WireHits,
+                  InprocHits);
+
+    std::sort(WireUs.begin(), WireUs.end());
+    std::sort(InprocUs.begin(), InprocUs.end());
+    double P50 = percentile(WireUs, 0.50), P99 = percentile(WireUs, 0.99);
+    double IP50 = percentile(InprocUs, 0.50),
+           IP99 = percentile(InprocUs, 0.99);
+    double TotalSec = 0;
+    for (double U : WireUs)
+      TotalSec += U / 1e6;
+    double Rate = TotalSec > 0 ? static_cast<double>(Queries.size()) *
+                                     Requests / TotalSec
+                               : 0;
+    std::printf("  batch %4zu: wire p50 %8.1f us  p99 %8.1f us   "
+                "in-process p50 %8.1f us  p99 %8.1f us   (%.0f queries/sec "
+                "over the socket)\n",
+                Queries.size(), P50, P99, IP50, IP99, Rate);
+    std::printf("CSV,indexd_roundtrip,%zu,%d,%.1f,%.1f,%.1f,%.1f,%.0f\n",
+                Queries.size(), Requests, P50, P99, IP50, IP99, Rate);
+  }
+
+  C.close();
+  Daemon.requestStop();
+  int RC = Daemon.waitForExit();
+  if (RC != 0)
+    std::printf("ERROR: daemon exited %d\n", RC);
+  std::remove(Path.c_str());
+  return 0;
+}

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define HMA_HAVE_FSYNC 1
 #endif
@@ -158,9 +160,36 @@ bool hma::readFileBytes(const std::string &Path, std::string &Out,
   return true;
 }
 
+#ifdef HMA_HAVE_FSYNC
+namespace {
+/// fsync the directory containing \p Path, committing the rename itself
+/// (the entry's *name*, not just its data) to disk. Best-effort: some
+/// filesystems refuse O_RDONLY directory fds, and a failed directory
+/// sync must not turn an already-renamed, fully-written file into an
+/// error.
+void fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return;
+  (void)::fsync(Fd);
+  ::close(Fd);
+}
+} // namespace
+#endif
+
 bool hma::writeFileReplacing(const std::string &Path, std::string_view Bytes,
                              std::string *Error) {
   const std::string Tmp = Path + ".tmp";
+  // A stale sibling .tmp -- a previous writer that crashed between
+  // creating it and renaming it -- is dead weight, never data: remove it
+  // rather than refusing. fopen("wb") would truncate it anyway; the
+  // explicit remove also clears odd leftovers (wrong permissions, a
+  // directory would still fail below with a clear error).
+  std::remove(Tmp.c_str());
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F) {
     if (Error)
@@ -190,5 +219,13 @@ bool hma::writeFileReplacing(const std::string &Path, std::string_view Bytes,
       *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
     return false;
   }
+#ifdef HMA_HAVE_FSYNC
+  // The data is on disk (fsync above) and the name now points at it, but
+  // the rename lives in the *directory*, which has its own durability: a
+  // power cut here could resurrect the old entry -- or, for a first
+  // write, no entry at all. Syncing the parent directory commits the
+  // swap.
+  fsyncParentDir(Path);
+#endif
   return true;
 }

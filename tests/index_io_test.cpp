@@ -637,3 +637,80 @@ TEST(IndexIOAdversarial, DirectoryCorruptionsReject) {
   expectPathsAgreeOn(patchWord64(F.Image, DirPos, F.BytesStart), F.Queries,
                      /*MustReject=*/false, "table aliases bytes region");
 }
+
+//===----------------------------------------------------------------------===//
+// Durability: atomic replace under crash debris
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Plant arbitrary bytes at \p Path directly (no temp-file protocol) --
+/// the debris a crashed writer leaves behind.
+void plantFile(const std::string &Path, std::string_view Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  if (!Bytes.empty()) {
+    ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  }
+  ASSERT_EQ(std::fclose(F), 0);
+}
+
+} // namespace
+
+TEST(IndexIODurability, WriteReplacingRemovesStaleSiblingTmp) {
+  const std::string Path = "index_io_test_durable.hmai";
+  const std::string Tmp = Path + ".tmp";
+
+  // A previous writer died between creating its tmp file and renaming
+  // it. The next write must clear the debris and succeed -- not fail,
+  // and not layer its bytes into the stale file.
+  plantFile(Tmp, "stale debris from a crashed writer");
+
+  AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(99), 1);
+  std::string Image = saveIndexBytes(Live);
+  std::string Error;
+  ASSERT_TRUE(writeFileReplacing(Path, Image, &Error)) << Error;
+
+  std::string Back;
+  ASSERT_TRUE(readFileBytes(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, Image); // Bit-for-bit the new image, debris-free.
+  std::FILE *Gone = std::fopen(Tmp.c_str(), "rb");
+  EXPECT_EQ(Gone, nullptr) << "stale .tmp must not survive the write";
+  if (Gone)
+    std::fclose(Gone);
+
+  std::remove(Path.c_str());
+}
+
+TEST(IndexIODurability, CrashWindowGarbageTmpNeverShadowsCommittedFile) {
+  const std::string Path = "index_io_test_crashwin.hmai";
+  const std::string Tmp = Path + ".tmp";
+
+  // A committed, valid index...
+  AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(7), 1);
+  std::string Image = saveIndexBytes(Live);
+  std::string Error;
+  ASSERT_TRUE(writeFileReplacing(Path, Image, &Error)) << Error;
+
+  // ...then a writer crashes mid-write, leaving garbage at the tmp
+  // path. The committed file must reopen untouched: the crash window
+  // never corrupts the target name, only the sibling.
+  plantFile(Tmp, "HMAIgarbage that is not a full index image");
+
+  auto Reopened = MappedIndex<Hash128>::open(Path);
+  ASSERT_TRUE(Reopened.ok()) << Reopened.Error;
+  EXPECT_TRUE(Reopened.Reader->verify());
+  EXPECT_EQ(Reopened.Reader->numClasses(), Live.numClasses());
+  EXPECT_EQ(saveIndexBytes(*loadIndexFile<Hash128>(Path).Index), Image);
+
+  // And the *next* successful write clears the debris as a side effect.
+  ASSERT_TRUE(writeFileReplacing(Path, Image, &Error)) << Error;
+  std::FILE *Gone = std::fopen(Tmp.c_str(), "rb");
+  EXPECT_EQ(Gone, nullptr);
+  if (Gone)
+    std::fclose(Gone);
+
+  std::remove(Path.c_str());
+}

@@ -48,9 +48,14 @@
 #include "index/IndexIO.h"
 #include "index/IndexReader.h"
 #include "index/MappedIndex.h"
+#include "index/StatsReport.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
 #include "obs/Trace.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <csignal>
 
 #include <algorithm>
 #include <chrono>
@@ -110,6 +115,30 @@ int usage() {
       "             reopen an HMAI file, ingest another corpus into it,\n"
       "             and rewrite the file in place (--out: write the\n"
       "             updated index elsewhere, leaving <file> untouched)\n"
+      "  indexd <file> --socket PATH [--port N] [--threads T]\n"
+      "             [--request-timeout-ms N] [--idle-timeout-ms N]\n"
+      "             [--drain-timeout-ms N] [--max-frame-bytes N]\n"
+      "             [--no-verify]\n"
+      "             serve an HMAI file over a Unix-domain socket (and\n"
+      "             optional loopback TCP port) until SIGTERM. SIGHUP\n"
+      "             or `index ctl reload` hot-swaps the index through\n"
+      "             the deep-verify admission gate; rejected files keep\n"
+      "             the old generation serving. Wire protocol:\n"
+      "             tools/README.md\n"
+      "  index query --connect SOCK [--expr E | --expr-file F |\n"
+      "             --batch FILE] [--timeout-ms N] [--retries N]\n"
+      "             run queries against a live `hma indexd` instead of\n"
+      "             a local file\n"
+      "  index ctl <ping|stats|reload|shutdown> [file] --connect SOCK\n"
+      "             control a live daemon (reload: re-admit [file] or\n"
+      "             the currently served file; stats honors --json/\n"
+      "             --prom)\n"
+      "  index chaos --connect SOCK [--script M1,M2,...]\n"
+      "             [--server-timeout-ms N]\n"
+      "             hostile-client fault injection against a live\n"
+      "             daemon (torn, slowloris, oversized, short, garbage,\n"
+      "             badversion, badop, hangup, flood; default: all).\n"
+      "             Exit 0 iff the daemon survived every offence\n"
       "  prom-lint  [file]\n"
       "             validate Prometheus text exposition format (reads\n"
       "             stdin without a file; used by CI on --prom output)\n"
@@ -278,6 +307,14 @@ struct IndexArgs {
   bool Json = false;      ///< --json: machine-readable stats report.
   bool Prom = false;      ///< --prom: Prometheus text exposition.
   const char *TraceOut = nullptr; ///< --trace-out: Chrome trace JSON path.
+  const char *Connect = nullptr;  ///< --connect: indexd Unix socket path.
+  unsigned ConnectPort = 0;       ///< --port: indexd loopback TCP port.
+  unsigned TimeoutMs = 10000;     ///< --timeout-ms: client op deadline.
+  unsigned Retries = 5;           ///< --retries: client connect attempts.
+  const char *ChaosScript = nullptr;   ///< --script: chaos mode list.
+  unsigned ServerTimeoutMs = 2000;     ///< --server-timeout-ms: the
+                                       ///< daemon's request deadline, so
+                                       ///< chaos knows how long to wait.
 
   /// True when stdout must stay machine-readable (narrative summaries go
   /// to stderr instead).
@@ -322,7 +359,24 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
       A.Prom = true;
     else if (Want("--trace-out"))
       A.TraceOut = Argv[++I];
-    else if (Want("--out"))
+    else if (Want("--connect"))
+      A.Connect = Argv[++I];
+    else if (Want("--port")) {
+      if (!Positive("--port", Argv[++I], 65535, A.ConnectPort))
+        return false;
+    } else if (Want("--timeout-ms")) {
+      if (!Positive("--timeout-ms", Argv[++I], 3600000, A.TimeoutMs))
+        return false;
+    } else if (Want("--retries")) {
+      if (!Positive("--retries", Argv[++I], 1000, A.Retries))
+        return false;
+    } else if (Want("--script"))
+      A.ChaosScript = Argv[++I];
+    else if (Want("--server-timeout-ms")) {
+      if (!Positive("--server-timeout-ms", Argv[++I], 3600000,
+                    A.ServerTimeoutMs))
+        return false;
+    } else if (Want("--out"))
       A.OutPath = Argv[++I];
     else if (Want("--expr"))
       A.ExprText = Argv[++I];
@@ -337,20 +391,43 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
 }
 
 bool parseIndexArgs(int Argc, char **Argv, IndexArgs &A) {
-  if (Argc < 4)
+  if (Argc < 3)
     return false;
   A.Sub = Argv[2];
-  A.Path = Argv[3];
-  int First = 4;
-  if (std::strcmp(A.Sub, "update") == 0) {
-    if (Argc < 5)
+  int First;
+  if (std::strcmp(A.Sub, "chaos") == 0) {
+    // `index chaos --connect S [--script M]`: flags only.
+    First = 3;
+  } else if (std::strcmp(A.Sub, "ctl") == 0) {
+    // `index ctl <ping|stats|reload|shutdown> [file] --connect S`.
+    if (Argc < 4 || Argv[3][0] == '-')
       return false;
-    A.CorpusPath = Argv[4];
-    First = 5;
-  } else if (std::strcmp(A.Sub, "open") == 0 && Argc >= 5 &&
-             Argv[4][0] != '-') {
-    A.OpenSub = Argv[4];
-    First = 5;
+    A.Path = Argv[3]; // The control action.
+    First = 4;
+    if (Argc >= 5 && Argv[4][0] != '-') {
+      A.CorpusPath = Argv[4]; // reload's optional index-file argument.
+      First = 5;
+    }
+  } else if (std::strcmp(A.Sub, "query") == 0 && Argc >= 4 &&
+             Argv[3][0] == '-') {
+    // `index query --connect S ...`: no corpus positional; the daemon
+    // already holds the index.
+    First = 3;
+  } else {
+    if (Argc < 4)
+      return false;
+    A.Path = Argv[3];
+    First = 4;
+    if (std::strcmp(A.Sub, "update") == 0) {
+      if (Argc < 5)
+        return false;
+      A.CorpusPath = Argv[4];
+      First = 5;
+    } else if (std::strcmp(A.Sub, "open") == 0 && Argc >= 5 &&
+               Argv[4][0] != '-') {
+      A.OpenSub = Argv[4];
+      First = 5;
+    }
   }
   return parseIndexFlags(Argc, Argv, First, A);
 }
@@ -559,115 +636,19 @@ void printStatsReport(const IndexReader<Hash128> &Index) {
 // Machine-readable stats: --json and --prom
 //===----------------------------------------------------------------------===//
 
-/// `hma index stats --json`: every field the human report derives its
-/// lines from, plus the obs registry. Field names are documented in
-/// tools/README.md -- scripts depend on them, so treat them as API.
-void printStatsJson(const IndexReader<Hash128> &Index) {
-  std::string J;
-  char Buf[256];
-  auto Add = [&](const char *Fmt, auto... Args) {
-    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
-    J += Buf;
-  };
-
-  IndexStats S = Index.stats();
-  Add("{\n  \"backend\": \"%s\",\n", Index.backendName());
-  Add("  \"schema_seed\": \"0x%016llx\",\n",
-      static_cast<unsigned long long>(Index.schema().seed()));
-  Add("  \"hash_bits\": %u,\n", HashWidth<Hash128>::Bits);
-  Add("  \"shards\": %u,\n", Index.numShards());
-  Add("  \"classes\": %zu,\n", Index.numClasses());
-  Add("  \"retained_bytes\": %zu,\n", Index.retainedBytes());
-  Add("  \"stats\": {\"inserted\": %llu, \"new_classes\": %llu, "
-      "\"duplicates\": %llu, \"fallback_checks\": %llu, "
-      "\"verified_collisions\": %llu, \"decode_errors\": %llu},\n",
-      static_cast<unsigned long long>(S.Inserted),
-      static_cast<unsigned long long>(S.NewClasses),
-      static_cast<unsigned long long>(S.Duplicates),
-      static_cast<unsigned long long>(S.FallbackChecks),
-      static_cast<unsigned long long>(S.VerifiedCollisions),
-      static_cast<unsigned long long>(S.DecodeErrors));
-
-  auto AddSizes = [&](const char *Key, const std::vector<size_t> &V) {
-    J += "  \"";
-    J += Key;
-    J += "\": [";
-    for (size_t I = 0; I != V.size(); ++I) {
-      Add(I ? ", %zu" : "%zu", V[I]);
-    }
-    J += "],\n";
-  };
-  AddSizes("shard_classes", Index.shardLoads());
-  AddSizes("shard_bytes", Index.shardBytes());
-
-  obs::Snapshot Snap = obs::Registry::global().snapshot();
-  J += "  \"metrics\": {\n    \"counters\": {";
-  for (size_t I = 0; I != Snap.Counters.size(); ++I)
-    Add("%s\"%s\": %llu", I ? ", " : "", Snap.Counters[I].Name.c_str(),
-        static_cast<unsigned long long>(Snap.Counters[I].Value));
-  J += "},\n    \"gauges\": {";
-  for (size_t I = 0; I != Snap.Gauges.size(); ++I)
-    Add("%s\"%s\": %lld", I ? ", " : "", Snap.Gauges[I].Name.c_str(),
-        static_cast<long long>(Snap.Gauges[I].Value));
-  J += "},\n    \"histograms\": {";
-  for (size_t I = 0; I != Snap.Histograms.size(); ++I) {
-    const obs::HistogramRow &H = Snap.Histograms[I];
-    Add("%s\n      \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
-        "\"max\": %llu, \"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, "
-        "\"p99\": %.1f}",
-        I ? "," : "", H.Name.c_str(),
-        static_cast<unsigned long long>(H.Data.Count),
-        static_cast<unsigned long long>(H.Data.Sum),
-        static_cast<unsigned long long>(H.Data.min()),
-        static_cast<unsigned long long>(H.Data.Max), H.Data.mean(),
-        H.Data.percentile(0.5), H.Data.percentile(0.9),
-        H.Data.percentile(0.99));
-  }
-  J += Snap.Histograms.empty() ? "}\n  }\n}\n" : "\n    }\n  }\n}\n";
-  std::fwrite(J.data(), 1, J.size(), stdout);
-}
-
-/// `hma index stats --prom`: the registry snapshot plus the index's own
-/// aggregate fields as extra samples, so the exposition covers both live
-/// and mapped read paths regardless of which bumped the registry.
-void printStatsProm(const IndexReader<Hash128> &Index) {
-  IndexStats S = Index.stats();
-  std::vector<obs::PromSample> Extras = {
-      {"hma_index_classes", "Distinct alpha-equivalence classes", false,
-       static_cast<double>(Index.numClasses())},
-      {"hma_index_shards", "Lock stripes / table groups", false,
-       static_cast<double>(Index.numShards())},
-      {"hma_index_retained_blob_bytes", "Canonical blob bytes served",
-       false, static_cast<double>(Index.retainedBytes())},
-      {"hma_index_inserted_total", "Successful ingest operations", true,
-       static_cast<double>(S.Inserted)},
-      {"hma_index_new_classes_total", "Inserts that created a class", true,
-       static_cast<double>(S.NewClasses)},
-      {"hma_index_duplicates_total", "Inserts merged into existing classes",
-       true, static_cast<double>(S.Duplicates)},
-      {"hma_index_fallback_checks_total",
-       "Exact alpha-equivalence checks run (ingest + reads)", true,
-       static_cast<double>(S.FallbackChecks)},
-      {"hma_index_verified_collisions_total",
-       "Hash hits refuted by the exact oracle", true,
-       static_cast<double>(S.VerifiedCollisions)},
-      {"hma_index_decode_errors_total", "Corpus blobs that failed to "
-                                        "deserialise",
-       true, static_cast<double>(S.DecodeErrors)},
-  };
-  std::string Text =
-      renderPrometheus(obs::Registry::global().snapshot(), Extras);
-  std::fwrite(Text.data(), 1, Text.size(), stdout);
-}
-
-/// Stats in whichever format the flags chose.
+/// Stats in whichever format the flags chose. The --json/--prom bodies
+/// live in index/StatsReport.{h,cpp} so `hma indexd` serves the exact
+/// same reports over its Stats wire op.
 void emitStatsReport(const IndexArgs &A, const IndexReader<Hash128> &Index) {
-  if (A.Json)
-    printStatsJson(Index);
-  else if (A.Prom)
-    printStatsProm(Index);
-  else
+  if (A.Json) {
+    std::string J = renderIndexStatsJson(Index);
+    std::fwrite(J.data(), 1, J.size(), stdout);
+  } else if (A.Prom) {
+    std::string Text = renderIndexStatsProm(Index);
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+  } else {
     printStatsReport(Index);
+  }
 }
 
 int cmdIndexStats(const IndexArgs &A) {
@@ -811,10 +792,269 @@ int cmdIndexUpdate(const IndexArgs &A) {
   return writeIndexFile(*Index, A.OutPath ? A.OutPath : A.Path) ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// Networked mode: `hma indexd` and the `--connect` client commands
+//===----------------------------------------------------------------------===//
+
+serve::ClientOptions clientOptions(const IndexArgs &A) {
+  serve::ClientOptions O;
+  O.UnixSocketPath = A.Connect ? A.Connect : "";
+  O.TcpPort = static_cast<uint16_t>(A.ConnectPort);
+  O.TimeoutMs = static_cast<int>(A.TimeoutMs);
+  O.ConnectRetries = static_cast<int>(A.Retries);
+  return O;
+}
+
+void printWireLookup(size_t I, const serve::WireLookup &R, bool Numbered) {
+  if (!R.Present) {
+    if (Numbered)
+      std::printf("%zu absent\n", I);
+    else
+      std::printf("absent\n");
+    return;
+  }
+  if (Numbered) {
+    std::printf("%zu present count=%llu hash=%s\n", I,
+                static_cast<unsigned long long>(R.Count),
+                R.Hash.toHex().c_str());
+    return;
+  }
+  std::printf("present  count=%llu  hash=%s\n",
+              static_cast<unsigned long long>(R.Count),
+              R.Hash.toHex().c_str());
+  ExprContext CanonCtx;
+  DeserializeResult Canon = deserializeExpr(CanonCtx, R.CanonicalBytes);
+  if (Canon.ok())
+    std::printf("canonical: %s\n", printExpr(CanonCtx, Canon.E).c_str());
+}
+
+/// `hma index query --connect SOCK ...`: the daemon-backed twin of
+/// \ref runQueries -- same flags, same output shapes, network transport.
+int cmdIndexQueryConnect(const IndexArgs &A) {
+  serve::Client C(clientOptions(A));
+  std::string Error;
+
+  if (A.BatchFile) {
+    CorpusLoadResult Queries;
+    if (!readCorpus(A.BatchFile, Queries))
+      return 1;
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<serve::WireLookup> Results;
+    if (!C.lookupBatch(Queries.Blobs, Results, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    auto End = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(End - Start).count();
+    uint64_t Hits = 0;
+    for (size_t I = 0; I != Results.size(); ++I) {
+      Hits += Results[I].Present;
+      printWireLookup(I, Results[I], /*Numbered=*/true);
+    }
+    std::printf("batch query: %zu queries, %llu present, over %s, %.3f s, "
+                "%.0f queries/sec\n",
+                Results.size(), static_cast<unsigned long long>(Hits),
+                A.Connect ? A.Connect : "tcp", Sec,
+                Sec > 0 ? static_cast<double>(Results.size()) / Sec : 0.0);
+    return 0;
+  }
+
+  std::string QuerySrc;
+  if (A.ExprText)
+    QuerySrc = A.ExprText;
+  else if (!readInput(A.ExprFile, QuerySrc))
+    return 1;
+  ExprContext Ctx;
+  const Expr *Q = parseInput(Ctx, QuerySrc);
+  if (!Q)
+    return 1;
+  serve::WireLookup R;
+  if (!C.lookup(serializeExpr(Ctx, Q), R, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  printWireLookup(0, R, /*Numbered=*/false);
+  return R.Present ? 0 : 1;
+}
+
+/// `hma index ctl <ping|stats|reload|shutdown> [file] --connect SOCK`.
+int cmdIndexCtl(const IndexArgs &A) {
+  const char *Action = A.Path;
+  serve::Client C(clientOptions(A));
+  std::string Error;
+
+  if (std::strcmp(Action, "ping") == 0) {
+    if (!C.ping(&Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (std::strcmp(Action, "stats") == 0) {
+    serve::StatsFormat F = A.Json   ? serve::StatsFormat::Json
+                           : A.Prom ? serve::StatsFormat::Prom
+                                    : serve::StatsFormat::Text;
+    std::string Report;
+    if (!C.stats(F, Report, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fwrite(Report.data(), 1, Report.size(), stdout);
+    return 0;
+  }
+  if (std::strcmp(Action, "reload") == 0) {
+    serve::Reply R;
+    if (!C.reload(A.CorpusPath ? A.CorpusPath : "", R, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", R.Body.c_str());
+    return R.ok() ? 0 : 1;
+  }
+  if (std::strcmp(Action, "shutdown") == 0) {
+    if (!C.shutdownServer(&Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "error: unknown ctl action '%s' (ping|stats|reload|"
+               "shutdown)\n",
+               Action);
+  return 2;
+}
+
+/// `hma index chaos --connect SOCK [--script MODES]`: the scriptable
+/// misbehaving client. Exit 0 iff the daemon survived every offence with
+/// the right reaction.
+int cmdIndexChaos(const IndexArgs &A) {
+  std::string Log;
+  int Failures =
+      serve::runChaos(clientOptions(A), A.ChaosScript ? A.ChaosScript : "all",
+                      static_cast<int>(A.ServerTimeoutMs), Log);
+  std::fwrite(Log.data(), 1, Log.size(), stdout);
+  if (Failures != 0) {
+    std::fprintf(stderr, "chaos: %d mode(s) failed\n", Failures);
+    return 1;
+  }
+  std::printf("chaos: all modes passed\n");
+  return 0;
+}
+
+/// The daemon itself is a top-level command (`hma indexd`, not `hma
+/// index d`): it never returns until drained.
+serve::Server *ActiveServer = nullptr;
+
+extern "C" void indexdSignalHandler(int Signo) {
+  // Async-signal-safe by construction: one pipe write.
+  if (ActiveServer)
+    ActiveServer->notifySignal(Signo);
+}
+
+int cmdIndexd(int Argc, char **Argv) {
+  if (Argc < 3 || Argv[2][0] == '-')
+    return usage();
+  serve::ServerOptions O;
+  O.IndexPath = Argv[2];
+  auto Positive = [](const char *Flag, const char *Arg, long long Max,
+                     long long &Out) {
+    Out = std::atoll(Arg);
+    if (Out < 1 || Out > Max) {
+      std::fprintf(stderr, "error: %s must be in [1, %lld]\n", Flag, Max);
+      return false;
+    }
+    return true;
+  };
+  for (int I = 3; I < Argc; ++I) {
+    auto Want = [&](const char *Flag) {
+      return std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc;
+    };
+    long long V = 0;
+    if (Want("--socket"))
+      O.UnixSocketPath = Argv[++I];
+    else if (Want("--port")) {
+      if (!Positive("--port", Argv[++I], 65535, V))
+        return 2;
+      O.TcpPort = static_cast<uint16_t>(V);
+    } else if (Want("--threads")) {
+      if (!Positive("--threads", Argv[++I], 1024, V))
+        return 2;
+      O.Threads = static_cast<unsigned>(V);
+    } else if (Want("--request-timeout-ms")) {
+      if (!Positive("--request-timeout-ms", Argv[++I], 3600000, V))
+        return 2;
+      O.RequestTimeoutMs = static_cast<int>(V);
+    } else if (Want("--idle-timeout-ms")) {
+      if (!Positive("--idle-timeout-ms", Argv[++I], 86400000, V))
+        return 2;
+      O.IdleTimeoutMs = static_cast<int>(V);
+    } else if (Want("--drain-timeout-ms")) {
+      if (!Positive("--drain-timeout-ms", Argv[++I], 3600000, V))
+        return 2;
+      O.DrainTimeoutMs = static_cast<int>(V);
+    } else if (Want("--max-frame-bytes")) {
+      if (!Positive("--max-frame-bytes", Argv[++I],
+                    static_cast<long long>(serve::FrameBytesCeiling), V))
+        return 2;
+      O.MaxFrameBytes = static_cast<size_t>(V);
+    } else if (std::strcmp(Argv[I], "--no-verify") == 0)
+      O.VerifyOnLoad = false;
+    else
+      return usage();
+  }
+  if (O.UnixSocketPath.empty()) {
+    std::fprintf(stderr, "error: hma indexd requires --socket PATH\n");
+    return 2;
+  }
+
+  serve::Server Srv(std::move(O));
+  std::string Error;
+  if (!Srv.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  ActiveServer = &Srv;
+  std::signal(SIGTERM, indexdSignalHandler);
+  std::signal(SIGINT, indexdSignalHandler);
+#ifdef SIGHUP
+  std::signal(SIGHUP, indexdSignalHandler);
+#endif
+  std::fprintf(stderr, "hma indexd: serving generation %llu on '%s'\n",
+               static_cast<unsigned long long>(
+                   Srv.generations().currentNumber()),
+               Argv[2]);
+  int Rc = Srv.waitForExit();
+  ActiveServer = nullptr;
+  std::fprintf(stderr, "hma indexd: drained after %llu requests\n",
+               static_cast<unsigned long long>(Srv.requestsServed()));
+  return Rc;
+}
+
 int cmdIndex(int Argc, char **Argv) {
   IndexArgs A;
   if (!parseIndexArgs(Argc, Argv, A))
     return usage();
+  // The networked subcommands and flags pair up strictly: `ctl`/`chaos`
+  // are meaningless without a daemon, and --connect means nothing to the
+  // in-process subcommands.
+  bool IsNetworked = std::strcmp(A.Sub, "ctl") == 0 ||
+                     std::strcmp(A.Sub, "chaos") == 0 ||
+                     (std::strcmp(A.Sub, "query") == 0 &&
+                      (A.Connect || A.ConnectPort));
+  if (IsNetworked && !A.Connect && !A.ConnectPort) {
+    std::fprintf(stderr, "error: `index %s` requires --connect SOCK (or "
+                         "--port N)\n",
+                 A.Sub);
+    return 2;
+  }
+  if ((A.Connect || A.ConnectPort) && !IsNetworked) {
+    std::fprintf(stderr, "error: --connect/--port apply to `index query`, "
+                         "`index ctl`, and `index chaos` only\n");
+    return 2;
+  }
   // The read-path flags only mean something to `open`; anywhere else
   // they must not be silently swallowed.
   if ((A.ForceMmap || A.ForceLoad || A.NoVerify) &&
@@ -829,7 +1069,9 @@ int cmdIndex(int Argc, char **Argv) {
   bool IsStatsReport =
       std::strcmp(A.Sub, "stats") == 0 ||
       (std::strcmp(A.Sub, "open") == 0 && A.OpenSub &&
-       std::strcmp(A.OpenSub, "stats") == 0);
+       std::strcmp(A.OpenSub, "stats") == 0) ||
+      (std::strcmp(A.Sub, "ctl") == 0 && A.Path &&
+       std::strcmp(A.Path, "stats") == 0);
   if (A.machineOutput() && !IsStatsReport) {
     std::fprintf(stderr, "error: --json/--prom apply to `index stats` and "
                          "`index open <file> stats` only\n");
@@ -846,7 +1088,11 @@ int cmdIndex(int Argc, char **Argv) {
   if (std::strcmp(A.Sub, "build") == 0)
     Rc = cmdIndexBuild(A);
   else if (std::strcmp(A.Sub, "query") == 0)
-    Rc = cmdIndexQuery(A);
+    Rc = IsNetworked ? cmdIndexQueryConnect(A) : cmdIndexQuery(A);
+  else if (std::strcmp(A.Sub, "ctl") == 0)
+    Rc = cmdIndexCtl(A);
+  else if (std::strcmp(A.Sub, "chaos") == 0)
+    Rc = cmdIndexChaos(A);
   else if (std::strcmp(A.Sub, "stats") == 0)
     Rc = cmdIndexStats(A);
   else if (std::strcmp(A.Sub, "open") == 0)
@@ -922,6 +1168,8 @@ int main(int Argc, char **Argv) {
     return cmdGen(Ctx, Argc, Argv);
   if (std::strcmp(Cmd, "index") == 0)
     return cmdIndex(Argc, Argv);
+  if (std::strcmp(Cmd, "indexd") == 0)
+    return cmdIndexd(Argc, Argv);
   if (std::strcmp(Cmd, "prom-lint") == 0)
     return cmdPromLint(Argc, Argv);
 
