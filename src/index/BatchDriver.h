@@ -28,6 +28,8 @@
 #define HMA_INDEX_BATCHDRIVER_H
 
 #include "ast/Expr.h"
+#include "ast/Serialize.h"
+#include "ast/Uniquify.h"
 #include "core/AlphaHasher.h"
 #include "index/ThreadPool.h"
 #include "obs/Metrics.h"
@@ -38,6 +40,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace hma::detail {
 
@@ -128,6 +132,36 @@ void forEachHashedChunk(const HashSchema &Schema, size_t Count,
   for (size_t T = 0; T != Workers; ++T)
     Pool.run(Worker);
   Pool.wait();
+}
+
+/// One decoded-and-hashed element of a batch chunk: the unit of the
+/// two-phase chunk shape (decode+hash everything, then probe
+/// everything). Splitting the phases is what lets \ref
+/// MappedIndex::lookupBatch run its interleaved multi-probe engine --
+/// the probe loop sees only (index, root, hash) triples with no decode
+/// stalls between probe steps, so several descents can stay in flight.
+template <typename H> struct HashedChunkItem {
+  size_t Index;     ///< Position in the batch's blob vector.
+  const Expr *Root; ///< Binder-uniquified root, owned by the chunk's Ctx.
+  H Hash;           ///< Alpha-hash under the batch's schema.
+};
+
+/// Phase one of a two-phase chunk body: decode, binder-uniquify and hash
+/// blobs [\p Begin, \p End) into \p Out (cleared first; undecodable
+/// blobs are skipped, matching the "undecodable == miss" batch
+/// contract). Decoded roots live in \p Ctx for the rest of the chunk.
+template <typename H>
+void decodeAndHashChunk(AlphaHasher<H> &Hasher, ExprContext &Ctx,
+                        const std::vector<std::string> &Blobs, size_t Begin,
+                        size_t End, std::vector<HashedChunkItem<H>> &Out) {
+  Out.clear();
+  for (size_t I = Begin; I != End; ++I) {
+    DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
+    if (!R.ok())
+      continue;
+    const Expr *Root = uniquifyBinders(Ctx, R.E);
+    Out.push_back(HashedChunkItem<H>{I, Root, Hasher.hashRoot(Root)});
+  }
 }
 
 } // namespace hma::detail

@@ -10,14 +10,17 @@
 /// anything* and for a future reader to serve lookups straight from an
 /// mmap without materializing classes:
 ///
-///   header    80 bytes, fixed-width little-endian:
+///   header    80 bytes (v1) / 96 bytes (v2), fixed-width little-endian:
 ///               magic       "HMAI"
-///               version     u32 (currently 1)
+///               version     u32 (1 or 2)
 ///               seed        u64 hash-schema seed
 ///               hash bits   u32 (16 / 32 / 64 / 128)
 ///               shards      u32 (power of two)
 ///               classes     u64 total class count
 ///               stats       6 x u64 (IndexStats, field order)
+///             v2 appends two fields describing the probe sidecar:
+///               sidecar offset  u64 absolute file offset
+///               sidecar length  u64 (== file size - sidecar offset)
 ///   directory shards x { u64 table offset, u64 class count }
 ///   tables    per shard: classes x fixed-width records, sorted by
 ///             (hash, canonical bytes):
@@ -26,6 +29,16 @@
 ///               length      u64 blob length in bytes
 ///               count       u64 member count
 ///   bytes     the canonical blobs, back to back
+///   sidecar   (v2 only) per shard, in shard order:
+///               eytz hashes classes x bits/8 bytes -- the shard's sorted
+///                           hashes rewritten in Eytzinger (BFS) order:
+///                           slot k (1-indexed, stored at byte (k-1) *
+///                           bits/8) holds the hash whose sorted rank is
+///                           the in-order position of node k in a
+///                           complete binary tree rooted at slot 1
+///               eytz ranks  classes x u32 -- slot k's sorted rank, so a
+///                           branchless BFS descent lands back on the
+///                           record table without an arithmetic decode
 ///
 /// Every record is fixed-width and every shard table is sorted, so a
 /// reader that mmaps the file can binary-search a shard's table by hash
@@ -33,12 +46,19 @@
 /// for the exact-verify fallback, nothing else touched. Offsets are
 /// absolute, so a table entry is meaningful without any rebasing.
 ///
+/// The v2 sidecar is derived data: it is a pure function of the shard
+/// tables (so a deterministic save stays deterministic) and exists only
+/// to let \ref MappedIndex probe a shard with the branchless Eytzinger
+/// engine instead of a scalar binary search. Readers that ignore it lose
+/// nothing but speed; the eager loader validates it and drops it.
+///
 /// Versioning: the magic and the version field are stable forever; all
 /// layout after them is owned by the version. Readers must reject
-/// versions (and hash widths) they do not understand. The seed and bit
-/// width identify the hash function family: two files are
-/// hash-compatible iff both match (surface-checked by
-/// `hma index stats` / `hma index open`).
+/// versions (and hash widths) they do not understand; this reader speaks
+/// v1 and v2, and \ref MappedIndex falls back to the scalar probe on v1
+/// files (no sidecar). The seed and bit width identify the hash function
+/// family: two files are hash-compatible iff both match (surface-checked
+/// by `hma index stats` / `hma index open`).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +87,11 @@ struct IndexFileInfo {
   unsigned Shards = 0;
   uint64_t NumClasses = 0;
   IndexStats Stats;
+  uint64_t SidecarOffset = 0; ///< v2: absolute offset of the probe sidecar.
+  uint64_t SidecarLength = 0; ///< v2: sidecar bytes (to end of file).
+
+  /// True if the image carries the Eytzinger probe sidecar.
+  bool hasSidecar() const { return Version >= 2; }
 };
 
 /// True if \p Bytes starts with the index magic "HMAI".
@@ -100,9 +125,22 @@ bool writeFileReplacing(const std::string &Path, std::string_view Bytes,
 namespace iio {
 
 constexpr char Magic[4] = {'H', 'M', 'A', 'I'};
-constexpr uint32_t Version = 1;
-constexpr size_t HeaderSize = 80;
+constexpr uint32_t MinVersion = 1; ///< Oldest version this reader accepts.
+constexpr uint32_t Version = 2;    ///< Version the writer emits by default.
+constexpr size_t HeaderSize = 80;   ///< v1 header; also the v2 header prefix.
+constexpr size_t HeaderSizeV2 = 96; ///< v1 header + sidecar offset/length.
 constexpr size_t DirEntrySize = 16;
+constexpr size_t RankEntrySize = 4; ///< Sidecar rank width (u32).
+
+/// Directory start for a given header version.
+constexpr size_t headerSize(uint32_t V) {
+  return V >= 2 ? HeaderSizeV2 : HeaderSize;
+}
+
+/// Bytes one class contributes to the sidecar (BFS hash + sorted rank).
+constexpr size_t sidecarEntrySize(unsigned HashBits) {
+  return HashBits / 8 + RankEntrySize;
+}
 
 void putWordLE(std::string &Out, uint64_t V, unsigned NumBytes);
 uint64_t getWordLE(const char *P, unsigned NumBytes);
@@ -163,28 +201,84 @@ template <typename H> Record<H> readRecord(const char *Rec) {
   return R;
 }
 
+/// The non-hash fields of a record. The duplicate-hash scan compares
+/// hashes first (via the mapped hash column) and only then needs the
+/// blob range and count; decoding them separately means each field is
+/// read exactly once per candidate instead of re-decoding the whole
+/// record.
+struct RecordTail {
+  uint64_t Offset = 0;
+  uint64_t Length = 0;
+  uint64_t Count = 0;
+};
+
+template <typename H> RecordTail readRecordTail(const char *Rec) {
+  constexpr unsigned HashBytes = HashWidth<H>::Bits / 8;
+  RecordTail T;
+  T.Offset = getWordLE(Rec + HashBytes, 8);
+  T.Length = getWordLE(Rec + HashBytes + 8, 8);
+  T.Count = getWordLE(Rec + HashBytes + 16, 8);
+  return T;
+}
+
+/// Sorted rank of every Eytzinger slot for a table of \p Count records:
+/// element k-1 is the in-order position of node k in the complete binary
+/// tree rooted at slot 1 (the order a branchless BFS descent compares
+/// against). Pure layout function -- the writer emits it, validators
+/// recompute it.
+std::vector<uint32_t> eytzingerRanks(uint64_t Count);
+
 /// Validate one record against the image envelope and its shard's sort
-/// order: the blob range must lie inside the bytes region (an offset
-/// below \p BytesStart aliases the header/directory/tables -- in-file,
-/// but never something the writer emits) and hashes must be
-/// non-decreasing. Returns the diagnostic, empty on success. Shared by
-/// the eager loader and \ref MappedIndex::verify so the two read paths
-/// cannot drift apart on what counts as a well-formed file (their
-/// acceptance parity is pinned by tests/index_io_test.cpp).
+/// order: the blob range must lie inside the bytes region -- an offset
+/// below \p BytesStart aliases the header/directory/tables, one ending
+/// past \p BytesEnd runs off the file (v1) or into the sidecar (v2);
+/// both are in-file but never something the writer emits -- and hashes
+/// must be non-decreasing. Returns the diagnostic, empty on success.
+/// Shared by the eager loader and \ref MappedIndex::verify so the two
+/// read paths cannot drift apart on what counts as a well-formed file
+/// (their acceptance parity is pinned by tests/index_io_test.cpp).
 template <typename H>
 std::string checkRecord(const Record<H> &R, H PrevHash, bool First,
-                        size_t FileSize, uint64_t BytesStart, unsigned Shard,
+                        uint64_t BytesEnd, uint64_t BytesStart, unsigned Shard,
                         uint64_t I) {
   auto At = [&](const char *What) {
     return "shard " + std::to_string(Shard) + " record " + std::to_string(I) +
            ": " + What;
   };
-  if (R.Offset > FileSize || R.Length > FileSize - R.Offset)
-    return At("blob overruns the file");
+  if (R.Offset > BytesEnd || R.Length > BytesEnd - R.Offset)
+    return At("blob overruns the bytes region");
   if (R.Offset < BytesStart)
     return At("blob offset points outside the bytes region");
   if (!First && R.Hash < PrevHash)
     return "shard " + std::to_string(Shard) + " table is not sorted by hash";
+  return std::string();
+}
+
+/// Validate one shard's sidecar block against its record table: slot k's
+/// rank must be the Eytzinger in-order position and slot k's hash must
+/// equal the table hash at that rank. \p HashAt maps a sorted rank to
+/// the shard's record hash. Shared by the eager loader and \ref
+/// MappedIndex::verify (same acceptance-parity contract as checkRecord).
+template <typename H, typename HashAtFn>
+std::string checkSidecarShard(const char *Eytz, const char *Ranks,
+                              uint64_t Count, HashAtFn &&HashAt,
+                              unsigned Shard) {
+  constexpr unsigned HashBytes = HashWidth<H>::Bits / 8;
+  const std::vector<uint32_t> Want = eytzingerRanks(Count);
+  for (uint64_t K = 0; K != Count; ++K) {
+    const uint64_t Rank = getWordLE(Ranks + K * RankEntrySize, RankEntrySize);
+    if (Rank != Want[K])
+      return "shard " + std::to_string(Shard) + " sidecar slot " +
+             std::to_string(K + 1) + ": rank " + std::to_string(Rank) +
+             " is not the Eytzinger in-order position " +
+             std::to_string(Want[K]);
+    H Got{};
+    getHashLE(Eytz + K * HashBytes, Got);
+    if (!(Got == HashAt(Rank)))
+      return "shard " + std::to_string(Shard) + " sidecar slot " +
+             std::to_string(K + 1) + ": hash does not match table rank " +
+             std::to_string(Rank);
+  }
   return std::string();
 }
 
@@ -199,9 +293,11 @@ IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
 } // namespace iio
 
 /// Serialise \p Index to the `HMAI` byte format. The result is a
-/// deterministic function of the index's class table, stats and shard
-/// count (canonical tie-breaks aside, the same corpus yields the same
-/// file regardless of ingest thread count).
+/// deterministic function of the index's class table, stats, shard count
+/// and \p FormatVersion (canonical tie-breaks aside, the same corpus
+/// yields the same file regardless of ingest thread count). The default
+/// version writes the v2 probe sidecar; pass 1 for a sidecar-free image
+/// older readers accept.
 ///
 /// The index must be quiescent (no concurrent ingest) for the duration
 /// of the call: the class table and the stats are read under separate
@@ -209,7 +305,8 @@ IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
 /// image whose stats may not correspond to exactly the captured class
 /// set.
 template <typename H>
-std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
+std::string saveIndexBytes(const AlphaHashIndex<H> &Index,
+                           uint32_t FormatVersion = iio::Version) {
   static const obs::Histogram SaveNs = obs::Histogram::get(
       "hma_index_save_ns", "Latency of serialising an index to HMAI, ns");
   static const obs::Counter SavedBytes = obs::Counter::get(
@@ -229,8 +326,10 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
     TotalBlobBytes += C.CanonicalBytes.size();
   }
 
+  assert((FormatVersion == 1 || FormatVersion == 2) &&
+         "writer speaks HMAI v1 and v2");
   IndexFileInfo Info;
-  Info.Version = iio::Version;
+  Info.Version = FormatVersion;
   Info.Seed = Index.schema().seed();
   Info.HashBits = HashWidth<H>::Bits;
   Info.Shards = Shards;
@@ -238,12 +337,21 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
   Info.Stats = Index.stats();
 
   const size_t RecSize = iio::recordSize<H>();
-  const size_t DirStart = iio::HeaderSize;
+  const size_t DirStart = iio::headerSize(FormatVersion);
   const size_t TablesStart = DirStart + size_t(Shards) * iio::DirEntrySize;
   const size_t BytesStart = TablesStart + Classes.size() * RecSize;
+  const size_t SidecarLength =
+      Info.hasSidecar()
+          ? Classes.size() * iio::sidecarEntrySize(HashWidth<H>::Bits)
+          : 0;
+  if (Info.hasSidecar()) {
+    Info.SidecarOffset = BytesStart + TotalBlobBytes;
+    Info.SidecarLength = SidecarLength;
+  }
 
   std::string Out = iio::encodeHeader(Info);
-  Out.reserve(BytesStart + TotalBlobBytes); // the whole image, one allocation
+  // The whole image, one allocation.
+  Out.reserve(BytesStart + TotalBlobBytes + SidecarLength);
 
   // Directory.
   size_t TableOffset = TablesStart;
@@ -269,6 +377,22 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index) {
   for (unsigned S = 0; S != Shards; ++S)
     for (const Summary *C : PerShard[S])
       Out += C->CanonicalBytes;
+
+  // Probe sidecar (v2): per shard, the hashes rewritten in Eytzinger
+  // (BFS) order followed by each slot's sorted rank. Derived purely from
+  // the (already deterministic) shard tables.
+  if (Info.hasSidecar()) {
+    for (unsigned S = 0; S != Shards; ++S) {
+      const std::vector<uint32_t> Ranks =
+          iio::eytzingerRanks(PerShard[S].size());
+      for (uint32_t Rank : Ranks)
+        iio::putHashLE(Out, PerShard[S][Rank]->Hash);
+      for (uint32_t Rank : Ranks)
+        iio::putWordLE(Out, Rank, iio::RankEntrySize);
+    }
+    assert(Out.size() == Info.SidecarOffset + Info.SidecarLength &&
+           "sidecar layout drifted");
+  }
   SavedBytes.add(Out.size());
   return Out;
 }
@@ -305,27 +429,50 @@ IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
       H>::Options{OverrideShards ? OverrideShards : Info.Shards, Info.Seed});
 
   const size_t RecSize = iio::recordSize<H>();
-  const uint64_t BytesStart = iio::HeaderSize +
+  const size_t DirStart = iio::headerSize(Info.Version);
+  const uint64_t BytesStart = DirStart +
                               uint64_t(Info.Shards) * iio::DirEntrySize +
                               Info.NumClasses * RecSize;
+  // Blobs may run to the end of the file (v1) or only up to the probe
+  // sidecar (v2).
+  const uint64_t BytesEnd =
+      Info.hasSidecar() ? Info.SidecarOffset : Bytes.size();
   uint64_t Restored = 0;
+  uint64_t SidecarPos = Info.SidecarOffset; // walks per-shard blocks (v2)
+  std::vector<H> ShardHashes;
   for (unsigned S = 0; S != Info.Shards; ++S) {
-    const char *Dir = Bytes.data() + iio::HeaderSize + S * iio::DirEntrySize;
+    const char *Dir = Bytes.data() + DirStart + S * iio::DirEntrySize;
     const uint64_t TableOffset = iio::getWordLE(Dir, 8);
     const uint64_t Count = iio::getWordLE(Dir + 8, 8);
     H Prev{};
+    ShardHashes.clear();
     for (uint64_t I = 0; I != Count; ++I) {
       const size_t RecPos = TableOffset + I * RecSize;
       iio::Record<H> Rec = iio::readRecord<H>(Bytes.data() + RecPos);
-      std::string RecError = iio::checkRecord(Rec, Prev, I == 0,
-                                              Bytes.size(), BytesStart, S, I);
+      std::string RecError =
+          iio::checkRecord(Rec, Prev, I == 0, BytesEnd, BytesStart, S, I);
       if (!RecError.empty())
         return iio::loadFail<H>(std::move(RecError), RecPos);
       Prev = Rec.Hash;
+      if (Info.hasSidecar())
+        ShardHashes.push_back(Rec.Hash);
       R.Index->restoreClass(Rec.Hash,
                             std::string(Bytes.substr(Rec.Offset, Rec.Length)),
                             Rec.Count);
       ++Restored;
+    }
+    if (Info.hasSidecar()) {
+      // The sidecar is derived data the loader drops, but a corrupt
+      // block must still be rejected so acceptance parity with
+      // MappedIndex::open + verify holds.
+      const char *Eytz = Bytes.data() + SidecarPos;
+      const char *Ranks = Eytz + Count * (HashWidth<H>::Bits / 8);
+      std::string SidecarError = iio::checkSidecarShard<H>(
+          Eytz, Ranks, Count,
+          [&](uint64_t Rank) { return ShardHashes[Rank]; }, S);
+      if (!SidecarError.empty())
+        return iio::loadFail<H>(std::move(SidecarError), SidecarPos);
+      SidecarPos += Count * iio::sidecarEntrySize(HashWidth<H>::Bits);
     }
   }
   if (Restored != Info.NumClasses) {

@@ -67,6 +67,42 @@ struct IndexStats {
   }
 };
 
+/// Probe-engine selection for the mapped read path. The engines answer
+/// identically (same lower bound, same candidate scan, same exact
+/// verify) and differ only in how they walk the on-disk tables; \ref
+/// MappedIndex picks the fastest available one under `Auto` and falls
+/// back to `Scalar` for v1 files that carry no Eytzinger sidecar.
+enum class ProbeEngine : uint8_t {
+  Auto,        ///< Best available: interleaved batches, Eytzinger singles.
+  Scalar,      ///< Branchy binary search over the record table (v1 path).
+  Eytzinger,   ///< Branchless BFS-layout descent over the v2 sidecar.
+  Interleaved, ///< Eytzinger with K concurrent descents per batch worker.
+};
+
+/// Stable lowercase label of \p E ("auto", "scalar", ...).
+inline const char *probeEngineLabel(ProbeEngine E) {
+  switch (E) {
+  case ProbeEngine::Auto:
+    return "auto";
+  case ProbeEngine::Scalar:
+    return "scalar";
+  case ProbeEngine::Eytzinger:
+    return "eytzinger";
+  case ProbeEngine::Interleaved:
+    return "interleaved";
+  }
+  return "auto";
+}
+
+/// Parse a \ref probeEngineLabel back into an engine (CLI `--probe=`).
+inline std::optional<ProbeEngine> parseProbeEngine(std::string_view Name) {
+  for (ProbeEngine E : {ProbeEngine::Auto, ProbeEngine::Scalar,
+                        ProbeEngine::Eytzinger, ProbeEngine::Interleaved})
+    if (Name == probeEngineLabel(E))
+      return E;
+  return std::nullopt;
+}
+
 /// Result of a membership query. \p CanonicalBytes is a zero-copy view
 /// into the answering backend (see the file comment for lifetime rules).
 template <typename H> struct LookupResult {
@@ -162,6 +198,13 @@ public:
   /// Aggregate counters: ingest-time stats plus the fallback checks the
   /// read path itself has run.
   virtual IndexStats stats() const = 0;
+
+  /// Name of the probe algorithm the batch read path would use:
+  /// "hashtable" for the live in-memory store; "scalar" / "eytzinger" /
+  /// "interleaved" for the mapped reader (see \ref ProbeEngine).
+  /// Surfaced by `hma index ... stats` so ablation runs are
+  /// self-describing.
+  virtual const char *probeEngineName() const { return "hashtable"; }
 
   /// Number of classes per shard (for load-balance diagnostics).
   virtual std::vector<size_t> shardLoads() const = 0;

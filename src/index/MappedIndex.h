@@ -9,17 +9,33 @@
 /// absolute offsets into a trailing bytes region. \ref MappedIndex
 /// therefore never materializes anything:
 ///
-///  - **open is O(shards), not O(classes)**: decode the 80-byte header,
+///  - **open is O(shards), not O(classes)**: decode the fixed header,
 ///    walk the directory, done -- open time is independent of index
 ///    size. Contrast `loadIndexBytes`, which copies every class into a
 ///    live \ref AlphaHashIndex.
-///  - **find is a binary search on the file**: hash the query, pick the
-///    shard (\ref detail::shardIndexForHash -- the same pure function of
-///    the hash the writer grouped by), lower-bound its table, and for
-///    each record under the hash decode the candidate blob *on demand*
-///    into a caller-owned bounded \ref DecodeScratch for the exact
-///    \ref alphaEquivalent fallback. No class vectors, no byte copies:
-///    the returned \ref LookupResult views the mapping itself.
+///  - **find is a lower-bound probe on the file**: hash the query, pick
+///    the shard (\ref detail::shardIndexForHash -- the same pure
+///    function of the hash the writer grouped by), lower-bound its
+///    table, and for each record under the hash decode the candidate
+///    blob *on demand* into a caller-owned bounded \ref DecodeScratch
+///    for the exact \ref alphaEquivalent fallback. No class vectors, no
+///    byte copies: the returned \ref LookupResult views the mapping
+///    itself.
+///  - **the lower bound has three engines** (\ref ProbeEngine), all
+///    returning the same rank: `scalar`, the branchy binary search over
+///    the record table (the only engine v1 files support); `eytzinger`,
+///    a branchless descent of the v2 sidecar's BFS-ordered hash array --
+///    one cache line covers ~4 tree levels near the leaves, a per-shard
+///    resident fence array (the sorted top \ref FenceSlots sidecar
+///    slots) skips the top \ref FenceLevels levels outright, and
+///    software prefetch runs two levels ahead of the compare; and
+///    `interleaved`, used by \ref lookupBatch, which keeps \ref
+///    InterleaveWidth independent descents in flight per worker in a
+///    round-robin state machine so one probe's cache/page miss overlaps
+///    the others' compares (memory-level parallelism -- this is where
+///    cold mmap'd page latency actually gets hidden). `Auto` (default)
+///    selects interleaved for batches and eytzinger for single lookups
+///    whenever the file carries the sidecar, scalar otherwise.
 ///  - **reads are defensively bounds-checked**: every record-designated
 ///    blob range is validated against the mapping before any byte is
 ///    touched, so a corrupt (unverified) file can mis-answer but never
@@ -57,6 +73,7 @@
 #include "support/HashSchema.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -67,6 +84,16 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+/// Portable wrapper over the builtin prefetch hint (a no-op where the
+/// compiler has none); the probe engines below issue it two tree levels
+/// ahead of the compare so the line is in flight while the branchless
+/// descent works through the levels in between.
+#if defined(__GNUC__) || defined(__clang__)
+#define HMA_PREFETCH(Addr) __builtin_prefetch(Addr)
+#else
+#define HMA_PREFETCH(Addr) ((void)(Addr))
+#endif
 
 namespace hma {
 
@@ -171,11 +198,60 @@ public:
   /// view into it).
   std::string_view imageBytes() const { return Bytes; }
 
-  /// Deep integrity check, O(classes): per-shard sort order and every
-  /// blob range. \ref open is O(shards) by design, so table-level
-  /// corruption in an untrusted file is caught either here or --
-  /// harmlessly, as a miss/refutation -- by the bounds-checked read
-  /// path. Mirrors `loadIndexBytes`' record validation exactly.
+  //===--------------------------------------------------------------------===//
+  // Probe-engine selection
+  //===--------------------------------------------------------------------===//
+
+  /// Eytzinger levels the per-shard fence array skips (the top
+  /// FenceLevels levels never touch the sidecar: their sorted values
+  /// live in a resident, always-hot array computed at open time).
+  static constexpr unsigned FenceLevels = 5;
+  /// Slots in those levels (= fence array length per shard).
+  static constexpr uint64_t FenceSlots = (uint64_t(1) << FenceLevels) - 1;
+  /// Smallest shard the fence skip applies to: every slot of the first
+  /// FenceLevels+1 levels must exist for "start at depth FenceLevels" to
+  /// be a pure re-encoding of the skipped comparisons.
+  static constexpr uint64_t FenceMinCount =
+      (uint64_t(1) << (FenceLevels + 1)) - 1;
+  /// Independent descents one batch worker keeps in flight.
+  static constexpr size_t InterleaveWidth = 8;
+
+  /// True when the image carries the v2 Eytzinger probe sidecar.
+  bool hasProbeSidecar() const { return Info.hasSidecar(); }
+
+  /// Select the probe engine. `Auto` (the default) uses the interleaved
+  /// engine for batches and the Eytzinger engine for single lookups when
+  /// the sidecar is present, scalar otherwise. Returns false -- engine
+  /// unchanged -- when \p E requires a sidecar the file does not carry
+  /// (v1 images serve scalar only). Not thread-safe against concurrent
+  /// lookups; select before serving.
+  bool setProbeEngine(ProbeEngine E) {
+    if (E != ProbeEngine::Auto && E != ProbeEngine::Scalar &&
+        !hasProbeSidecar())
+      return false;
+    Engine = E;
+    return true;
+  }
+  ProbeEngine probeEngine() const { return Engine; }
+
+  /// Effective batch engine under the current selection (what \ref
+  /// lookupBatch will run; single lookups use eytzinger whenever this
+  /// says interleaved).
+  const char *probeEngineName() const override {
+    if (batchInterleaved())
+      return probeEngineLabel(ProbeEngine::Interleaved);
+    return probeEngineLabel(singleUsesEytzinger() ? ProbeEngine::Eytzinger
+                                                  : ProbeEngine::Scalar);
+  }
+
+  /// Deep integrity check, O(classes): per-shard sort order, every blob
+  /// range, and (v2) the probe sidecar -- each shard's BFS hash array
+  /// and rank array must be exactly the Eytzinger re-encoding of its
+  /// record table, so a verified file's branchless descents land where a
+  /// scalar search would. \ref open is O(shards) by design, so
+  /// table-level corruption in an untrusted file is caught either here
+  /// or -- harmlessly, as a miss/refutation -- by the bounds-checked
+  /// read path. Mirrors `loadIndexBytes`' validation exactly.
   bool verify(std::string *Error = nullptr, size_t *ErrorPos = nullptr) const {
     static const obs::Histogram VerifyNs = obs::Histogram::get(
         "hma_mapped_verify_ns",
@@ -192,7 +268,7 @@ public:
         const size_t RecPos = static_cast<size_t>(T.Offset) + I * RecSize;
         iio::Record<H> Rec = iio::readRecord<H>(Bytes.data() + RecPos);
         std::string RecError =
-            iio::checkRecord(Rec, Prev, I == 0, Bytes.size(), BytesStart,
+            iio::checkRecord(Rec, Prev, I == 0, BytesEnd, BytesStart,
                              static_cast<unsigned>(S), I);
         if (!RecError.empty()) {
           if (Error)
@@ -202,6 +278,19 @@ public:
           return false;
         }
         Prev = Rec.Hash;
+      }
+      if (Info.hasSidecar()) {
+        std::string SidecarError = iio::checkSidecarShard<H>(
+            Bytes.data() + T.EytzOffset, Bytes.data() + T.RankOffset, T.Count,
+            [&](uint64_t Rank) { return hashAt(T, Rank); },
+            static_cast<unsigned>(S));
+        if (!SidecarError.empty()) {
+          if (Error)
+            *Error = std::move(SidecarError);
+          if (ErrorPos)
+            *ErrorPos = static_cast<size_t>(T.EytzOffset);
+          return false;
+        }
       }
     }
     return true;
@@ -253,10 +342,11 @@ public:
     return Out;
   }
 
-  /// Size of the mapped bytes region: for a well-formed image, exactly
-  /// the canonical-blob bytes a live index would retain on heap.
+  /// Size of the mapped bytes region (blobs only -- the v2 probe sidecar
+  /// is excluded): for a well-formed image, exactly the canonical-blob
+  /// bytes a live index would retain on heap.
   size_t retainedBytes() const override {
-    return Bytes.size() > BytesStart ? Bytes.size() - BytesStart : 0;
+    return BytesEnd > BytesStart ? BytesEnd - BytesStart : 0;
   }
 
   /// Owning export of every class, sorted by (hash, bytes) -- the one
@@ -319,6 +409,13 @@ public:
 
   /// \ref lookupBatch with read-side counters reported (scratch reuse
   /// and steady-state allocation; see \ref ReadBatchStats).
+  ///
+  /// Every chunk runs the same two-phase shape regardless of engine --
+  /// decode+hash everything, then probe everything, then resolve
+  /// candidates in item order -- so the per-item answers (and the
+  /// ReadBatchStats accounting) are byte-identical across engines; the
+  /// interleaved engine only changes *how* the probe phase walks the
+  /// sidecar (\ref probeRanksInterleaved).
   std::vector<std::optional<LookupResult>>
   lookupBatch(const std::vector<std::string> &Blobs, unsigned Threads,
               ReadBatchStats *StatsOut) const {
@@ -327,18 +424,42 @@ public:
     std::mutex TotalMu;
     struct WorkerState {
       DecodeScratch Scratch;
+      std::vector<detail::HashedChunkItem<H>> Items;
+      std::vector<H> Hashes;
+      std::vector<uint64_t> Ranks;
     };
+    const bool Interleave = batchInterleaved();
     detail::forEachHashedChunk<H, WorkerState>(
         Schema, Blobs.size(), Threads, "query_mapped",
         [&](AlphaHasher<H> &Hasher, ExprContext &Ctx, size_t Begin,
             size_t End, WorkerState &W) {
-          for (size_t I = Begin; I != End; ++I) {
-            DeserializeResult R = deserializeExpr(Ctx, Blobs[I]);
-            if (!R.ok())
-              continue; // leave Results[I] empty, same as a miss
-            const Expr *Root = uniquifyBinders(Ctx, R.E);
-            Results[I] =
-                findHashed(Ctx, Root, Hasher.hashRoot(Root), W.Scratch);
+          detail::decodeAndHashChunk(Hasher, Ctx, Blobs, Begin, End, W.Items);
+          if (!Interleave) {
+            for (const detail::HashedChunkItem<H> &It : W.Items)
+              Results[It.Index] =
+                  findHashed(Ctx, It.Root, It.Hash, W.Scratch);
+            return;
+          }
+          static const obs::Histogram BatchProbeNs = obs::Histogram::get(
+              "hma_mapped_batch_probe_ns",
+              "Latency of one interleaved multi-probe phase over a batch "
+              "chunk, ns");
+          W.Hashes.clear();
+          for (const detail::HashedChunkItem<H> &It : W.Items)
+            W.Hashes.push_back(It.Hash);
+          W.Ranks.resize(W.Items.size());
+          {
+            obs::ScopedTimer Timer(BatchProbeNs);
+            probeRanksInterleaved(W.Hashes.data(), W.Hashes.size(),
+                                  W.Ranks.data());
+          }
+          countProbes(ProbeEngine::Interleaved, W.Items.size());
+          for (size_t J = 0; J != W.Items.size(); ++J) {
+            const detail::HashedChunkItem<H> &It = W.Items[J];
+            const ShardTable &T =
+                Tables[detail::shardIndexForHash(It.Hash, ShardMask)];
+            Results[It.Index] = resolveAtRank(Ctx, It.Root, It.Hash, T,
+                                              W.Ranks[J], W.Scratch);
           }
         },
         [&](WorkerState &W, uint64_t PoolNodes, uint64_t SteadyNodes) {
@@ -356,10 +477,50 @@ public:
     return Results;
   }
 
+  /// Bulk hash-only probe: Out[i] = number of classes stored under
+  /// exactly Hashes[i] (0 = definite miss; >0 = the candidate count the
+  /// exact-verify fallback would inspect). No blob is decoded and no
+  /// verification runs -- this is the raw probe engine, the measurement
+  /// point of the bench ablation and a cheap pre-filter for callers that
+  /// already hold alpha-hashes. Honors the selected \ref ProbeEngine.
+  void probeHashCounts(const std::vector<H> &Hashes,
+                       std::vector<uint32_t> &Out) const {
+    Out.assign(Hashes.size(), 0);
+    if (batchInterleaved()) {
+      std::vector<uint64_t> Ranks(Hashes.size());
+      probeRanksInterleaved(Hashes.data(), Hashes.size(), Ranks.data());
+      countProbes(ProbeEngine::Interleaved, Hashes.size());
+      for (size_t I = 0; I != Hashes.size(); ++I) {
+        const ShardTable &T =
+            Tables[detail::shardIndexForHash(Hashes[I], ShardMask)];
+        Out[I] = countAtRank(T, Hashes[I], Ranks[I]);
+      }
+      return;
+    }
+    const bool Eytz = singleUsesEytzinger();
+    countProbes(Eytz ? ProbeEngine::Eytzinger : ProbeEngine::Scalar,
+                Hashes.size());
+    for (size_t I = 0; I != Hashes.size(); ++I) {
+      const ShardTable &T =
+          Tables[detail::shardIndexForHash(Hashes[I], ShardMask)];
+      const uint64_t Rank =
+          Eytz ? eytzLowerBound(T, Hashes[I]) : scalarLowerBound(T, Hashes[I]);
+      Out[I] = countAtRank(T, Hashes[I], Rank);
+    }
+  }
+
 private:
   struct ShardTable {
     uint64_t Offset = 0; ///< Absolute file offset of the shard's table.
     uint64_t Count = 0;  ///< Records in the table.
+    uint64_t EytzOffset = 0; ///< v2: offset of the BFS hash array.
+    uint64_t RankOffset = 0; ///< v2: offset of the slot->rank array.
+    bool UseFences = false;  ///< Count >= FenceMinCount (skip top levels).
+    /// Sorted copy of the top FenceLevels sidecar levels (slots
+    /// 1..FenceSlots). Resident and tiny, so the first FenceLevels
+    /// decisions of every descent are compares against always-hot
+    /// memory instead of sidecar touches.
+    std::array<H, FenceSlots> Fences{};
   };
 
   MappedIndex(std::string_view Bytes, const IndexFileInfo &Info,
@@ -367,16 +528,35 @@ private:
       : Storage(std::move(Storage)), Bytes(Bytes), Info(Info),
         Schema(Info.Seed), ShardMask(Info.Shards - 1) {
     const size_t RecSize = iio::recordSize<H>();
+    const size_t DirStart = iio::headerSize(Info.Version);
     // Canonical start of the bytes region; every blob range is checked
     // against it (an offset below aliases the header/directory/tables).
-    BytesStart = iio::HeaderSize +
-                 size_t(Info.Shards) * iio::DirEntrySize +
+    BytesStart = DirStart + size_t(Info.Shards) * iio::DirEntrySize +
                  static_cast<size_t>(Info.NumClasses) * RecSize;
+    // ... and its end: the probe sidecar (v2) is not blob space.
+    BytesEnd = Info.hasSidecar() ? static_cast<size_t>(Info.SidecarOffset)
+                                 : Bytes.size();
     Tables.reserve(Info.Shards);
+    uint64_t SidecarPos = Info.SidecarOffset;
     for (unsigned S = 0; S != Info.Shards; ++S) {
-      const char *Dir = Bytes.data() + iio::HeaderSize + S * iio::DirEntrySize;
-      Tables.push_back(
-          ShardTable{iio::getWordLE(Dir, 8), iio::getWordLE(Dir + 8, 8)});
+      const char *Dir = Bytes.data() + DirStart + S * iio::DirEntrySize;
+      ShardTable T;
+      T.Offset = iio::getWordLE(Dir, 8);
+      T.Count = iio::getWordLE(Dir + 8, 8);
+      if (Info.hasSidecar()) {
+        T.EytzOffset = SidecarPos;
+        T.RankOffset = SidecarPos + T.Count * (HashWidth<H>::Bits / 8);
+        SidecarPos += T.Count * iio::sidecarEntrySize(HashWidth<H>::Bits);
+        if (T.Count >= FenceMinCount) {
+          for (uint64_t F = 0; F != FenceSlots; ++F)
+            iio::getHashLE(Bytes.data() + T.EytzOffset +
+                               F * (HashWidth<H>::Bits / 8),
+                           T.Fences[F]);
+          std::sort(T.Fences.begin(), T.Fences.end());
+          T.UseFences = true;
+        }
+      }
+      Tables.push_back(T);
     }
   }
 
@@ -401,7 +581,7 @@ private:
                               I * iio::recordSize<H>());
   }
 
-  /// Just the hash field of record \p I -- what the binary search
+  /// Just the hash field of record \p I -- what the lower-bound probe
   /// compares; decoding the other 24 bytes per probe step would be
   /// wasted work on the hot path.
   H hashAt(const ShardTable &T, uint64_t I) const {
@@ -410,37 +590,56 @@ private:
     return V;
   }
 
+  /// The non-hash fields of record \p I -- what the candidate scan needs
+  /// after \ref hashAt already matched (each field read once; see the
+  /// iio::RecordTail rationale).
+  iio::RecordTail recordTail(const ShardTable &T, uint64_t I) const {
+    return iio::readRecordTail<H>(Bytes.data() + T.Offset +
+                                  I * iio::recordSize<H>());
+  }
+
   /// The record's blob as a view into the image, or a null view when the
   /// designated range is out of bounds (corrupt unverified file) -- the
   /// caller treats that as an undecodable candidate, never as bytes.
   std::string_view blobRange(uint64_t Offset, uint64_t Length) const {
-    if (Offset < BytesStart || Offset > Bytes.size() ||
-        Length > Bytes.size() - Offset)
+    if (Offset < BytesStart || Offset > BytesEnd || Length > BytesEnd - Offset)
       return std::string_view();
     return Bytes.substr(static_cast<size_t>(Offset),
                         static_cast<size_t>(Length));
   }
 
-  /// Read-path probe: binary-search the shard's sorted table for \p
-  /// Hash, then decode-and-verify each candidate under it. Lock-free;
-  /// \p Scratch must be private to the calling thread.
-  std::optional<LookupResult> findHashed(const ExprContext &SrcCtx,
-                                         const Expr *Root, H Hash,
-                                         DecodeScratch &Scratch) const {
-    static const obs::Histogram FindNs = obs::Histogram::get(
-        "hma_mapped_find_ns",
-        "Latency of one mapped-table probe (binary search + on-demand "
-        "decode-verify), ns");
-    static const obs::Counter Verifies = obs::Counter::get(
-        "hma_mapped_fallback_checks_total",
-        "Exact-verify fallback runs against mapped candidates");
-    static const obs::Counter Collisions = obs::Counter::get(
-        "hma_mapped_verified_collisions_total",
-        "Mapped hash matches refuted by the exact oracle");
-    const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
-    const ShardTable &T =
-        Tables[detail::shardIndexForHash(Hash, ShardMask)];
-    // Lower bound by hash over the fixed-width records.
+  //===--------------------------------------------------------------------===//
+  // Probe engines (lower bound by hash; all engines return the same rank)
+  //===--------------------------------------------------------------------===//
+
+  bool singleUsesEytzinger() const {
+    return Info.hasSidecar() && Engine != ProbeEngine::Scalar;
+  }
+  bool batchInterleaved() const {
+    return Info.hasSidecar() &&
+           (Engine == ProbeEngine::Auto || Engine == ProbeEngine::Interleaved);
+  }
+
+  static void countProbes(ProbeEngine E, uint64_t N) {
+    static const obs::Counter Scalar = obs::Counter::get(
+        "hma_mapped_probe_scalar_total",
+        "Mapped-table probes answered by the scalar binary-search engine");
+    static const obs::Counter Eytzinger = obs::Counter::get(
+        "hma_mapped_probe_eytzinger_total",
+        "Mapped-table probes answered by the branchless Eytzinger engine");
+    static const obs::Counter Interleaved = obs::Counter::get(
+        "hma_mapped_probe_interleaved_total",
+        "Mapped-table probes answered by the interleaved multi-probe "
+        "batch engine");
+    (E == ProbeEngine::Scalar
+         ? Scalar
+         : E == ProbeEngine::Eytzinger ? Eytzinger : Interleaved)
+        .add(N);
+  }
+
+  /// Scalar engine: branchy binary search over the record table (the
+  /// only engine a sidecar-free v1 file supports).
+  uint64_t scalarLowerBound(const ShardTable &T, H Hash) const {
     uint64_t Lo = 0, Hi = T.Count;
     while (Lo != Hi) {
       uint64_t Mid = Lo + (Hi - Lo) / 2;
@@ -449,17 +648,155 @@ private:
       else
         Hi = Mid;
     }
+    return Lo;
+  }
+
+  H eytzHashAt(const ShardTable &T, uint64_t K) const {
+    H V;
+    iio::getHashLE(Bytes.data() + T.EytzOffset +
+                       (K - 1) * (HashWidth<H>::Bits / 8),
+                   V);
+    return V;
+  }
+
+  void prefetchEytz(const ShardTable &T, uint64_t K) const {
+    HMA_PREFETCH(Bytes.data() + T.EytzOffset +
+                 (K - 1) * (HashWidth<H>::Bits / 8));
+  }
+
+  /// First sidecar slot a descent for \p Hash visits: the root, or --
+  /// when the shard is big enough for the fence skip -- the depth-
+  /// FenceLevels slot the skipped comparisons would have reached. The
+  /// fence array is the *sorted* top levels, and in a BST descent the
+  /// path bits after t levels are exactly "how many of the top t levels'
+  /// values are < Hash", so `FenceSlots + 1 + count` re-encodes them
+  /// without touching the sidecar.
+  uint64_t probeStart(const ShardTable &T, H Hash) const {
+    if (!T.UseFences)
+      return 1;
+    uint64_t Below = 0;
+    for (uint64_t F = 0; F != FenceSlots; ++F)
+      Below += T.Fences[F] < Hash ? 1 : 0;
+    return FenceSlots + 1 + Below;
+  }
+
+  /// Map a finished descent position back to a sorted rank: strip the
+  /// trailing right-turns (the classic `k >>= ffs(~k)` restore), then
+  /// read the slot's precomputed rank from the sidecar. K == 0 after the
+  /// restore means every compare went right: Hash is greater than the
+  /// whole table, rank == Count. The rank is clamped defensively -- a
+  /// corrupt unverified sidecar may mis-answer but must never push the
+  /// candidate scan out of the table.
+  uint64_t restoreRank(const ShardTable &T, uint64_t K) const {
+    K >>= __builtin_ctzll(~K) + 1;
+    if (K == 0)
+      return T.Count;
+    const uint64_t Rank =
+        iio::getWordLE(Bytes.data() + T.RankOffset +
+                           (K - 1) * iio::RankEntrySize,
+                       iio::RankEntrySize);
+    return Rank < T.Count ? Rank : T.Count;
+  }
+
+  /// Eytzinger engine: branchless descent of the shard's BFS hash
+  /// array. Each level's next slot is `2K + (hash < Hash)` -- no
+  /// mispredictable branch -- and the grandchildren's cache line is
+  /// prefetched two levels ahead so it is in flight while this level
+  /// and the next compare.
+  uint64_t eytzLowerBound(const ShardTable &T, H Hash) const {
+    const uint64_t N = T.Count;
+    uint64_t K = probeStart(T, Hash);
+    while (K <= N) {
+      if (4 * K <= N)
+        prefetchEytz(T, 4 * K);
+      K = 2 * K + (eytzHashAt(T, K) < Hash ? 1 : 0);
+    }
+    return restoreRank(T, K);
+  }
+
+  /// Interleaved engine: resolve the lower-bound rank of \p Count
+  /// hashes with up to \ref InterleaveWidth independent Eytzinger
+  /// descents in flight. Round-robin state machine: every live slot
+  /// advances one tree level per turn and prefetches its next touch, so
+  /// one descent's cache/page miss overlaps the other slots' compares
+  /// instead of stalling the worker -- memory-level parallelism, the
+  /// piece that actually hides cold mmap'd page latency. Answers are
+  /// written to \p Ranks in input order and are identical to per-item
+  /// \ref eytzLowerBound calls.
+  void probeRanksInterleaved(const H *Hashes, size_t Count,
+                             uint64_t *Ranks) const {
+    struct Slot {
+      const ShardTable *T;
+      uint64_t K;
+      H Hash;
+      size_t Out;
+    };
+    std::array<Slot, InterleaveWidth> Slots;
+    size_t Live = 0, Next = 0;
+    auto Load = [&](Slot &S) -> bool {
+      if (Next == Count)
+        return false;
+      S.Hash = Hashes[Next];
+      S.T = &Tables[detail::shardIndexForHash(S.Hash, ShardMask)];
+      S.Out = Next++;
+      S.K = probeStart(*S.T, S.Hash);
+      if (S.K <= S.T->Count)
+        prefetchEytz(*S.T, S.K);
+      return true;
+    };
+    while (Live != InterleaveWidth && Load(Slots[Live]))
+      ++Live;
+    while (Live) {
+      for (size_t I = 0; I < Live;) {
+        Slot &S = Slots[I];
+        if (S.K <= S.T->Count) {
+          S.K = 2 * S.K + (eytzHashAt(*S.T, S.K) < S.Hash ? 1 : 0);
+          if (S.K <= S.T->Count)
+            prefetchEytz(*S.T, S.K);
+          ++I;
+          continue;
+        }
+        const uint64_t Rank = restoreRank(*S.T, S.K);
+        Ranks[S.Out] = Rank;
+        if (Rank != S.T->Count)
+          // The resolve phase reads this record next; get it moving.
+          HMA_PREFETCH(Bytes.data() + S.T->Offset +
+                       Rank * iio::recordSize<H>());
+        if (Load(S))
+          ++I; // fresh descent occupies the slot
+        else
+          Slots[I] = Slots[--Live]; // compact; re-run index I
+      }
+    }
+  }
+
+  /// Candidate scan + exact verify from a lower-bound \p Rank: walk the
+  /// duplicate-hash run, decode each candidate blob on demand and accept
+  /// the first alpha-equivalent one. Reads the hash column first and the
+  /// record tail only on a match, so every field is read exactly once
+  /// per candidate. Shared by all engines -- this is what makes their
+  /// answers identical by construction.
+  std::optional<LookupResult> resolveAtRank(const ExprContext &SrcCtx,
+                                            const Expr *Root, H Hash,
+                                            const ShardTable &T, uint64_t Rank,
+                                            DecodeScratch &Scratch) const {
+    static const obs::Counter Verifies = obs::Counter::get(
+        "hma_mapped_fallback_checks_total",
+        "Exact-verify fallback runs against mapped candidates");
+    static const obs::Counter Collisions = obs::Counter::get(
+        "hma_mapped_verified_collisions_total",
+        "Mapped hash matches refuted by the exact oracle");
     uint64_t Checks = 0, Refuted = 0;
     std::optional<LookupResult> Result;
-    for (uint64_t I = Lo; I != T.Count; ++I) {
-      iio::Record<H> R = record(T, I);
-      if (R.Hash != Hash)
+    for (uint64_t I = Rank; I != T.Count; ++I) {
+      if (hashAt(T, I) != Hash)
         break;
       ++Checks;
-      std::string_view Blob = blobRange(R.Offset, R.Length);
+      const iio::RecordTail Tail = recordTail(T, I);
+      std::string_view Blob = blobRange(Tail.Offset, Tail.Length);
       const Expr *Canon = Blob.data() ? Scratch.decode(Blob) : nullptr;
       if (Canon && alphaEquivalent(SrcCtx, Root, Scratch.context(), Canon)) {
-        Result = LookupResult{Hash, R.Count, Blob};
+        Result = LookupResult{Hash, Tail.Count, Blob};
         break;
       }
       ++Refuted;
@@ -470,6 +807,38 @@ private:
       Verifies.add(Checks);
       Collisions.add(Refuted);
     }
+    return Result;
+  }
+
+  /// The duplicate-hash run length at \p Rank (hash-only; the \ref
+  /// probeHashCounts scan).
+  uint32_t countAtRank(const ShardTable &T, H Hash, uint64_t Rank) const {
+    uint32_t N = 0;
+    for (uint64_t I = Rank; I != T.Count && hashAt(T, I) == Hash; ++I)
+      ++N;
+    return N;
+  }
+
+  /// Read-path probe: lower-bound the shard's sorted table for \p Hash
+  /// (scalar or Eytzinger engine), then decode-and-verify each candidate
+  /// under it. Lock-free; \p Scratch must be private to the calling
+  /// thread.
+  std::optional<LookupResult> findHashed(const ExprContext &SrcCtx,
+                                         const Expr *Root, H Hash,
+                                         DecodeScratch &Scratch) const {
+    static const obs::Histogram FindNs = obs::Histogram::get(
+        "hma_mapped_find_ns",
+        "Latency of one mapped-table probe (lower-bound search + "
+        "on-demand decode-verify), ns");
+    const uint64_t T0 = obs::Enabled ? obs::nowNanos() : 0;
+    const ShardTable &T =
+        Tables[detail::shardIndexForHash(Hash, ShardMask)];
+    const bool Eytz = singleUsesEytzinger();
+    const uint64_t Rank =
+        Eytz ? eytzLowerBound(T, Hash) : scalarLowerBound(T, Hash);
+    countProbes(Eytz ? ProbeEngine::Eytzinger : ProbeEngine::Scalar, 1);
+    std::optional<LookupResult> Result =
+        resolveAtRank(SrcCtx, Root, Hash, T, Rank, Scratch);
     if (obs::Enabled)
       FindNs.record(obs::nowNanos() - T0);
     return Result;
@@ -481,6 +850,8 @@ private:
   HashSchema Schema;
   unsigned ShardMask = 0;
   size_t BytesStart = 0;
+  size_t BytesEnd = 0; ///< End of blob space (v2: sidecar start).
+  ProbeEngine Engine = ProbeEngine::Auto;
   std::vector<ShardTable> Tables;
   mutable std::atomic<uint64_t> ReadFallbackChecks{0};
   mutable std::atomic<uint64_t> ReadVerifiedCollisions{0};

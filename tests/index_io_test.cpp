@@ -317,12 +317,67 @@ TEST(IndexIO, ProbeReportsCompatibilitySurfaceWithoutLoading) {
   IndexFileInfo Info;
   std::string Error;
   ASSERT_TRUE(probeIndexBytes(Good, Info, &Error)) << Error;
-  EXPECT_EQ(Info.Version, 1u);
+  EXPECT_EQ(Info.Version, iio::Version);
   EXPECT_EQ(Info.Seed, HashSchema::DefaultSeed);
   EXPECT_EQ(Info.HashBits, 128u);
   EXPECT_EQ(Info.Shards, 8u);
   EXPECT_EQ(Info.NumClasses, 40u);
   EXPECT_GT(Info.Stats.Inserted, 0u);
+  // The default save carries the probe sidecar as the file's tail
+  // region: one (BFS hash, rank) pair per class.
+  ASSERT_TRUE(Info.hasSidecar());
+  EXPECT_EQ(Info.SidecarLength, Info.NumClasses * iio::sidecarEntrySize(128));
+  EXPECT_EQ(Info.SidecarOffset + Info.SidecarLength, Good.size());
+}
+
+//===----------------------------------------------------------------------===//
+// v1 <-> v2: sidecar-free files serve via scalar fallback; both
+// versions re-save bit-identically
+//===----------------------------------------------------------------------===//
+
+TEST(IndexIOVersions, V1FilesOpenServeAndResaveBitIdentically) {
+  AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+  Live.insertBatch(dupHeavyCorpus(612), 1);
+  std::string V1 = saveIndexBytes(Live, /*FormatVersion=*/1);
+  std::string V2 = saveIndexBytes(Live);
+  ASSERT_LT(V1.size(), V2.size()); // v2 = v1 + 16 header bytes + sidecar
+
+  IndexFileInfo Info;
+  std::string Error;
+  ASSERT_TRUE(probeIndexBytes(V1, Info, &Error)) << Error;
+  EXPECT_EQ(Info.Version, 1u);
+  EXPECT_FALSE(Info.hasSidecar());
+
+  // The eager loader accepts v1 and restores the identical index.
+  IndexLoadResult<Hash128> L = loadIndexBytes<Hash128>(V1);
+  ASSERT_TRUE(L.ok()) << L.Error;
+  expectSnapshotEq(Live, *L.Index);
+  expectStatsEq(Live.stats(), L.Index->stats());
+
+  // The mapped reader opens v1, verifies it, reports the scalar
+  // fallback, and refuses sidecar-dependent engines.
+  auto M = MappedIndex<Hash128>::openBytes(V1);
+  ASSERT_TRUE(M.ok()) << M.Error;
+  EXPECT_TRUE(M.Reader->verify());
+  EXPECT_FALSE(M.Reader->hasProbeSidecar());
+  EXPECT_STREQ(M.Reader->probeEngineName(), "scalar");
+  EXPECT_FALSE(M.Reader->setProbeEngine(ProbeEngine::Eytzinger));
+  EXPECT_FALSE(M.Reader->setProbeEngine(ProbeEngine::Interleaved));
+  EXPECT_TRUE(M.Reader->setProbeEngine(ProbeEngine::Scalar));
+
+  // v1 answers == v2 answers, query for query.
+  auto M2 = MappedIndex<Hash128>::openBytes(V2);
+  ASSERT_TRUE(M2.ok()) << M2.Error;
+  std::vector<std::string> Queries = dupHeavyCorpus(612);
+  expectSameLookupAnswers(M.Reader->lookupBatch(Queries, 2),
+                          M2.Reader->lookupBatch(Queries, 2),
+                          "v1 scalar vs v2 sidecar");
+
+  // Round-trips are bit-identical within each version, and upgrading a
+  // v1 file (load, save at the default version) reproduces the direct
+  // v2 image -- the sidecar is a pure function of the class table.
+  EXPECT_EQ(saveIndexBytes(*L.Index, /*FormatVersion=*/1), V1);
+  EXPECT_EQ(saveIndexBytes(*L.Index), V2);
 }
 
 //===----------------------------------------------------------------------===//
@@ -472,6 +527,7 @@ struct AdversarialFixture {
   size_t TablesStart = 0;
   size_t RecSize = 0;
   size_t BytesStart = 0;
+  size_t SidecarStart = 0;
 };
 
 AdversarialFixture singleShardFixture() {
@@ -488,9 +544,11 @@ AdversarialFixture singleShardFixture() {
   F.Queries.push_back("garbage");
   F.Image = saveIndexBytes(Live);
   F.NumRecords = Live.numClasses();
-  F.TablesStart = iio::HeaderSize + iio::DirEntrySize; // one shard
+  F.TablesStart = iio::headerSize(iio::Version) + iio::DirEntrySize; // 1 shard
   F.RecSize = iio::recordSize<Hash128>();
   F.BytesStart = F.TablesStart + F.NumRecords * F.RecSize;
+  F.SidecarStart =
+      F.Image.size() - F.NumRecords * iio::sidecarEntrySize(128);
   return F;
 }
 
@@ -517,6 +575,8 @@ TEST(IndexIOAdversarial, TruncationAtEveryRegionBoundaryRejectsBothPaths) {
                               sizeof(iio::Magic),
                               iio::HeaderSize - 1,
                               iio::HeaderSize,
+                              iio::HeaderSizeV2 - 1,
+                              iio::HeaderSizeV2,
                               F.TablesStart - 1,
                               F.TablesStart,
                               F.TablesStart + F.RecSize - 1,
@@ -524,7 +584,10 @@ TEST(IndexIOAdversarial, TruncationAtEveryRegionBoundaryRejectsBothPaths) {
                               F.TablesStart + (F.NumRecords / 2) * F.RecSize,
                               F.BytesStart - 1,
                               F.BytesStart,
-                              F.BytesStart + (Size - F.BytesStart) / 2,
+                              F.BytesStart + (F.SidecarStart - F.BytesStart) / 2,
+                              F.SidecarStart - 1,
+                              F.SidecarStart,
+                              F.SidecarStart + iio::sidecarEntrySize(128),
                               Size - 1};
   for (size_t Cut : Cuts) {
     ASSERT_LT(Cut, Size);
@@ -536,14 +599,16 @@ TEST(IndexIOAdversarial, TruncationAtEveryRegionBoundaryRejectsBothPaths) {
 
 TEST(IndexIOAdversarial, HeaderBitFlipSweepKeepsBothPathsInAgreement) {
   AdversarialFixture F = singleShardFixture();
-  for (size_t Pos = 0; Pos != iio::HeaderSize; ++Pos) {
+  for (size_t Pos = 0; Pos != iio::headerSize(iio::Version); ++Pos) {
     for (unsigned char Bit : {0x01, 0x80}) {
       std::string Bad = F.Image;
       Bad[Pos] = static_cast<char>(static_cast<unsigned char>(Bad[Pos]) ^ Bit);
       // Structural fields must reject; the seed ([8,16): a different --
       // valid -- hash family) and the stats ([32,80): counters) yield
-      // well-formed images that must survive and stay in agreement.
-      bool Structural = Pos < 8 || (Pos >= 16 && Pos < 32);
+      // well-formed images that must survive and stay in agreement. The
+      // sidecar offset/length ([80,96)) are structural again: the
+      // sidecar must be the exact tail of the file.
+      bool Structural = Pos < 8 || (Pos >= 16 && Pos < 32) || Pos >= 80;
       expectPathsAgreeOn(Bad, F.Queries, /*MustReject=*/Structural,
                          "header byte " + std::to_string(Pos) + " ^ " +
                              std::to_string(Bit));
@@ -622,7 +687,7 @@ TEST(IndexIOAdversarial, TableFieldCorruptionsRejectOrStaySafe) {
 
 TEST(IndexIOAdversarial, DirectoryCorruptionsReject) {
   AdversarialFixture F = singleShardFixture();
-  const size_t DirPos = iio::HeaderSize;
+  const size_t DirPos = iio::headerSize(iio::Version);
   const size_t Size = F.Image.size();
   // Table offset past EOF / count too large for the remaining bytes.
   expectPathsAgreeOn(patchWord64(F.Image, DirPos, Size + 1), F.Queries, true,
@@ -636,6 +701,41 @@ TEST(IndexIOAdversarial, DirectoryCorruptionsReject) {
   // both paths must agree on the outcome and stay in bounds.
   expectPathsAgreeOn(patchWord64(F.Image, DirPos, F.BytesStart), F.Queries,
                      /*MustReject=*/false, "table aliases bytes region");
+}
+
+TEST(IndexIOAdversarial, SidecarContentCorruptionsRejectBothPaths) {
+  // The sidecar is derived data -- any slot whose BFS hash or rank word
+  // disagrees with the shard's record table must reject on both paths
+  // (the loader validates per shard; the mapped reader's verify() runs
+  // the same check), or the Eytzinger engine would answer differently
+  // from the scalar one.
+  AdversarialFixture F = singleShardFixture();
+  const unsigned HashBytes = HashWidth<Hash128>::Bits / 8;
+  const size_t RanksStart = F.SidecarStart + F.NumRecords * HashBytes;
+
+  for (size_t Slot : {size_t(0), F.NumRecords / 2, F.NumRecords - 1}) {
+    // Flip one byte of the slot's BFS-ordered hash copy.
+    std::string BadHash = F.Image;
+    size_t HashPos = F.SidecarStart + Slot * HashBytes;
+    BadHash[HashPos] = static_cast<char>(
+        static_cast<unsigned char>(BadHash[HashPos]) ^ 0x01);
+    expectPathsAgreeOn(BadHash, F.Queries, /*MustReject=*/true,
+                       "sidecar hash flip in slot " + std::to_string(Slot));
+
+    // Point the slot's rank word at a different (in-range) record.
+    std::string BadRank = F.Image;
+    size_t RankPos = RanksStart + Slot * iio::RankEntrySize;
+    BadRank[RankPos] = static_cast<char>(
+        static_cast<unsigned char>(BadRank[RankPos]) ^ 0x01);
+    expectPathsAgreeOn(BadRank, F.Queries, /*MustReject=*/true,
+                       "sidecar rank flip in slot " + std::to_string(Slot));
+  }
+
+  // A rank word far out of range must also reject cleanly (and must
+  // never index out of bounds even through the unverified open path).
+  expectPathsAgreeOn(
+      patchWord64(F.Image, RanksStart, ~uint64_t(0)), F.Queries,
+      /*MustReject=*/true, "sidecar ranks 0 and 1 -> u32 max");
 }
 
 //===----------------------------------------------------------------------===//

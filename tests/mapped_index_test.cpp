@@ -376,6 +376,187 @@ TEST(MappedIndex, SingleClassIndexRoundTripsBothReadPaths) {
 }
 
 //===----------------------------------------------------------------------===//
+// Probe-engine differential battery: scalar vs eytzinger vs interleaved
+//
+// The engines must be *byte-identical* oracles of each other: same
+// hits, same misses, same canonical-byte views, same collision
+// fallbacks -- on every table shape that stresses a different part of
+// the descent (empty shards, single-record shards, duplicate-hash runs,
+// fence-sized shards) and under a multi-threaded mixed batch.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Open \p Image, force probe engine \p E, and return its batch answers.
+template <typename H>
+std::vector<std::optional<LookupResult<H>>>
+answersUnder(const std::string &Image, ProbeEngine E,
+             const std::vector<std::string> &Queries, unsigned Threads) {
+  auto M = MappedIndex<H>::openBytes(Image);
+  EXPECT_TRUE(M.ok()) << M.Error;
+  EXPECT_TRUE(M.Reader->setProbeEngine(E));
+  EXPECT_STREQ(M.Reader->probeEngineName(), probeEngineLabel(E));
+  return M.Reader->lookupBatch(Queries, Threads);
+}
+
+/// Drive \p Queries through all three engines over \p Image and demand
+/// byte-identical answers, single- and 8-threaded.
+template <typename H>
+void expectEnginesAgree(const std::string &Image,
+                        const std::vector<std::string> &Queries,
+                        const std::string &What) {
+  for (unsigned Threads : {1u, 8u}) {
+    auto Scalar = answersUnder<H>(Image, ProbeEngine::Scalar, Queries, Threads);
+    auto Eytz =
+        answersUnder<H>(Image, ProbeEngine::Eytzinger, Queries, Threads);
+    auto Inter =
+        answersUnder<H>(Image, ProbeEngine::Interleaved, Queries, Threads);
+    std::string Tag = What + " (threads=" + std::to_string(Threads) + ")";
+    expectSameLookupAnswers(Scalar, Eytz, Tag + " scalar-vs-eytzinger");
+    expectSameLookupAnswers(Scalar, Inter, Tag + " scalar-vs-interleaved");
+  }
+}
+
+} // namespace
+
+TEST(MappedIndexProbe, EnginesAgreeOnEmptyAndSingleRecordShards) {
+  // Empty index: every shard's tree is empty, every descent terminates
+  // immediately.
+  {
+    AlphaHashIndex<> Live({/*Shards=*/8, HashSchema::DefaultSeed});
+    std::string Image = saveIndexBytes(Live);
+    ExprContext Ctx;
+    std::vector<std::string> Queries = {
+        serializeExpr(Ctx, parseT(Ctx, "(lam (x) (x x))")), "garbage"};
+    expectEnginesAgree<Hash128>(Image, Queries, "empty index");
+  }
+
+  // 8 classes over 16 shards: shards hold zero or one record, the
+  // smallest non-trivial trees (plus empty ones in the same file).
+  {
+    AlphaHashIndex<> Live({/*Shards=*/16, HashSchema::DefaultSeed});
+    ExprContext Gen;
+    Rng R(404);
+    std::vector<std::string> Queries;
+    for (int I = 0; I != 8; ++I) {
+      const Expr *E = genBalanced(Gen, R, 16 + I);
+      Live.insert(Gen, E);
+      Queries.push_back(serializeExpr(Gen, E));
+      Queries.push_back(serializeExpr(Gen, alphaRename(Gen, R, E)));
+    }
+    Queries.push_back(serializeExpr(Gen, genBalanced(Gen, R, 50)));
+    Queries.push_back("garbage");
+    expectEnginesAgree<Hash128>(saveIndexBytes(Live), Queries,
+                                "single-record shards");
+  }
+}
+
+TEST(MappedIndexProbe, FenceSkipEngagesOnLargeShardsAndStaysExact) {
+  // One shard with well over FenceMinCount records: the fence array is
+  // active, so every descent starts FenceLevels deep. The skip must be a
+  // pure re-encoding of the skipped compares -- byte-identical answers
+  // on hits, misses, and duplicate queries.
+  AlphaHashIndex<> Live({/*Shards=*/1, HashSchema::DefaultSeed});
+  std::vector<std::string> Corpus = dupCorpus(150, 606);
+  Live.insertBatch(Corpus, 1);
+  ASSERT_GE(Live.numClasses(), MappedIndex<Hash128>::FenceMinCount);
+
+  std::string Image = saveIndexBytes(Live);
+  {
+    auto M = MappedIndex<Hash128>::openBytes(Image);
+    ASSERT_TRUE(M.ok()) << M.Error;
+    ASSERT_TRUE(M.Reader->hasProbeSidecar());
+    EXPECT_TRUE(M.Reader->verify());
+    // Auto on a sidecar file resolves to the interleaved batch engine.
+    EXPECT_STREQ(M.Reader->probeEngineName(), "interleaved");
+  }
+  expectEnginesAgree<Hash128>(Image, queriesOver(Corpus, 9),
+                              "fence-active single shard");
+}
+
+TEST(MappedIndexProbe16, EnginesAgreeOnDuplicateHashRunsAndCollisions) {
+  // b=16 with a forced collision and hundreds of random classes: the
+  // record tables carry duplicate-hash runs, so the lower bound must
+  // land on the *first* record of a run for the candidate scan (and the
+  // collision fallback) to see candidates in file order on every engine.
+  ExprContext Ctx;
+  Rng R(4242);
+  AlphaHashIndex<Hash16> Live({/*Shards=*/4, HashSchema::DefaultSeed});
+  AlphaHasher<Hash16> H(Ctx, Live.schema());
+  auto [A, B] = findColliding16(Ctx, R, H);
+  ASSERT_NE(A, nullptr) << "no 16-bit collision found -- width suspect";
+  Live.insert(Ctx, A);
+  Live.insert(Ctx, B);
+  Live.insert(Ctx, alphaRename(Ctx, R, A));
+  std::vector<std::string> Queries;
+  Queries.push_back(serializeExpr(Ctx, A));
+  Queries.push_back(serializeExpr(Ctx, B));
+  Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, B)));
+  for (int I = 0; I != 400; ++I) {
+    const Expr *E = genBalanced(Ctx, R, 20 + I % 30);
+    Live.insert(Ctx, E);
+    if (I % 5 == 0)
+      Queries.push_back(serializeExpr(Ctx, alphaRename(Ctx, R, E)));
+    if (I % 7 == 0)
+      Queries.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 40)));
+  }
+  Queries.push_back("garbage");
+
+  std::string Image = saveIndexBytes(Live);
+  expectEnginesAgree<Hash16>(Image, Queries, "b=16 dup runs");
+
+  // Engines see identical candidate lists, so even the *stats* agree
+  // after identical streams: same fallback checks, same refutations.
+  auto MScalar = MappedIndex<Hash16>::openBytes(Image);
+  auto MInter = MappedIndex<Hash16>::openBytes(Image);
+  ASSERT_TRUE(MScalar.ok() && MInter.ok());
+  ASSERT_TRUE(MScalar.Reader->setProbeEngine(ProbeEngine::Scalar));
+  ASSERT_TRUE(MInter.Reader->setProbeEngine(ProbeEngine::Interleaved));
+  MScalar.Reader->lookupBatch(Queries, 2);
+  MInter.Reader->lookupBatch(Queries, 2);
+  expectStatsEq(MScalar.Reader->stats(), MInter.Reader->stats());
+}
+
+TEST(MappedIndexProbe, ProbeHashCountsHonorsEveryEngineIdentically) {
+  AlphaHashIndex<> Live({/*Shards=*/4, HashSchema::DefaultSeed});
+  std::vector<std::string> Corpus = dupCorpus(80, 13);
+  Live.insertBatch(Corpus, 1);
+  std::string Image = saveIndexBytes(Live);
+
+  // Member hashes (counts >= 1, duplicates > 1), plus misses.
+  ExprContext Ctx;
+  AlphaHasher<Hash128> H(Ctx, Live.schema());
+  Rng R(21);
+  std::vector<Hash128> Hashes;
+  for (const auto &C : Live.snapshot())
+    Hashes.push_back(C.Hash);
+  for (int I = 0; I != 20; ++I)
+    Hashes.push_back(H.hashRoot(genBalanced(Ctx, R, 33)));
+
+  std::vector<uint32_t> Expected;
+  {
+    auto M = MappedIndex<Hash128>::openBytes(Image);
+    ASSERT_TRUE(M.ok());
+    ASSERT_TRUE(M.Reader->setProbeEngine(ProbeEngine::Scalar));
+    M.Reader->probeHashCounts(Hashes, Expected);
+  }
+  ASSERT_EQ(Expected.size(), Hashes.size());
+  // b=128: every stored class hash probes to exactly its own record.
+  for (size_t I = 0; I != Live.numClasses(); ++I)
+    EXPECT_EQ(Expected[I], 1u) << "class hash " << I;
+
+  for (ProbeEngine E : {ProbeEngine::Eytzinger, ProbeEngine::Interleaved,
+                        ProbeEngine::Auto}) {
+    auto M = MappedIndex<Hash128>::openBytes(Image);
+    ASSERT_TRUE(M.ok());
+    ASSERT_TRUE(M.Reader->setProbeEngine(E));
+    std::vector<uint32_t> Got;
+    M.Reader->probeHashCounts(Hashes, Got);
+    EXPECT_EQ(Got, Expected) << "engine " << probeEngineLabel(E);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Incompatible files
 //===----------------------------------------------------------------------===//
 

@@ -102,6 +102,7 @@ int usage() {
       "             stats`)\n"
       "  index open <file> [stats | query [--expr E | --expr-file F |\n"
       "             --batch FILE]] [--mmap | --load] [--no-verify]\n"
+      "             [--probe auto|scalar|eytzinger|interleaved]\n"
       "             [--shards S] [--out FILE]\n"
       "             reopen an HMAI index file (no re-ingest) and print\n"
       "             its summary, full stats, or serve queries from it.\n"
@@ -110,7 +111,11 @@ int usage() {
       "             check for an open independent of index size; reads\n"
       "             stay bounds-checked); --load materializes the index\n"
       "             instead, which --shards (re-stripe) and --out\n"
-      "             (re-save) also imply\n"
+      "             (re-save) also imply. --probe pins the mapped\n"
+      "             reader's probe engine (default auto: interleaved\n"
+      "             batches + eytzinger singles when the file carries\n"
+      "             the v2 sidecar, scalar otherwise); the engines\n"
+      "             answer identically and differ only in speed\n"
       "  index update <file> <corpus> [--threads T] [--out FILE]\n"
       "             reopen an HMAI file, ingest another corpus into it,\n"
       "             and rewrite the file in place (--out: write the\n"
@@ -304,6 +309,8 @@ struct IndexArgs {
   bool ForceMmap = false; ///< --mmap: insist on the zero-copy reader.
   bool ForceLoad = false; ///< --load: insist on the materializing loader.
   bool NoVerify = false;  ///< --no-verify: skip the mapped table check.
+  ProbeEngine Probe = ProbeEngine::Auto; ///< --probe: mapped probe engine.
+  bool ProbeSet = false;  ///< --probe given explicitly.
   bool Json = false;      ///< --json: machine-readable stats report.
   bool Prom = false;      ///< --prom: Prometheus text exposition.
   const char *TraceOut = nullptr; ///< --trace-out: Chrome trace JSON path.
@@ -353,6 +360,16 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
       A.ForceLoad = true;
     else if (std::strcmp(Argv[I], "--no-verify") == 0)
       A.NoVerify = true;
+    else if (Want("--probe")) {
+      std::optional<ProbeEngine> E = parseProbeEngine(Argv[++I]);
+      if (!E) {
+        std::fprintf(stderr, "error: --probe must be auto, scalar, "
+                             "eytzinger, or interleaved\n");
+        return false;
+      }
+      A.Probe = *E;
+      A.ProbeSet = true;
+    }
     else if (std::strcmp(Argv[I], "--json") == 0)
       A.Json = true;
     else if (std::strcmp(Argv[I], "--prom") == 0)
@@ -591,6 +608,7 @@ int cmdIndexQuery(const IndexArgs &A) {
 /// mapped).
 void printStatsReport(const IndexReader<Hash128> &Index) {
   printSchema(Index);
+  std::printf("probe engine:        %s\n", Index.probeEngineName());
   IndexStats S = Index.stats();
   std::printf("fallback checks:     %llu\n",
               static_cast<unsigned long long>(S.FallbackChecks));
@@ -705,16 +723,25 @@ std::unique_ptr<MappedIndex<Hash128>> openMappedIndex(const IndexArgs &A) {
       return nullptr;
     }
   }
+  if (!R.Reader->setProbeEngine(A.Probe)) {
+    std::fprintf(stderr,
+                 "index error: --probe=%s requires the v2 Eytzinger "
+                 "sidecar, which '%s' does not carry; re-save it (e.g. "
+                 "`hma index open %s --load --out %s`) to upgrade\n",
+                 probeEngineLabel(A.Probe), A.Path, A.Path, A.Path);
+    return nullptr;
+  }
   auto End = std::chrono::steady_clock::now();
   std::fprintf(A.narrate(),
                "opened %s (%s): %zu classes, %llu members, %u shards, "
-               "%.6f s (%s, %s)\n",
+               "%.6f s (%s, %s, probe %s)\n",
                A.Path, R.Reader->backendName(), R.Reader->numClasses(),
                static_cast<unsigned long long>(R.Reader->stats().Inserted),
                R.Reader->numShards(),
                std::chrono::duration<double>(End - Start).count(),
                R.Reader->isFileMapped() ? "zero-copy" : "buffered copy",
-               A.NoVerify ? "tables unverified" : "tables verified");
+               A.NoVerify ? "tables unverified" : "tables verified",
+               R.Reader->probeEngineName());
   return std::move(R.Reader);
 }
 
@@ -765,6 +792,14 @@ int cmdIndexOpen(const IndexArgs &A) {
     std::fprintf(stderr, "error: --no-verify applies to the mapped reader "
                          "and cannot be combined with --load/--shards/"
                          "--out\n");
+    return 2;
+  }
+  if (A.ProbeSet) {
+    // The materialized index probes its hash table; silently ignoring an
+    // explicit engine request would fake an ablation data point.
+    std::fprintf(stderr, "error: --probe selects the mapped reader's probe "
+                         "engine and cannot be combined with --load/"
+                         "--shards/--out\n");
     return 2;
   }
   auto Index = openIndexFile(A);
@@ -1057,11 +1092,11 @@ int cmdIndex(int Argc, char **Argv) {
   }
   // The read-path flags only mean something to `open`; anywhere else
   // they must not be silently swallowed.
-  if ((A.ForceMmap || A.ForceLoad || A.NoVerify) &&
+  if ((A.ForceMmap || A.ForceLoad || A.NoVerify || A.ProbeSet) &&
       std::strcmp(A.Sub, "open") != 0) {
     std::fprintf(stderr,
-                 "error: --mmap/--load/--no-verify apply to `index open` "
-                 "only\n");
+                 "error: --mmap/--load/--no-verify/--probe apply to "
+                 "`index open` only\n");
     return 2;
   }
   // --json/--prom reshape the stats report; anywhere else they would be
