@@ -40,6 +40,9 @@
 ///                      no ablation rows appear in this mode)
 ///   --probe            run ONLY the probe-engine ablation and the
 ///                      forced-collision microbench (CI's probe gate)
+///   --segment          run ONLY the segmented-append-vs-rewrite
+///                      measurement and the `CSV,segment_update` row
+///                      (CI's segment gate)
 ///
 /// Output: a human table plus machine-readable `CSV,...` rows
 ///   CSV,env,<hardware_concurrency>,<single_core>,<obs_enabled>
@@ -48,6 +51,7 @@
 ///   CSV,lookup_throughput,<family>,<queries>,<sec>,<queries_per_sec>,<obs_enabled>,<engine>,<mode>
 ///   CSV,probe_scaling,<engine>,<threads>,<queries>,<sec>,<queries_per_sec>
 ///   CSV,collision_probe,b16,<engine>,<queries>,<sec>,<queries_per_sec>,<verified_collisions>
+///   CSV,segment_update,<classes>,<delta>,<append_sec>,<rewrite_sec>,<speedup>,<fresh>,<compact_sec>,<diff_ok>
 ///   CSV,obs_hist,<name>,<count>,<p50_ns>,<p90_ns>,<p99_ns>,<max_ns>
 ///
 /// `CSV,env` records the machine (a single hardware thread makes the
@@ -75,6 +79,8 @@
 #include "index/AlphaHashIndex.h"
 #include "index/IndexIO.h"
 #include "index/MappedIndex.h"
+#include "index/SegmentCompactor.h"
+#include "index/SegmentSet.h"
 #include "obs/Metrics.h"
 
 #include <cstdio>
@@ -83,6 +89,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 using namespace hma;
 using namespace hma::bench;
@@ -487,24 +497,171 @@ void runCollisionMicrobench() {
   std::remove(Path.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Segmented append vs full rewrite: the O(delta) update claim
+//===----------------------------------------------------------------------===//
+
+/// Element-wise snapshot equality: same classes, same counts, same
+/// canonical spellings -- the "answers byte-identical" check.
+bool snapshotsEqual(const std::vector<ClassSummary<Hash128>> &A,
+                    const std::vector<ClassSummary<Hash128>> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].Hash != B[I].Hash || A[I].Count != B[I].Count ||
+        A[I].CanonicalBytes != B[I].CanonicalBytes)
+      return false;
+  return true;
+}
+
+/// The tentpole's measurement: a 1% delta applied to a >= 100k-class
+/// index, as a segmented append (stage delta + reconcile + manifest
+/// swap; O(delta)) vs the single-file rewrite `hma index update`
+/// performs (load + ingest + save; O(index)). Both paths start from the
+/// *same* base image and ingest the *same* delta single-threaded, so
+/// their final class tables must be byte-identical -- checked against
+/// the rewritten file both before and after compacting the directory,
+/// and reported as the CSV row's diff_ok field:
+///
+///   CSV,segment_update,<classes>,<delta>,<append_sec>,<rewrite_sec>,
+///       <speedup>,<fresh>,<compact_sec>,<diff_ok>
+void runSegmentUpdate() {
+  const size_t BaseCount = 110000; // >= 100k classes (acceptance floor)
+  const size_t DeltaCount = BaseCount / 100;
+  std::printf("\n-- segmented append vs full rewrite (1%% delta) --\n");
+
+  // Base corpus: ~all-unique small expressions. Delta: 3/4 fresh, 1/4
+  // exact duplicates of base entries so the append's reconciliation
+  // probe and cross-segment count summing both do real work.
+  std::vector<std::string> Base, Delta;
+  Base.reserve(BaseCount);
+  Delta.reserve(DeltaCount);
+  {
+    ExprContext Ctx;
+    Rng R(4411);
+    for (size_t I = 0; I != BaseCount; ++I)
+      Base.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 12 + I % 13)));
+    for (size_t I = 0; I != DeltaCount; ++I) {
+      if (I % 4 == 3)
+        Delta.push_back(Base[(I * 37) % BaseCount]);
+      else
+        Delta.push_back(
+            serializeExpr(Ctx, genBalanced(Ctx, R, 12 + I % 13)));
+    }
+  }
+
+  AlphaHashIndex<> BaseIdx;
+  BaseIdx.insertBatch(Base, std::thread::hardware_concurrency());
+  const std::string Dir = "index_throughput.seg.tmp";
+  const std::string File = "index_throughput.seg.hmai.tmp";
+  std::string WriteError;
+  SegmentAppendResult Created = createSegmentDir(Dir, BaseIdx);
+  if (!Created.Ok ||
+      !writeFileReplacing(File, saveIndexBytes(BaseIdx), &WriteError)) {
+    std::printf("ERROR: cannot seed segment bench: %s\n",
+                (Created.Ok ? WriteError : Created.Error).c_str());
+    return;
+  }
+  const size_t Classes = BaseIdx.numClasses();
+
+  // The append: O(delta) staging, one reconcile probe per delta class,
+  // manifest swap. Existing segments are never read in bulk.
+  SegmentAppendOptions Opts;
+  Opts.Threads = 1;
+  SegmentAppendResult AR;
+  double AppendSec = timeOnce([&] { AR = appendSegment<Hash128>(Dir, Delta, Opts); });
+  if (!AR.Ok) {
+    std::printf("ERROR: append failed: %s\n", AR.Error.c_str());
+    return;
+  }
+
+  // The rewrite: what `hma index update` does to a single HMAI file --
+  // materialize everything, ingest the delta, serialise everything.
+  double RewriteSec = timeOnce([&] {
+    auto L = loadIndexFile<Hash128>(File);
+    if (!L.ok())
+      return;
+    L.Index->insertBatch(Delta, 1);
+    saveIndexFile(*L.Index, File);
+  });
+
+  // After the rewrite, File holds base+delta: the single-file reference
+  // the segmented answers must match byte-identically.
+  auto Ref = loadIndexFile<Hash128>(File);
+  bool DiffOk = Ref.ok();
+  if (DiffOk) {
+    auto Seg = SegmentedIndex<Hash128>::open(Dir);
+    DiffOk = Seg.ok() &&
+             snapshotsEqual(Seg.Reader->snapshot(), Ref.Index->snapshot());
+  }
+
+  double CompactSec = timeOnce([&] {
+    SegmentCompactResult C = compactSegments<Hash128>(Dir);
+    if (!C.Ok)
+      std::printf("ERROR: compact failed: %s\n", C.Error.c_str());
+  });
+  if (DiffOk) {
+    auto Seg = SegmentedIndex<Hash128>::open(Dir);
+    DiffOk = Seg.ok() && Seg.Reader->set().numSegments() == 1 &&
+             snapshotsEqual(Seg.Reader->snapshot(), Ref.Index->snapshot());
+  }
+
+  double Speedup = AppendSec > 0 ? RewriteSec / AppendSec : 0.0;
+  std::printf("%8s %zu classes + %zu delta: append %s vs rewrite %s "
+              "(%.0fx); %llu fresh; compact %s; answers %s\n",
+              "", Classes, Delta.size(), fmtSeconds(AppendSec).c_str(),
+              fmtSeconds(RewriteSec).c_str(), Speedup,
+              static_cast<unsigned long long>(AR.Fresh),
+              fmtSeconds(CompactSec).c_str(),
+              DiffOk ? "identical" : "DIFFER");
+  if (!DiffOk)
+    std::printf("ERROR: segmented answers differ from the single-file "
+                "rebuild\n");
+  std::printf("CSV,segment_update,%zu,%zu,%.6f,%.6f,%.1f,%llu,%.6f,%d\n",
+              Classes, Delta.size(), AppendSec, RewriteSec, Speedup,
+              static_cast<unsigned long long>(AR.Fresh), CompactSec,
+              DiffOk ? 1 : 0);
+
+  // Cleanup: manifest-listed segments, any orphans, the manifest, the
+  // directory, and the single-file twin.
+  {
+    std::string Bytes;
+    SegmentManifest M;
+    if (readFileBytes(manifestPathFor(Dir), Bytes, nullptr) &&
+        SegmentManifest::decode(Bytes, M))
+      for (const SegmentEntry &E : M.Segments)
+        std::remove((Dir + "/" + E.Name).c_str());
+    gcSegmentDir(Dir);
+    std::remove(manifestPathFor(Dir).c_str());
+#if defined(__unix__) || defined(__APPLE__)
+    ::rmdir(Dir.c_str());
+#endif
+    std::remove(File.c_str());
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool LookupOnly = false;
   bool ProbeOnly = false;
+  bool SegmentOnly = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--lookup-only") == 0)
       LookupOnly = true;
     else if (std::strcmp(Argv[I], "--probe") == 0)
       ProbeOnly = true;
+    else if (std::strcmp(Argv[I], "--segment") == 0)
+      SegmentOnly = true;
     else {
-      std::fprintf(stderr, "usage: %s [--lookup-only | --probe]\n", Argv[0]);
+      std::fprintf(stderr, "usage: %s [--lookup-only | --probe | --segment]\n",
+                   Argv[0]);
       return 2;
     }
   }
-  if (LookupOnly && ProbeOnly) {
-    std::fprintf(stderr, "error: --lookup-only and --probe are mutually "
-                         "exclusive\n");
+  if (LookupOnly + ProbeOnly + SegmentOnly > 1) {
+    std::fprintf(stderr, "error: --lookup-only, --probe and --segment are "
+                         "mutually exclusive\n");
     return 2;
   }
   size_t Count = fullMode() ? 100000 : 10000;
@@ -523,10 +680,15 @@ int main(int Argc, char **Argv) {
     runCollisionMicrobench();
     return 0;
   }
+  if (SegmentOnly) {
+    runSegmentUpdate();
+    return 0;
+  }
   runFamily("balanced", Count, 64);
   runFamily("unbalanced", Count / 4, 256);
   runProbeAblation();
   runCollisionMicrobench();
+  runSegmentUpdate();
 
   // Every obs histogram the run populated, as log2-bucket summaries.
   // Nothing is printed under HMA_OBS_OFF (the snapshot is empty).

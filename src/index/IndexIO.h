@@ -304,9 +304,17 @@ IndexLoadResult<H> loadFail(std::string Error, size_t Pos) {
 /// per-shard locks, so a save racing an insertBatch yields a loadable
 /// image whose stats may not correspond to exactly the captured class
 /// set.
+///
+/// \p StatsOverride, if non-null, is stamped into the header in place of
+/// \ref AlphaHashIndex::stats. Segmented-index writers need this: a
+/// delta segment's header must record the delta's contribution *to the
+/// union* (reconciled against older segments -- see
+/// index/SegmentCompactor.h), not the raw counters of the scratch index
+/// the delta was staged in.
 template <typename H>
 std::string saveIndexBytes(const AlphaHashIndex<H> &Index,
-                           uint32_t FormatVersion = iio::Version) {
+                           uint32_t FormatVersion = iio::Version,
+                           const IndexStats *StatsOverride = nullptr) {
   static const obs::Histogram SaveNs = obs::Histogram::get(
       "hma_index_save_ns", "Latency of serialising an index to HMAI, ns");
   static const obs::Counter SavedBytes = obs::Counter::get(
@@ -334,7 +342,7 @@ std::string saveIndexBytes(const AlphaHashIndex<H> &Index,
   Info.HashBits = HashWidth<H>::Bits;
   Info.Shards = Shards;
   Info.NumClasses = Classes.size();
-  Info.Stats = Index.stats();
+  Info.Stats = StatsOverride ? *StatsOverride : Index.stats();
 
   const size_t RecSize = iio::recordSize<H>();
   const size_t DirStart = iio::headerSize(FormatVersion);

@@ -401,6 +401,17 @@ public:
     return findHashed(Ctx, Root, Hasher.hashRoot(Root), Scratch);
   }
 
+  /// Probe this image for an already-uniquified, already-hashed query:
+  /// the per-segment entry point of \ref SegmentedIndex, which hashes a
+  /// query once and then probes every segment of a segmented index with
+  /// the same (root, hash) pair. Engine selection, candidate scan and
+  /// counters are exactly those of \ref lookup.
+  std::optional<LookupResult> lookupHashed(const ExprContext &Ctx,
+                                           const Expr *Root, H Hash,
+                                           DecodeScratch &Scratch) const {
+    return findHashed(Ctx, Root, Hash, Scratch);
+  }
+
   std::vector<std::optional<LookupResult>>
   lookupBatch(const std::vector<std::string> &Blobs,
               unsigned Threads) override {

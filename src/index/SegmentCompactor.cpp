@@ -1,0 +1,20 @@
+//===- index/SegmentCompactor.cpp - Segmented-index maintenance helpers -----===//
+
+#include "index/SegmentCompactor.h"
+
+using namespace hma;
+
+std::vector<std::string> hma::gcSegmentDir(const std::string &Dir,
+                                           std::string *Error) {
+  std::vector<std::string> Removed;
+  std::string Bytes;
+  if (!readFileBytes(manifestPathFor(Dir), Bytes, Error))
+    return Removed;
+  SegmentManifest M;
+  if (!SegmentManifest::decode(Bytes, M, Error))
+    return Removed;
+  for (const std::string &Name : listUnreferencedSegments(Dir, M))
+    if (std::remove((Dir + "/" + Name).c_str()) == 0)
+      Removed.push_back(Name);
+  return Removed;
+}

@@ -1,0 +1,417 @@
+//===- index/SegmentCompactor.h - Segmented-index write path ----------------===//
+///
+/// \file
+/// The write side of a segmented index: creating one, appending a delta
+/// segment in O(delta), merging segments back into one, and deleting the
+/// crash-window leftovers. (index/SegmentManifest.h documents the layout
+/// and the crash rules; index/SegmentSet.h is the read side.)
+///
+/// **Append is O(delta).** \ref appendSegment stages the delta corpus in
+/// a scratch \ref AlphaHashIndex, writes it as one new segment file, and
+/// commits by atomically rewriting the manifest. The existing segments
+/// are never read in bulk -- the only per-existing-index work is one
+/// probe per *delta class* (newest-first through the mapped segments,
+/// O(log classes) each) to reconcile the delta's header stats against
+/// the union:
+///
+///  - a delta class some older segment already holds is, from the
+///    union's point of view, not a new class -- every member the delta
+///    ingested for it was a duplicate insert. The segment's header
+///    stats are adjusted (NewClasses down, Duplicates up) before the
+///    save, so summing header stats across segments reproduces what a
+///    single-file ingest of the concatenated corpus would have counted.
+///  - the same probe computes the entry's `fresh` count (classes absent
+///    from every older segment), which is what keeps
+///    \ref SegmentedIndex::numClasses O(1).
+///
+/// **Compaction restores the single-segment layout.** \ref
+/// compactSegments merges the per-shard sorted tables with a linear
+/// k-way pass (\ref detail::mergeClassSummaries: oldest representative,
+/// saturating counts), rebuilds one index via the no-rehash
+/// \ref AlphaHashIndex::restoreClass path, writes it as a new segment,
+/// swaps the manifest, and only then deletes the replaced segment
+/// files. Readers that opened the old generation keep serving: their
+/// mappings pin the deleted files' bytes until they close (POSIX unlink
+/// semantics -- asserted by tests/segment_test.cpp).
+///
+/// Both writers follow the same commit discipline: new bytes first,
+/// manifest rename second, deletions last. A crash at any point leaves
+/// either the old index (manifest not yet swapped; the new segment is
+/// an ignored orphan) or the new one (swap done; undeleted old files
+/// are orphans) -- never a torn state. \ref gcSegmentDir deletes the
+/// orphans either crash leaves behind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HMA_INDEX_SEGMENTCOMPACTOR_H
+#define HMA_INDEX_SEGMENTCOMPACTOR_H
+
+#include "ast/Serialize.h"
+#include "ast/Uniquify.h"
+#include "index/AlphaHashIndex.h"
+#include "index/IndexIO.h"
+#include "index/SegmentManifest.h"
+#include "index/SegmentSet.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/types.h>
+#define HMA_HAVE_MKDIR 1
+#endif
+
+namespace hma {
+
+/// Tuning and testing knobs for \ref appendSegment.
+struct SegmentAppendOptions {
+  unsigned Threads = 1; ///< Ingest parallelism for staging the delta.
+  /// Shard count for the new segment (independent of older segments;
+  /// each segment file carries its own directory).
+  unsigned Shards = 64;
+  /// Crash-window simulation: return (successfully, with \ref
+  /// SegmentAppendResult::Aborted set) after the segment file is written
+  /// but *before* the manifest swap -- the exact state a crash between
+  /// the two leaves on disk. The CLI exposes it as
+  /// `--crash-after-segment`; CI reopens the directory afterwards and
+  /// asserts the old index still serves.
+  bool AbortAfterSegmentWrite = false;
+};
+
+/// What one append (or create) did.
+struct SegmentAppendResult {
+  bool Ok = false;
+  bool Aborted = false; ///< Stopped at the crash window (see options).
+  std::string Error;
+  std::string SegmentName;   ///< File the delta was written to.
+  uint64_t DeltaClasses = 0; ///< Classes in the new segment's table.
+  uint64_t Fresh = 0;        ///< ... of which exist in no older segment.
+  uint64_t ClassesBefore = 0; ///< Union class count before the append.
+  uint64_t ClassesAfter = 0;  ///< Union class count after it.
+};
+
+/// Turn \p Index into the first segment of a fresh segmented index at
+/// directory \p Dir (created if missing). Any `seg-*.hmai` files already
+/// present become orphans of the new manifest -- reported by \ref
+/// SegmentSet::open and collectable with \ref gcSegmentDir, exactly like
+/// crash leftovers.
+template <typename H>
+SegmentAppendResult createSegmentDir(const std::string &Dir,
+                                     const AlphaHashIndex<H> &Index) {
+  SegmentAppendResult R;
+#ifdef HMA_HAVE_MKDIR
+  if (::mkdir(Dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    R.Error = Dir + ": cannot create directory";
+    return R;
+  }
+#endif
+  SegmentManifest M;
+  M.Seed = Index.schema().seed();
+  M.HashBits = HashWidth<H>::Bits;
+  R.SegmentName = segmentFileName(M.NextId);
+  const std::string Image = saveIndexBytes(Index);
+  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error))
+    return R;
+  SegmentEntry E;
+  E.Name = R.SegmentName;
+  E.FileBytes = Image.size();
+  E.Classes = Index.numClasses();
+  E.Fresh = Index.numClasses(); // no older segment exists
+  M.Segments.push_back(std::move(E));
+  M.NextId = 2;
+  if (!writeManifestReplacing(Dir, M, &R.Error))
+    return R;
+  R.Ok = true;
+  R.DeltaClasses = R.Fresh = Index.numClasses();
+  R.ClassesAfter = Index.numClasses();
+  return R;
+}
+
+/// Append \p DeltaBlobs to the segmented index at \p Dir as one new
+/// segment: O(delta) staging + one reconciliation probe per delta class,
+/// never a rewrite of existing segments. Commit point is the manifest
+/// swap (see the file comment for the crash discipline).
+template <typename H>
+SegmentAppendResult appendSegment(const std::string &Dir,
+                                  const std::vector<std::string> &DeltaBlobs,
+                                  const SegmentAppendOptions &Opts = {}) {
+  static const obs::Histogram AppendNs = obs::Histogram::get(
+      "hma_segment_append_ns",
+      "Latency of appending one delta segment (stage + reconcile + "
+      "write + manifest swap), ns");
+  static const obs::Counter Appends = obs::Counter::get(
+      "hma_segment_appends_total", "Delta segments appended");
+  obs::ScopedTrace Span("segment_append", "io",
+                        static_cast<int64_t>(DeltaBlobs.size()));
+  obs::ScopedTimer Timer(AppendNs);
+
+  SegmentAppendResult R;
+  typename SegmentSet<H>::OpenResult Set = SegmentSet<H>::open(Dir);
+  if (!Set.ok()) {
+    R.Error = std::move(Set.Error);
+    return R;
+  }
+  SegmentManifest M = Set.Set->manifest();
+  R.ClassesBefore = M.totalClasses();
+
+  // Stage the delta in a scratch index under the manifest's schema.
+  typename AlphaHashIndex<H>::Options IxOpts;
+  IxOpts.Shards = Opts.Shards;
+  IxOpts.Seed = M.Seed;
+  AlphaHashIndex<H> Delta(IxOpts);
+  Delta.insertBatch(DeltaBlobs, Opts.Threads);
+  R.DeltaClasses = Delta.numClasses();
+
+  // Reconcile against the union: one probe per delta class. The
+  // snapshot's hash is authoritative (no re-hashing); only the decode +
+  // binder-uniquify of each delta representative is new work, and the
+  // probes run the segments' usual branchless engines.
+  IndexStats Stats = Delta.stats();
+  ExprContext Ctx;
+  DecodeScratch Scratch;
+  for (const auto &C : Delta.snapshot()) {
+    DeserializeResult D = deserializeExpr(Ctx, C.CanonicalBytes);
+    if (!D.ok()) {
+      R.Error = "staged delta produced an undecodable canonical blob";
+      return R;
+    }
+    const Expr *Root = uniquifyBinders(Ctx, D.E);
+    bool Known = false;
+    for (const auto &S : Set.Set->segments())
+      if (S->lookupHashed(Ctx, Root, C.Hash, Scratch)) {
+        Known = true;
+        break;
+      }
+    if (Known) {
+      // Not a new class in the union: the insert that created it in the
+      // scratch index was, union-wise, a duplicate merge.
+      Stats.NewClasses -= 1;
+      Stats.Duplicates += 1;
+    } else {
+      R.Fresh += 1;
+    }
+  }
+
+  R.SegmentName = segmentFileName(M.NextId);
+  const std::string Image = saveIndexBytes(Delta, iio::Version, &Stats);
+  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error))
+    return R;
+  if (Opts.AbortAfterSegmentWrite) {
+    // Crash-window simulation: the segment exists, the manifest does not
+    // know it. NextId was not bumped, so the next successful append
+    // atomically replaces this orphan.
+    R.Ok = R.Aborted = true;
+    R.ClassesAfter = R.ClassesBefore;
+    return R;
+  }
+
+  SegmentEntry E;
+  E.Name = R.SegmentName;
+  E.FileBytes = Image.size();
+  E.Classes = R.DeltaClasses;
+  E.Fresh = R.Fresh;
+  M.Segments.insert(M.Segments.begin(), std::move(E)); // newest first
+  M.NextId += 1;
+  if (!writeManifestReplacing(Dir, M, &R.Error))
+    return R;
+  Appends.add(1);
+  R.Ok = true;
+  R.ClassesAfter = M.totalClasses();
+  return R;
+}
+
+/// What one compaction did.
+struct SegmentCompactResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t SegmentsBefore = 0;
+  uint64_t SegmentsAfter = 0;
+  uint64_t Classes = 0; ///< Classes in the merged table.
+};
+
+/// Merge every segment of \p Dir into one and commit. After the manifest
+/// swap the replaced segment files are deleted; failures to delete are
+/// not errors (the files are orphans, \ref gcSegmentDir collects them).
+/// A single-segment index is already compact: no-op success.
+template <typename H>
+SegmentCompactResult compactSegments(const std::string &Dir) {
+  static const obs::Histogram CompactNs = obs::Histogram::get(
+      "hma_segment_compact_ns",
+      "Latency of merging all segments of a segmented index into one, ns");
+  static const obs::Counter Compactions = obs::Counter::get(
+      "hma_segment_compactions_total", "Segmented-index compactions");
+  obs::ScopedTrace Span("segment_compact", "io");
+  obs::ScopedTimer Timer(CompactNs);
+
+  SegmentCompactResult R;
+  typename SegmentSet<H>::OpenResult Set = SegmentSet<H>::open(Dir);
+  if (!Set.ok()) {
+    R.Error = std::move(Set.Error);
+    return R;
+  }
+  const SegmentManifest &Old = Set.Set->manifest();
+  R.SegmentsBefore = Old.Segments.size();
+  R.Classes = Old.totalClasses();
+  if (Old.Segments.size() < 2) {
+    R.Ok = true;
+    R.SegmentsAfter = R.SegmentsBefore;
+    return R;
+  }
+
+  // Linear k-way merge of the per-segment sorted tables (oldest
+  // representative wins, counts sum saturating), then the no-rehash
+  // restore path rebuilds a live index around the merged table.
+  std::vector<std::vector<ClassSummary<H>>> Streams;
+  Streams.reserve(Set.Set->numSegments());
+  const auto &Segments = Set.Set->segments();
+  for (size_t I = Segments.size(); I != 0; --I) // oldest first
+    Streams.push_back(Segments[I - 1]->snapshot());
+  std::vector<ClassSummary<H>> Merged =
+      detail::mergeClassSummaries<H>(Streams);
+  Streams.clear();
+
+  typename AlphaHashIndex<H>::Options IxOpts;
+  IxOpts.Shards = Segments.front()->numShards();
+  IxOpts.Seed = Old.Seed;
+  AlphaHashIndex<H> Compacted(IxOpts);
+  for (ClassSummary<H> &C : Merged)
+    Compacted.restoreClass(C.Hash, std::move(C.CanonicalBytes), C.Count);
+  // Header stats of the compacted segment: the saturating union of the
+  // inputs' headers, same aggregation the segmented reader reports.
+  IndexStats Sum;
+  for (const auto &S : Segments) {
+    const IndexStats SS = S->stats();
+    Sum.Inserted = saturatingAdd(Sum.Inserted, SS.Inserted);
+    Sum.NewClasses = saturatingAdd(Sum.NewClasses, SS.NewClasses);
+    Sum.Duplicates = saturatingAdd(Sum.Duplicates, SS.Duplicates);
+    Sum.FallbackChecks = saturatingAdd(Sum.FallbackChecks, SS.FallbackChecks);
+    Sum.VerifiedCollisions =
+        saturatingAdd(Sum.VerifiedCollisions, SS.VerifiedCollisions);
+    Sum.DecodeErrors = saturatingAdd(Sum.DecodeErrors, SS.DecodeErrors);
+  }
+  Compacted.restoreStats(Sum);
+
+  SegmentManifest New;
+  New.Seed = Old.Seed;
+  New.HashBits = Old.HashBits;
+  New.NextId = Old.NextId + 1;
+  SegmentEntry E;
+  E.Name = segmentFileName(Old.NextId);
+  const std::string Image = saveIndexBytes(Compacted);
+  if (!writeFileReplacing(Dir + "/" + E.Name, Image, &R.Error))
+    return R;
+  E.FileBytes = Image.size();
+  E.Classes = Compacted.numClasses();
+  E.Fresh = Compacted.numClasses(); // sole segment: everything is fresh
+  New.Segments.push_back(std::move(E));
+  if (!writeManifestReplacing(Dir, New, &R.Error))
+    return R;
+
+  // Committed. The replaced files are now orphans; delete them, but a
+  // failure here only means gc has work left, not that compaction
+  // failed. Live readers of the old generation are unaffected: their
+  // mappings pin the unlinked bytes.
+  for (const SegmentEntry &OldE : Old.Segments)
+    std::remove((Dir + "/" + OldE.Name).c_str());
+  Compactions.add(1);
+  R.Ok = true;
+  R.SegmentsAfter = 1;
+  return R;
+}
+
+/// Delete every segment-shaped file in \p Dir the manifest does not
+/// reference (crash-window leftovers). Returns the names removed;
+/// \p Error is set only if the manifest itself cannot be read.
+std::vector<std::string> gcSegmentDir(const std::string &Dir,
+                                      std::string *Error = nullptr);
+
+/// Background compaction: a thread that watches one segmented-index
+/// directory and runs \ref compactSegments whenever the manifest lists
+/// at least \ref Options::TriggerSegments segments. Appenders and the
+/// compactor may interleave freely -- every writer goes through the
+/// same atomic manifest swap -- but there must be at most one compactor
+/// per directory (writers do not lock each other out).
+template <typename H = Hash128> class SegmentCompactor {
+public:
+  struct Options {
+    unsigned TriggerSegments = 4; ///< Compact at this many segments.
+    unsigned PollMs = 50;         ///< Manifest re-check interval.
+  };
+
+  explicit SegmentCompactor(std::string Dir, Options Opts = {})
+      : Dir(std::move(Dir)), Opts(Opts), Worker([this] { run(); }) {}
+
+  ~SegmentCompactor() { stop(); }
+
+  /// Stop watching and join the thread (idempotent).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stopped)
+        return;
+      Stopped = true;
+    }
+    Cv.notify_all();
+    Worker.join();
+  }
+
+  uint64_t compactions() const {
+    return Done.load(std::memory_order_relaxed);
+  }
+
+  std::string lastError() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return LastError;
+  }
+
+private:
+  void run() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Cv.wait_for(Lock, std::chrono::milliseconds(Opts.PollMs),
+                    [this] { return Stopped; });
+        if (Stopped)
+          return;
+      }
+      // Peek at the manifest without opening segments: decode is O(entries).
+      std::string Bytes;
+      SegmentManifest M;
+      if (!readFileBytes(manifestPathFor(Dir), Bytes, nullptr) ||
+          !SegmentManifest::decode(Bytes, M))
+        continue;
+      if (M.Segments.size() < Opts.TriggerSegments)
+        continue;
+      SegmentCompactResult R = compactSegments<H>(Dir);
+      if (R.Ok) {
+        Done.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::lock_guard<std::mutex> Lock(Mu);
+        LastError = std::move(R.Error);
+      }
+    }
+  }
+
+  std::string Dir;
+  Options Opts;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopped = false;
+  std::string LastError;
+  std::atomic<uint64_t> Done{0};
+  std::thread Worker;
+};
+
+} // namespace hma
+
+#endif // HMA_INDEX_SEGMENTCOMPACTOR_H

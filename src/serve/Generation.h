@@ -36,9 +36,12 @@
 #define HMA_SERVE_GENERATION_H
 
 #include "index/MappedIndex.h"
+#include "index/SegmentManifest.h"
+#include "index/SegmentSet.h"
 #include "obs/Metrics.h"
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -47,13 +50,30 @@
 
 namespace hma::serve {
 
-/// One immutable serving generation. Holders may use `Index` freely from
-/// any thread (the mapped read path is lock-free); nothing here mutates
-/// after publication.
+/// One immutable serving generation: either a single mapped `HMAI` file
+/// or a whole segmented-index directory (\ref SegmentedIndex), admitted
+/// behind the same verify gate. Holders may use `Index` freely from any
+/// thread (both read paths are lock-free); nothing here mutates after
+/// publication.
 struct Generation {
-  std::unique_ptr<MappedIndex<Hash128>> Index;
+  std::unique_ptr<MappedIndex<Hash128>> Mapped;
+  std::unique_ptr<SegmentedIndex<Hash128>> Segmented;
+  /// The live backend, whichever of the two is set: every interface use
+  /// (stats rendering, schema, counts) goes through this one pointer.
+  IndexReader<Hash128> *Index = nullptr;
   uint64_t Number = 0;  ///< Strictly monotonic across swaps.
-  std::string Path;     ///< File this generation was opened from.
+  std::string Path;     ///< File or directory this generation came from.
+
+  /// The scratch-reusing lookup the request path needs (not part of the
+  /// \ref IndexReader surface): dispatch to whichever backend is live.
+  std::optional<LookupResult<Hash128>>
+  lookup(ExprContext &Ctx, const Expr *Root, AlphaHasher<Hash128> &Hasher,
+         DecodeScratch &Scratch) const {
+    assert(Index && "generation published without a backend");
+    if (Mapped)
+      return Mapped->lookup(Ctx, Root, Hasher, Scratch);
+    return Segmented->lookup(Ctx, Root, Hasher, Scratch);
+  }
 };
 
 using GenerationRef = std::shared_ptr<const Generation>;
@@ -103,28 +123,57 @@ public:
     obs::ScopedTimer Timer(LoadNs);
 
     LoadOutcome Out;
-    MappedIndex<Hash128>::OpenResult R = MappedIndex<Hash128>::open(Path);
-    if (!R.ok()) {
+    auto Reject = [&](const std::string &Error, size_t ErrorPos) {
       Rejected.add(1);
       LoadsRejected.fetch_add(1, std::memory_order_relaxed);
-      Out.Message = "reload rejected: " + R.Error + " (byte " +
-                    std::to_string(R.ErrorPos) + ") in '" + Path + "'";
-      return Out;
-    }
-    if (Verify) {
-      std::string Error;
-      size_t ErrorPos = 0;
-      if (!R.Reader->verify(&Error, &ErrorPos)) {
-        Rejected.add(1);
-        LoadsRejected.fetch_add(1, std::memory_order_relaxed);
-        Out.Message = "reload rejected: " + Error + " (byte " +
-                      std::to_string(ErrorPos) + ") in '" + Path + "'";
-        return Out;
-      }
-    }
+      Out.Message = "reload rejected: " + Error + " (byte " +
+                    std::to_string(ErrorPos) + ") in '" + Path + "'";
+    };
 
     auto *G = new Generation();
-    G->Index = std::move(R.Reader);
+    if (isSegmentDir(Path)) {
+      // A segmented index is admitted whole: manifest decode, every
+      // segment opened and cross-checked, and (with \p Verify) the deep
+      // table check on each -- one gate for the entire SegmentSet, so a
+      // torn manifest or one corrupt segment rejects the directory and
+      // the old generation keeps serving.
+      SegmentedIndex<Hash128>::OpenResult R =
+          SegmentedIndex<Hash128>::open(Path);
+      if (!R.ok()) {
+        delete G;
+        Reject(R.Error, R.ErrorPos);
+        return Out;
+      }
+      if (Verify) {
+        std::string Error;
+        size_t ErrorPos = 0;
+        if (!R.Reader->verify(&Error, &ErrorPos)) {
+          delete G;
+          Reject(Error, ErrorPos);
+          return Out;
+        }
+      }
+      G->Segmented = std::move(R.Reader);
+      G->Index = G->Segmented.get();
+    } else {
+      MappedIndex<Hash128>::OpenResult R = MappedIndex<Hash128>::open(Path);
+      if (!R.ok()) {
+        delete G;
+        Reject(R.Error, R.ErrorPos);
+        return Out;
+      }
+      if (Verify) {
+        std::string Error;
+        size_t ErrorPos = 0;
+        if (!R.Reader->verify(&Error, &ErrorPos)) {
+          delete G;
+          Reject(Error, ErrorPos);
+          return Out;
+        }
+      }
+      G->Mapped = std::move(R.Reader);
+      G->Index = G->Mapped.get();
+    }
     G->Path = Path;
     Out.Classes = G->Index->numClasses();
     // The deleter runs when the last in-flight holder drains: retirement

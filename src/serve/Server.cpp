@@ -834,7 +834,7 @@ struct Server::Impl {
     DeserializeResult D = deserializeExpr(Ctx, Blob);
     if (D.ok()) {
       std::optional<LookupResult<Hash128>> Hit =
-          Gen.Index->lookup(Ctx, D.E, Hasher, Scratch.Scratch);
+          Gen.lookup(Ctx, D.E, Hasher, Scratch.Scratch);
       if (Hit) {
         R.Present = true;
         R.Hash = Hit->Hash;

@@ -172,7 +172,7 @@ TEST(GenerationSwap, ConcurrentReadersNeverSeeWrongAnswersAcross100Swaps) {
         ExprContext Ctx;
         DeserializeResult D = deserializeExpr(Ctx, Blob);
         ASSERT_TRUE(D.ok());
-        auto Hit = Gen->Index->lookup(Ctx, D.E, Hasher, Scratch);
+        auto Hit = Gen->lookup(Ctx, D.E, Hasher, Scratch);
         const auto &Want = Expect[I % Corpus.size()];
         if (!Hit || !Want || Hit->Hash != Want->Hash ||
             Hit->Count != Want->Count ||

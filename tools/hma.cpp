@@ -15,7 +15,9 @@
 ///   hma index query <corpus> [--expr E | --expr-file F | --batch FILE]
 ///   hma index stats <corpus> [--threads T] [--shards S]
 ///   hma index open <file> [stats | query ...] [--mmap | --load]
-///   hma index update <file> <corpus> [--threads T] [--out FILE]
+///   hma index update <file|dir> <corpus> [--threads T] [--out FILE]
+///   hma index compact <dir>
+///   hma index gc <dir>
 ///
 /// Expressions are read from the file argument or stdin. A corpus is
 /// either a text file with one expression per line or a binary "HMAC"
@@ -48,6 +50,9 @@
 #include "index/IndexIO.h"
 #include "index/IndexReader.h"
 #include "index/MappedIndex.h"
+#include "index/SegmentCompactor.h"
+#include "index/SegmentManifest.h"
+#include "index/SegmentSet.h"
 #include "index/StatsReport.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
@@ -88,8 +93,12 @@ int usage() {
       "             [--count K] (K expressions, one per line)\n"
       "  bench-expr time all four hashing algorithms on the input\n"
       "  index build <corpus> [--threads T] [--shards S] [--out FILE]\n"
+      "             [--segmented]\n"
       "             intern a corpus modulo alpha; --out persists the\n"
-      "             index (classes+counts+stats) as a binary HMAI file\n"
+      "             index (classes+counts+stats) as a binary HMAI file.\n"
+      "             --segmented makes --out a *directory* (MANIFEST +\n"
+      "             HMAI segment files) whose updates append in\n"
+      "             O(delta) instead of rewriting the index\n"
       "  index query <corpus> [--expr E | --expr-file F | --batch FILE]\n"
       "             build, then look expressions up (default: stdin).\n"
       "             --batch FILE bulk-queries a whole corpus of\n"
@@ -116,10 +125,26 @@ int usage() {
       "             batches + eytzinger singles when the file carries\n"
       "             the v2 sidecar, scalar otherwise); the engines\n"
       "             answer identically and differ only in speed\n"
-      "  index update <file> <corpus> [--threads T] [--out FILE]\n"
-      "             reopen an HMAI file, ingest another corpus into it,\n"
-      "             and rewrite the file in place (--out: write the\n"
-      "             updated index elsewhere, leaving <file> untouched)\n"
+      "  index update <file|dir> <corpus> [--threads T] [--out FILE]\n"
+      "             [--json] [--auto-compact N] [--crash-after-segment]\n"
+      "             single HMAI file: reopen, ingest the corpus, rewrite\n"
+      "             in place (--out: write elsewhere). Segment\n"
+      "             directory: append the delta as one new segment --\n"
+      "             O(delta), existing segments untouched.\n"
+      "             --auto-compact N compacts when the directory reaches\n"
+      "             N segments; --json emits a machine summary on\n"
+      "             stdout (narrative goes to stderr);\n"
+      "             --crash-after-segment stops after the segment write,\n"
+      "             before the manifest swap (torn-append simulation,\n"
+      "             exit 3)\n"
+      "  index compact <dir>\n"
+      "             merge every segment of a segmented index into one\n"
+      "             and swap the manifest atomically; old readers keep\n"
+      "             serving their generation\n"
+      "  index gc <dir>\n"
+      "             delete segment files the manifest does not reference\n"
+      "             (leftovers of a crash between segment write and\n"
+      "             manifest swap)\n"
       "  indexd <file> --socket PATH [--port N] [--threads T]\n"
       "             [--request-timeout-ms N] [--idle-timeout-ms N]\n"
       "             [--drain-timeout-ms N] [--max-frame-bytes N]\n"
@@ -311,6 +336,11 @@ struct IndexArgs {
   bool NoVerify = false;  ///< --no-verify: skip the mapped table check.
   ProbeEngine Probe = ProbeEngine::Auto; ///< --probe: mapped probe engine.
   bool ProbeSet = false;  ///< --probe given explicitly.
+  bool Segmented = false; ///< --segmented: build a segment directory.
+  unsigned AutoCompact = 0; ///< --auto-compact: compact at N segments.
+  bool CrashAfterSegment = false; ///< --crash-after-segment: stop an
+                                  ///< update at the crash window (CI's
+                                  ///< torn-append simulation; exit 3).
   bool Json = false;      ///< --json: machine-readable stats report.
   bool Prom = false;      ///< --prom: Prometheus text exposition.
   const char *TraceOut = nullptr; ///< --trace-out: Chrome trace JSON path.
@@ -370,6 +400,13 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
       A.Probe = *E;
       A.ProbeSet = true;
     }
+    else if (std::strcmp(Argv[I], "--segmented") == 0)
+      A.Segmented = true;
+    else if (Want("--auto-compact")) {
+      if (!Positive("--auto-compact", Argv[++I], 1 << 20, A.AutoCompact))
+        return false;
+    } else if (std::strcmp(Argv[I], "--crash-after-segment") == 0)
+      A.CrashAfterSegment = true;
     else if (std::strcmp(Argv[I], "--json") == 0)
       A.Json = true;
     else if (std::strcmp(Argv[I], "--prom") == 0)
@@ -511,15 +548,16 @@ void printSchema(const IndexReader<Hash128> &Index) {
   std::printf("hash bits:           %u\n", HashWidth<Hash128>::Bits);
 }
 
-bool writeIndexFile(const AlphaHashIndex<Hash128> &Index, const char *Path) {
+bool writeIndexFile(const IndexArgs &A, const AlphaHashIndex<Hash128> &Index,
+                    const char *Path) {
   std::string Error;
   std::string Bytes = saveIndexBytes(Index);
   if (!writeFileReplacing(Path, Bytes, &Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return false;
   }
-  std::printf("wrote index: %zu classes (%zu bytes) to %s\n",
-              Index.numClasses(), Bytes.size(), Path);
+  std::fprintf(A.narrate(), "wrote index: %zu classes (%zu bytes) to %s\n",
+               Index.numClasses(), Bytes.size(), Path);
   return true;
 }
 
@@ -527,7 +565,25 @@ int cmdIndexBuild(const IndexArgs &A) {
   AlphaHashIndex<Hash128> Index({A.Shards, HashSchema::DefaultSeed});
   if (!buildIndex(A, Index))
     return 1;
-  if (A.OutPath && !writeIndexFile(Index, A.OutPath))
+  if (A.Segmented) {
+    // `build --segmented --out DIR`: seed a segment directory instead of
+    // a single HMAI file; `update` on it is O(delta) from then on.
+    if (!A.OutPath) {
+      std::fprintf(stderr, "error: --segmented requires --out DIR\n");
+      return 2;
+    }
+    SegmentAppendResult R = createSegmentDir(A.OutPath, Index);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::fprintf(A.narrate(),
+                 "wrote segmented index: %llu classes to %s (segment %s)\n",
+                 static_cast<unsigned long long>(R.ClassesAfter), A.OutPath,
+                 R.SegmentName.c_str());
+    return 0;
+  }
+  if (A.OutPath && !writeIndexFile(A, Index, A.OutPath))
     return 1;
   return 0;
 }
@@ -745,6 +801,51 @@ std::unique_ptr<MappedIndex<Hash128>> openMappedIndex(const IndexArgs &A) {
   return std::move(R.Reader);
 }
 
+/// Open a segment directory over \ref SegmentedIndex, mirroring \ref
+/// openMappedIndex: deep-verify by default, probe-engine selection, one
+/// open summary line, orphans reported (never silently).
+std::unique_ptr<SegmentedIndex<Hash128>>
+openSegmentedIndex(const IndexArgs &A) {
+  auto Start = std::chrono::steady_clock::now();
+  SegmentedIndex<Hash128>::OpenResult R = SegmentedIndex<Hash128>::open(A.Path);
+  if (!R.ok()) {
+    std::fprintf(stderr, "index error: %s (byte %zu)\n", R.Error.c_str(),
+                 R.ErrorPos);
+    return nullptr;
+  }
+  if (!A.NoVerify) {
+    std::string Error;
+    size_t ErrorPos = 0;
+    if (!R.Reader->verify(&Error, &ErrorPos)) {
+      std::fprintf(stderr, "index error: %s (byte %zu)\n", Error.c_str(),
+                   ErrorPos);
+      return nullptr;
+    }
+  }
+  if (!R.Reader->setProbeEngine(A.Probe)) {
+    std::fprintf(stderr,
+                 "index error: --probe=%s requires the v2 Eytzinger "
+                 "sidecar on every segment of '%s'\n",
+                 probeEngineLabel(A.Probe), A.Path);
+    return nullptr;
+  }
+  auto End = std::chrono::steady_clock::now();
+  std::fprintf(A.narrate(),
+               "opened %s (%s): %zu classes, %zu segments, %.6f s (%s, "
+               "probe %s)\n",
+               A.Path, R.Reader->backendName(), R.Reader->numClasses(),
+               R.Reader->set().numSegments(),
+               std::chrono::duration<double>(End - Start).count(),
+               A.NoVerify ? "tables unverified" : "tables verified",
+               R.Reader->probeEngineName());
+  for (const std::string &Orphan : R.Reader->set().orphans())
+    std::fprintf(stderr,
+                 "warning: unreferenced segment file '%s' (crash "
+                 "leftover; `hma index gc %s` removes it)\n",
+                 Orphan.c_str(), A.Path);
+  return std::move(R.Reader);
+}
+
 int cmdIndexOpen(const IndexArgs &A) {
   bool IsQuery = A.OpenSub && std::strcmp(A.OpenSub, "query") == 0;
   bool IsStats = A.OpenSub && std::strcmp(A.OpenSub, "stats") == 0;
@@ -782,6 +883,20 @@ int cmdIndexOpen(const IndexArgs &A) {
       printSchema(Index);
     return 0;
   };
+  if (isSegmentDir(A.Path)) {
+    // A segment directory always serves through the mapped segments; the
+    // materializing loader and its re-shard/re-save tools are
+    // single-file operations (compact first to get one).
+    if (A.ForceLoad || NeedsLoad) {
+      std::fprintf(stderr,
+                   "error: --load/--shards/--out do not apply to a "
+                   "segmented index; `hma index compact %s` first\n",
+                   A.Path);
+      return 2;
+    }
+    auto Seg = openSegmentedIndex(A);
+    return Seg ? Serve(*Seg) : 1;
+  }
   if (!A.ForceLoad && !NeedsLoad) {
     auto Mapped = openMappedIndex(A);
     return Mapped ? Serve(*Mapped) : 1;
@@ -807,12 +922,87 @@ int cmdIndexOpen(const IndexArgs &A) {
     return 1;
   // `open F --shards 8 --out G` is the re-shard tool: reopen re-striped,
   // then persist the result.
-  if (A.OutPath && !writeIndexFile(*Index, A.OutPath))
+  if (A.OutPath && !writeIndexFile(A, *Index, A.OutPath))
     return 1;
   return Serve(*Index);
 }
 
+/// `update --json`'s machine summary: one JSON object on stdout (all
+/// narrative goes to stderr), so scripted pipelines can parse the
+/// outcome without scraping prose.
+void emitUpdateJson(uint64_t Before, uint64_t After, const char *Mode,
+                    const SegmentAppendResult *Seg) {
+  std::printf("{\"classes_before\":%llu,\"classes_after\":%llu,"
+              "\"mode\":\"%s\"",
+              static_cast<unsigned long long>(Before),
+              static_cast<unsigned long long>(After), Mode);
+  if (Seg)
+    std::printf(",\"segment\":\"%s\",\"delta_classes\":%llu,\"fresh\":%llu",
+                Seg->SegmentName.c_str(),
+                static_cast<unsigned long long>(Seg->DeltaClasses),
+                static_cast<unsigned long long>(Seg->Fresh));
+  std::printf("}\n");
+}
+
+/// `update` on a segment directory: O(delta) append, never a rewrite.
+int cmdIndexUpdateSegmented(const IndexArgs &A) {
+  if (A.OutPath) {
+    std::fprintf(stderr, "error: --out applies to single-file updates; a "
+                         "segmented update appends in place\n");
+    return 2;
+  }
+  CorpusLoadResult Corpus;
+  if (!readCorpus(A.CorpusPath, Corpus))
+    return 1;
+  SegmentAppendOptions Opts;
+  Opts.Threads = A.Threads;
+  Opts.Shards = A.Shards;
+  Opts.AbortAfterSegmentWrite = A.CrashAfterSegment;
+  auto Start = std::chrono::steady_clock::now();
+  SegmentAppendResult R = appendSegment<Hash128>(A.Path, Corpus.Blobs, Opts);
+  auto End = std::chrono::steady_clock::now();
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (R.Aborted) {
+    // The deliberate torn-append state: segment written, manifest not
+    // swapped. Distinct exit status so CI can assert this path ran.
+    std::fprintf(stderr, "update aborted at crash window: segment %s "
+                         "written, manifest not swapped\n",
+                 R.SegmentName.c_str());
+    return 3;
+  }
+  std::fprintf(A.narrate(),
+               "update: %llu -> %llu classes (segment %s: %llu classes, "
+               "%llu fresh, %.3f s)\n",
+               static_cast<unsigned long long>(R.ClassesBefore),
+               static_cast<unsigned long long>(R.ClassesAfter),
+               R.SegmentName.c_str(),
+               static_cast<unsigned long long>(R.DeltaClasses),
+               static_cast<unsigned long long>(R.Fresh),
+               std::chrono::duration<double>(End - Start).count());
+  if (A.AutoCompact) {
+    typename SegmentSet<Hash128>::OpenResult Set =
+        SegmentSet<Hash128>::open(A.Path);
+    if (Set.ok() && Set.Set->numSegments() >= A.AutoCompact) {
+      SegmentCompactResult C = compactSegments<Hash128>(A.Path);
+      if (!C.Ok) {
+        std::fprintf(stderr, "error: %s\n", C.Error.c_str());
+        return 1;
+      }
+      std::fprintf(A.narrate(), "compacted: %llu segments -> 1\n",
+                   static_cast<unsigned long long>(C.SegmentsBefore));
+    }
+  }
+  if (A.Json)
+    emitUpdateJson(R.ClassesBefore, R.ClassesAfter, "segmented", &R);
+  return 0;
+}
+
 int cmdIndexUpdate(const IndexArgs &A) {
+  if (isSegmentDir(A.Path))
+    return cmdIndexUpdateSegmented(A);
   auto Index = openIndexFile(A);
   if (!Index)
     return 1;
@@ -821,10 +1011,52 @@ int cmdIndexUpdate(const IndexArgs &A) {
     return 1;
   size_t Before = Index->numClasses();
   ingestCorpus(A, *Index, Corpus);
-  std::printf("update: %zu -> %zu classes\n", Before, Index->numClasses());
+  // Narrative, not machine output: under --json stdout carries only the
+  // JSON summary below.
+  std::fprintf(A.narrate(), "update: %zu -> %zu classes\n", Before,
+               Index->numClasses());
   // Rewrite in place by default; --out redirects to a new file and
   // leaves the original untouched.
-  return writeIndexFile(*Index, A.OutPath ? A.OutPath : A.Path) ? 0 : 1;
+  if (!writeIndexFile(A, *Index, A.OutPath ? A.OutPath : A.Path))
+    return 1;
+  if (A.Json)
+    emitUpdateJson(Before, Index->numClasses(), "rewrite", nullptr);
+  return 0;
+}
+
+/// `hma index compact <dir>`: merge every segment into one (foreground;
+/// the same routine \ref SegmentCompactor runs in the background).
+int cmdIndexCompact(const IndexArgs &A) {
+  auto Start = std::chrono::steady_clock::now();
+  SegmentCompactResult R = compactSegments<Hash128>(A.Path);
+  auto End = std::chrono::steady_clock::now();
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::fprintf(A.narrate(),
+               "compacted %s: %llu segments -> %llu (%llu classes, %.3f s)\n",
+               A.Path, static_cast<unsigned long long>(R.SegmentsBefore),
+               static_cast<unsigned long long>(R.SegmentsAfter),
+               static_cast<unsigned long long>(R.Classes),
+               std::chrono::duration<double>(End - Start).count());
+  return 0;
+}
+
+/// `hma index gc <dir>`: delete segment files the manifest does not
+/// reference (crash-window leftovers).
+int cmdIndexGc(const IndexArgs &A) {
+  std::string Error;
+  std::vector<std::string> Removed = gcSegmentDir(A.Path, &Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  for (const std::string &Name : Removed)
+    std::printf("removed %s\n", Name.c_str());
+  std::fprintf(A.narrate(), "gc: %zu orphan segment(s) removed\n",
+               Removed.size());
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1099,21 +1331,38 @@ int cmdIndex(int Argc, char **Argv) {
                  "`index open` only\n");
     return 2;
   }
-  // --json/--prom reshape the stats report; anywhere else they would be
-  // silently swallowed.
+  // --json/--prom reshape the stats report (and `update` emits a --json
+  // summary); anywhere else they would be silently swallowed.
   bool IsStatsReport =
       std::strcmp(A.Sub, "stats") == 0 ||
       (std::strcmp(A.Sub, "open") == 0 && A.OpenSub &&
        std::strcmp(A.OpenSub, "stats") == 0) ||
       (std::strcmp(A.Sub, "ctl") == 0 && A.Path &&
        std::strcmp(A.Path, "stats") == 0);
-  if (A.machineOutput() && !IsStatsReport) {
-    std::fprintf(stderr, "error: --json/--prom apply to `index stats` and "
+  bool IsUpdate = std::strcmp(A.Sub, "update") == 0;
+  if (A.Prom && !IsStatsReport) {
+    std::fprintf(stderr, "error: --prom applies to `index stats` and "
                          "`index open <file> stats` only\n");
+    return 2;
+  }
+  if (A.Json && !IsStatsReport && !IsUpdate) {
+    std::fprintf(stderr, "error: --json applies to `index stats`, `index "
+                         "open <file> stats`, and `index update` only\n");
     return 2;
   }
   if (A.Json && A.Prom) {
     std::fprintf(stderr, "error: --json and --prom are mutually exclusive\n");
+    return 2;
+  }
+  // The segment-lifecycle flags pair with their own subcommands.
+  if (A.Segmented && std::strcmp(A.Sub, "build") != 0) {
+    std::fprintf(stderr, "error: --segmented applies to `index build` "
+                         "only\n");
+    return 2;
+  }
+  if ((A.AutoCompact || A.CrashAfterSegment) && !IsUpdate) {
+    std::fprintf(stderr, "error: --auto-compact/--crash-after-segment "
+                         "apply to `index update` only\n");
     return 2;
   }
 
@@ -1134,6 +1383,10 @@ int cmdIndex(int Argc, char **Argv) {
     Rc = cmdIndexOpen(A);
   else if (std::strcmp(A.Sub, "update") == 0)
     Rc = cmdIndexUpdate(A);
+  else if (std::strcmp(A.Sub, "compact") == 0)
+    Rc = cmdIndexCompact(A);
+  else if (std::strcmp(A.Sub, "gc") == 0)
+    Rc = cmdIndexGc(A);
   else
     return usage();
   if (A.TraceOut) {
