@@ -3,15 +3,8 @@
 #include "index/IndexIO.h"
 
 #include <cassert>
-#include <cstdio>
-#include <fstream>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#define HMA_HAVE_FSYNC 1
-#endif
+#include <cerrno>
+#include <cstring>
 
 using namespace hma;
 
@@ -194,89 +187,100 @@ bool hma::probeIndexBytes(std::string_view Bytes, IndexFileInfo &Info,
 //===----------------------------------------------------------------------===//
 
 bool hma::readFileBytes(const std::string &Path, std::string &Out,
-                        std::string *Error) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
+                        std::string *Error, IoEnv &Env) {
+  int Fd = Env.open(Path.c_str(), openFlagsRead(), 0);
+  if (Fd < 0) {
     if (Error)
-      *Error = "cannot open '" + Path + "'";
+      *Error = "cannot open '" + Path + "': " + std::strerror(-Fd);
     return false;
   }
-  Out.assign(std::istreambuf_iterator<char>(In),
-             std::istreambuf_iterator<char>());
-  if (In.bad()) {
-    if (Error)
-      *Error = "read error on '" + Path + "'";
-    return false;
+  Out.clear();
+  char Buf[1 << 16];
+  for (;;) {
+    long R = Env.read(Fd, Buf, sizeof(Buf));
+    if (R == 0)
+      break;
+    if (R < 0) {
+      if (R == -EINTR)
+        continue;
+      (void)Env.close(Fd);
+      if (Error)
+        *Error = "read error on '" + Path + "': " + std::strerror(int(-R));
+      return false;
+    }
+    Out.append(Buf, static_cast<size_t>(R));
   }
+  (void)Env.close(Fd);
   return true;
 }
 
-#ifdef HMA_HAVE_FSYNC
-namespace {
-/// fsync the directory containing \p Path, committing the rename itself
-/// (the entry's *name*, not just its data) to disk. Best-effort: some
-/// filesystems refuse O_RDONLY directory fds, and a failed directory
-/// sync must not turn an already-renamed, fully-written file into an
-/// error.
-void fsyncParentDir(const std::string &Path) {
-  size_t Slash = Path.find_last_of('/');
-  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
-  if (Dir.empty())
-    Dir = "/";
-  int Fd = ::open(Dir.c_str(), O_RDONLY);
-  if (Fd < 0)
-    return;
-  (void)::fsync(Fd);
-  ::close(Fd);
-}
-} // namespace
-#endif
-
 bool hma::writeFileReplacing(const std::string &Path, std::string_view Bytes,
-                             std::string *Error) {
+                             std::string *Error, IoEnv &Env) {
   const std::string Tmp = Path + ".tmp";
+  // Every failure exit unlinks the partial tmp: an ENOSPC mid-write must
+  // not strand a large dead file that then blocks the retry on an
+  // already-full disk. The errno goes into the message verbatim --
+  // "cannot write" without the why has sent operators down the wrong
+  // road too many times.
+  auto Fail = [&](const std::string &What, int Err, bool DropTmp) {
+    if (DropTmp)
+      (void)Env.unlink(Tmp.c_str());
+    if (Error)
+      *Error = What + ": " + std::strerror(Err ? Err : EIO);
+    return false;
+  };
+
   // A stale sibling .tmp -- a previous writer that crashed between
   // creating it and renaming it -- is dead weight, never data: remove it
-  // rather than refusing. fopen("wb") would truncate it anyway; the
-  // explicit remove also clears odd leftovers (wrong permissions, a
-  // directory would still fail below with a clear error).
-  std::remove(Tmp.c_str());
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F) {
-    if (Error)
-      *Error = "cannot open '" + Tmp + "' for writing";
-    return false;
+  // rather than refusing. O_TRUNC would clear it anyway; the explicit
+  // unlink also clears odd leftovers (wrong permissions; a directory
+  // would still fail below with a clear error).
+  (void)Env.unlink(Tmp.c_str());
+  int Fd = Env.open(Tmp.c_str(), openFlagsWriteTrunc(), 0666);
+  if (Fd < 0)
+    return Fail("cannot open '" + Tmp + "' for writing", -Fd, false);
+
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    long R = Env.write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (R < 0) {
+      if (R == -EINTR)
+        continue;
+      (void)Env.close(Fd);
+      return Fail("cannot write '" + Tmp + "'", int(-R), true);
+    }
+    if (R == 0) {
+      (void)Env.close(Fd);
+      return Fail("cannot write '" + Tmp + "'", EIO, true);
+    }
+    Off += static_cast<size_t>(R);
   }
-  bool Ok = Bytes.empty() ||
-            std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
-  Ok = std::fflush(F) == 0 && Ok;
-#ifdef HMA_HAVE_FSYNC
+
   // The rename below is atomic, but on journaled filesystems it can be
   // committed before the tmp file's *data* reaches disk; a power cut in
   // that window would leave the target name pointing at a torn file.
   // Flushing the data first closes the window.
-  Ok = fsync(fileno(F)) == 0 && Ok;
-#endif
-  Ok = std::fclose(F) == 0 && Ok;
-  if (!Ok) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "cannot write '" + Tmp + "'";
-    return false;
+  if (int R = Env.fsync(Fd); R < 0) {
+    (void)Env.close(Fd);
+    return Fail("cannot fsync '" + Tmp + "'", -R, true);
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
-    return false;
-  }
-#ifdef HMA_HAVE_FSYNC
+  if (int R = Env.close(Fd); R < 0)
+    return Fail("cannot write '" + Tmp + "'", -R, true);
+
+  if (int R = Env.rename(Tmp.c_str(), Path.c_str()); R < 0)
+    return Fail("cannot rename '" + Tmp + "' to '" + Path + "'", -R, true);
+
   // The data is on disk (fsync above) and the name now points at it, but
   // the rename lives in the *directory*, which has its own durability: a
   // power cut here could resurrect the old entry -- or, for a first
   // write, no entry at all. Syncing the parent directory commits the
-  // swap.
-  fsyncParentDir(Path);
-#endif
+  // swap. Best-effort: some filesystems refuse directory fds, and a
+  // failed directory sync must not turn an already-renamed, fully-
+  // written file into an error.
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  (void)Env.fsyncDir(Dir.c_str());
   return true;
 }

@@ -69,6 +69,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/HashCode.h"
+#include "support/IoEnv.h"
 
 #include <cstdint>
 #include <memory>
@@ -112,15 +113,19 @@ template <typename H> struct IndexLoadResult {
 bool probeIndexBytes(std::string_view Bytes, IndexFileInfo &Info,
                      std::string *Error = nullptr, size_t *ErrorPos = nullptr);
 
-/// Read a whole file (binary) into \p Out.
+/// Read a whole file (binary) into \p Out. All I/O runs through \p Env
+/// (the production passthrough by default).
 bool readFileBytes(const std::string &Path, std::string &Out,
-                   std::string *Error);
+                   std::string *Error, IoEnv &Env = IoEnv::system());
 
 /// Write \p Bytes to \p Path atomically-ish: a sibling `.tmp` file is
-/// written, flushed and renamed over \p Path, so a crash mid-write never
-/// leaves a torn file behind the original name.
+/// written, fsynced and renamed over \p Path (parent directory synced
+/// after), so a crash mid-write never leaves a torn file behind the
+/// original name. On *any* failure the partial `.tmp` is unlinked and
+/// \p Error carries the errno text. All I/O runs through \p Env, which
+/// is how the crash matrix injects ENOSPC/EIO/power-cut at every call.
 bool writeFileReplacing(const std::string &Path, std::string_view Bytes,
-                        std::string *Error);
+                        std::string *Error, IoEnv &Env = IoEnv::system());
 
 namespace iio {
 
@@ -497,11 +502,13 @@ IndexLoadResult<H> loadIndexBytes(std::string_view Bytes,
 
 /// Write \p Index to \p Path (via a sibling temporary file renamed into
 /// place, so a crash mid-write never leaves a torn index). Returns false
-/// with \p Error set on I/O failure.
+/// with \p Error set (errno text included) on I/O failure; the partial
+/// `.tmp` never survives a failure.
 template <typename H>
 bool saveIndexFile(const AlphaHashIndex<H> &Index, const std::string &Path,
-                   std::string *Error = nullptr) {
-  return writeFileReplacing(Path, saveIndexBytes(Index), Error);
+                   std::string *Error = nullptr,
+                   IoEnv &Env = IoEnv::system()) {
+  return writeFileReplacing(Path, saveIndexBytes(Index), Error, Env);
 }
 
 /// Read \p Path and reconstruct the index it holds.

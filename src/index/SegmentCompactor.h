@@ -55,21 +55,18 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include "support/IoEnv.h"
+
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/stat.h>
-#include <sys/types.h>
-#define HMA_HAVE_MKDIR 1
-#endif
 
 namespace hma {
 
@@ -86,6 +83,10 @@ struct SegmentAppendOptions {
   /// `--crash-after-segment`; CI reopens the directory afterwards and
   /// asserts the old index still serves.
   bool AbortAfterSegmentWrite = false;
+  /// I/O environment every durable write runs through (null: the
+  /// production passthrough). The crash matrix passes a \ref FaultIoEnv
+  /// here to fail / power-cut any call of the append.
+  IoEnv *Env = nullptr;
 };
 
 /// What one append (or create) did.
@@ -107,20 +108,20 @@ struct SegmentAppendResult {
 /// crash leftovers.
 template <typename H>
 SegmentAppendResult createSegmentDir(const std::string &Dir,
-                                     const AlphaHashIndex<H> &Index) {
+                                     const AlphaHashIndex<H> &Index,
+                                     const SegmentAppendOptions &Opts = {}) {
+  IoEnv &Env = Opts.Env ? *Opts.Env : IoEnv::system();
   SegmentAppendResult R;
-#ifdef HMA_HAVE_MKDIR
-  if (::mkdir(Dir.c_str(), 0777) != 0 && errno != EEXIST) {
-    R.Error = Dir + ": cannot create directory";
+  if (int E = Env.mkdir(Dir.c_str(), 0777); E < 0 && E != -EEXIST) {
+    R.Error = Dir + ": cannot create directory: " + std::strerror(-E);
     return R;
   }
-#endif
   SegmentManifest M;
   M.Seed = Index.schema().seed();
   M.HashBits = HashWidth<H>::Bits;
   R.SegmentName = segmentFileName(M.NextId);
   const std::string Image = saveIndexBytes(Index);
-  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error))
+  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error, Env))
     return R;
   SegmentEntry E;
   E.Name = R.SegmentName;
@@ -129,7 +130,7 @@ SegmentAppendResult createSegmentDir(const std::string &Dir,
   E.Fresh = Index.numClasses(); // no older segment exists
   M.Segments.push_back(std::move(E));
   M.NextId = 2;
-  if (!writeManifestReplacing(Dir, M, &R.Error))
+  if (!writeManifestReplacing(Dir, M, &R.Error, Env))
     return R;
   R.Ok = true;
   R.DeltaClasses = R.Fresh = Index.numClasses();
@@ -202,9 +203,10 @@ SegmentAppendResult appendSegment(const std::string &Dir,
     }
   }
 
+  IoEnv &Env = Opts.Env ? *Opts.Env : IoEnv::system();
   R.SegmentName = segmentFileName(M.NextId);
   const std::string Image = saveIndexBytes(Delta, iio::Version, &Stats);
-  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error))
+  if (!writeFileReplacing(Dir + "/" + R.SegmentName, Image, &R.Error, Env))
     return R;
   if (Opts.AbortAfterSegmentWrite) {
     // Crash-window simulation: the segment exists, the manifest does not
@@ -222,7 +224,7 @@ SegmentAppendResult appendSegment(const std::string &Dir,
   E.Fresh = R.Fresh;
   M.Segments.insert(M.Segments.begin(), std::move(E)); // newest first
   M.NextId += 1;
-  if (!writeManifestReplacing(Dir, M, &R.Error))
+  if (!writeManifestReplacing(Dir, M, &R.Error, Env))
     return R;
   Appends.add(1);
   R.Ok = true;
@@ -244,7 +246,9 @@ struct SegmentCompactResult {
 /// not errors (the files are orphans, \ref gcSegmentDir collects them).
 /// A single-segment index is already compact: no-op success.
 template <typename H>
-SegmentCompactResult compactSegments(const std::string &Dir) {
+SegmentCompactResult compactSegments(const std::string &Dir,
+                                     IoEnv *EnvPtr = nullptr) {
+  IoEnv &Env = EnvPtr ? *EnvPtr : IoEnv::system();
   static const obs::Histogram CompactNs = obs::Histogram::get(
       "hma_segment_compact_ns",
       "Latency of merging all segments of a segmented index into one, ns");
@@ -308,13 +312,13 @@ SegmentCompactResult compactSegments(const std::string &Dir) {
   SegmentEntry E;
   E.Name = segmentFileName(Old.NextId);
   const std::string Image = saveIndexBytes(Compacted);
-  if (!writeFileReplacing(Dir + "/" + E.Name, Image, &R.Error))
+  if (!writeFileReplacing(Dir + "/" + E.Name, Image, &R.Error, Env))
     return R;
   E.FileBytes = Image.size();
   E.Classes = Compacted.numClasses();
   E.Fresh = Compacted.numClasses(); // sole segment: everything is fresh
   New.Segments.push_back(std::move(E));
-  if (!writeManifestReplacing(Dir, New, &R.Error))
+  if (!writeManifestReplacing(Dir, New, &R.Error, Env))
     return R;
 
   // Committed. The replaced files are now orphans; delete them, but a
@@ -322,18 +326,45 @@ SegmentCompactResult compactSegments(const std::string &Dir) {
   // failed. Live readers of the old generation are unaffected: their
   // mappings pin the unlinked bytes.
   for (const SegmentEntry &OldE : Old.Segments)
-    std::remove((Dir + "/" + OldE.Name).c_str());
+    (void)Env.unlink((Dir + "/" + OldE.Name).c_str());
   Compactions.add(1);
   R.Ok = true;
   R.SegmentsAfter = 1;
   return R;
 }
 
+/// Tuning for \ref gcSegmentDir.
+struct GcOptions {
+  /// Only delete files whose mtime is at least this old. The guard
+  /// closes the gc-vs-append crash-window hazard: an appender that has
+  /// written its segment but not yet swapped the manifest has an
+  /// *unreferenced but in-flight* file on disk, and a concurrent gc
+  /// that deleted it would let the imminent manifest commit reference a
+  /// missing segment. In-flight files are seconds old; the crash
+  /// leftovers an operator actually wants collected are not. 0 disables
+  /// the guard -- safe only when no writer can be running (offline
+  /// maintenance, `hma index fsck --repair`, tests).
+  uint64_t MinAgeSeconds = 60;
+  /// Also delete aged `*.tmp` leftovers (a writer that died between
+  /// creating its tmp and renaming it). Subject to the same age guard.
+  bool CollectTmp = true;
+  IoEnv *Env = nullptr; ///< I/O environment (null: the system env).
+};
+
 /// Delete every segment-shaped file in \p Dir the manifest does not
-/// reference (crash-window leftovers). Returns the names removed;
-/// \p Error is set only if the manifest itself cannot be read.
+/// reference, plus aged `*.tmp` leftovers (crash-window debris). Files
+/// younger than \ref GcOptions::MinAgeSeconds are left alone -- they may
+/// be a concurrent append's in-flight segment. Returns the names
+/// removed; \p Error is set only if the manifest itself cannot be read.
 std::vector<std::string> gcSegmentDir(const std::string &Dir,
-                                      std::string *Error = nullptr);
+                                      std::string *Error = nullptr,
+                                      const GcOptions &Opts = {});
+
+/// `*.tmp` leftovers in \p Dir: a writer that died between creating its
+/// tmp and renaming it. Never data -- every committed file was renamed
+/// away from its tmp name. Shared by gc and `hma index fsck`. (Platforms
+/// without directory enumeration return an empty list.)
+std::vector<std::string> listTmpFiles(const std::string &Dir);
 
 /// Background compaction: a thread that watches one segmented-index
 /// directory and runs \ref compactSegments whenever the manifest lists

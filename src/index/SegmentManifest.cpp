@@ -168,9 +168,9 @@ bool hma::isSegmentDir(const std::string &Path) {
 }
 
 bool hma::writeManifestReplacing(const std::string &Dir,
-                                 const SegmentManifest &M,
-                                 std::string *Error) {
-  return writeFileReplacing(manifestPathFor(Dir), M.encode(), Error);
+                                 const SegmentManifest &M, std::string *Error,
+                                 IoEnv &Env) {
+  return writeFileReplacing(manifestPathFor(Dir), M.encode(), Error, Env);
 }
 
 std::vector<std::string>

@@ -59,6 +59,8 @@
 #ifndef HMA_INDEX_SEGMENTMANIFEST_H
 #define HMA_INDEX_SEGMENTMANIFEST_H
 
+#include "support/IoEnv.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -140,9 +142,11 @@ bool isSegmentDir(const std::string &Path);
 
 /// Atomically replace \p Dir's manifest with \p M (tmp-write + rename +
 /// parent-dir fsync -- the \ref writeFileReplacing recipe; this is the
-/// commit point of every append and compaction).
+/// commit point of every append and compaction). I/O runs through
+/// \p Env so the crash matrix can fail the swap at any call.
 bool writeManifestReplacing(const std::string &Dir, const SegmentManifest &M,
-                            std::string *Error = nullptr);
+                            std::string *Error = nullptr,
+                            IoEnv &Env = IoEnv::system());
 
 /// Segment-shaped files ("seg-*.hmai") present in \p Dir but not listed
 /// in \p M: the orphans a crash between segment write and manifest swap

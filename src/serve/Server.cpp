@@ -124,6 +124,12 @@ struct ServerMetrics {
       "hma_indexd_bytes_read_total", "Payload bytes read from clients");
   obs::Counter BytesWritten = obs::Counter::get(
       "hma_indexd_bytes_written_total", "Reply bytes written to clients");
+  obs::Gauge DegradedGauge = obs::Gauge::get(
+      "hma_indexd_degraded",
+      "1 while the daemon serves an old generation after a rejected reload");
+  obs::Counter ReloadRetries = obs::Counter::get(
+      "hma_indexd_reload_retries_total",
+      "Automatic reload retry attempts after a rejected reload");
 
   static ServerMetrics &get() {
     static ServerMetrics M;
@@ -185,6 +191,17 @@ struct Server::Impl {
   std::atomic<uint64_t> DrainDeadlineNs{0};
   std::atomic<uint64_t> Requests{0};
 
+  // Degraded mode: a rejected reload leaves the old generation serving
+  // and schedules retries of the failed candidate on the accept thread.
+  std::atomic<bool> Degraded{false};
+  std::atomic<uint64_t> ReloadRetriesTotal{0};
+  std::atomic<uint64_t> NextRetryNs{0}; ///< Next retry due time (0: none).
+  std::mutex ReloadMu;           ///< Guards the four fields below.
+  std::string LastReloadError;   ///< Last admission-gate diagnostic.
+  std::string PendingReloadPath; ///< The candidate the retries target.
+  unsigned RetryAttempt = 0;     ///< Attempts made this failure episode.
+  uint64_t JitterState = 0;      ///< xorshift64* state for retry jitter.
+
   int SignalRead = -1, SignalWrite = -1; ///< Self-pipe (handler -> accept).
   int UnixFd = -1, TcpFd = -1;
   std::thread AcceptThread;
@@ -208,6 +225,11 @@ struct Server::Impl {
       Opts.Threads = 1;
     if (Opts.MaxFrameBytes > FrameBytesCeiling)
       Opts.MaxFrameBytes = FrameBytesCeiling;
+    if (Opts.ReloadRetryBaseMs < 1)
+      Opts.ReloadRetryBaseMs = 1;
+    if (Opts.ReloadRetryMaxMs < Opts.ReloadRetryBaseMs)
+      Opts.ReloadRetryMaxMs = Opts.ReloadRetryBaseMs;
+    JitterState = obs::nowNanos() | 1; // Any odd value seeds xorshift.
   }
 
   ~Impl() {
@@ -397,7 +419,15 @@ struct Server::Impl {
         TcpSlot = N;
         Fds[N++] = {TcpFd, POLLIN, 0};
       }
-      if (pollRetry(Fds, N, 200) < 0)
+      // Poll no longer than the next scheduled reload retry needs.
+      int TimeoutMs = 200;
+      if (uint64_t Due = NextRetryNs.load()) {
+        uint64_t Now = obs::nowNanos();
+        TimeoutMs = Due <= Now ? 0
+                               : static_cast<int>(std::min<uint64_t>(
+                                     200, (Due - Now) / 1000000u + 1));
+      }
+      if (pollRetry(Fds, N, TimeoutMs) < 0)
         break; // poll itself failing is unrecoverable; drain below.
 
       if (Fds[0].revents & POLLIN) {
@@ -414,6 +444,7 @@ struct Server::Impl {
       }
       if (Draining.load())
         break;
+      maybeRetryReload();
 
       auto AcceptAll = [&](int ListenFd) {
         for (;;) {
@@ -441,11 +472,90 @@ struct Server::Impl {
   }
 
   void reloadCurrent() {
-    std::string Path = Cell.currentPath();
+    // A SIGHUP while degraded retries the candidate that failed (which
+    // may be a new path `ctl reload <file>` asked for), not the path of
+    // the generation still serving.
+    std::string Path;
+    {
+      std::lock_guard<std::mutex> Lock(ReloadMu);
+      Path = PendingReloadPath;
+    }
+    if (Path.empty())
+      Path = Cell.currentPath();
     if (Path.empty())
       return;
     LoadOutcome R = Cell.load(Path, Opts.VerifyOnLoad);
     std::fprintf(stderr, "hma indexd: %s\n", R.Message.c_str());
+    noteReloadOutcome(Path, R.Ok, R.Message, /*FromRetry=*/false);
+  }
+
+  /// Record a reload's outcome and (re)schedule the degraded-mode retry.
+  /// Success clears the degraded state; failure enters (or stays in) it
+  /// and books the next retry with jittered exponential backoff, until
+  /// the per-episode attempt limit is spent. Callable from any thread.
+  void noteReloadOutcome(const std::string &Path, bool Ok,
+                         const std::string &Message, bool FromRetry) {
+    std::lock_guard<std::mutex> Lock(ReloadMu);
+    if (Ok) {
+      if (Degraded.exchange(false))
+        ServerMetrics::get().DegradedGauge.set(0);
+      LastReloadError.clear();
+      PendingReloadPath.clear();
+      RetryAttempt = 0;
+      NextRetryNs.store(0);
+      return;
+    }
+    if (!Degraded.exchange(true))
+      ServerMetrics::get().DegradedGauge.set(1);
+    LastReloadError = Message;
+    PendingReloadPath = Path;
+    if (!FromRetry)
+      RetryAttempt = 0; // An operator-initiated failure restarts the schedule.
+    if (RetryAttempt >= Opts.ReloadRetryLimit) {
+      NextRetryNs.store(0); // Auto-retry exhausted; stay degraded until
+      return;               // an operator reload succeeds.
+    }
+    const uint64_t DelayMs = backoffMs(RetryAttempt);
+    ++RetryAttempt;
+    NextRetryNs.store(obs::nowNanos() + DelayMs * 1000000u);
+  }
+
+  /// Backoff for retry attempt \p Attempt (0-based): base * 2^attempt,
+  /// capped, scaled by a jitter factor in [0.5, 1.5) so a fleet of
+  /// daemons degraded by the same bad artifact does not hammer storage
+  /// in lockstep. Caller holds ReloadMu (JitterState).
+  uint64_t backoffMs(unsigned Attempt) {
+    const uint64_t Base = static_cast<uint64_t>(Opts.ReloadRetryBaseMs);
+    const uint64_t Cap = static_cast<uint64_t>(Opts.ReloadRetryMaxMs);
+    const uint64_t Ideal =
+        Attempt >= 20 ? Cap : std::min(Cap, Base << Attempt);
+    JitterState ^= JitterState >> 12;
+    JitterState ^= JitterState << 25;
+    JitterState ^= JitterState >> 27;
+    const uint64_t R = JitterState * 0x2545F4914F6CDD1Dull;
+    const double Factor = 0.5 + double(R >> 11) * (1.0 / double(1ull << 53));
+    const uint64_t Ms = static_cast<uint64_t>(double(Ideal) * Factor);
+    return Ms ? Ms : 1;
+  }
+
+  /// Accept-thread tick: run the scheduled reload retry if it is due.
+  void maybeRetryReload() {
+    const uint64_t Due = NextRetryNs.load();
+    if (Due == 0 || obs::nowNanos() < Due)
+      return;
+    std::string Path;
+    {
+      std::lock_guard<std::mutex> Lock(ReloadMu);
+      Path = PendingReloadPath;
+      NextRetryNs.store(0);
+    }
+    if (Path.empty())
+      return;
+    ReloadRetriesTotal.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().ReloadRetries.add(1);
+    LoadOutcome R = Cell.load(Path, Opts.VerifyOnLoad);
+    std::fprintf(stderr, "hma indexd: reload retry: %s\n", R.Message.c_str());
+    noteReloadOutcome(Path, R.Ok, R.Message, /*FromRetry=*/true);
   }
 
   //===--------------------------------------------------------------------===//
@@ -808,6 +918,7 @@ struct Server::Impl {
       // other workers keep serving off the pinned old generation, and a
       // rejection leaves everything exactly as it was.
       LoadOutcome R = Cell.load(Path, Opts.VerifyOnLoad);
+      noteReloadOutcome(Path, R.Ok, R.Message, /*FromRetry=*/false);
       C.Out += encodeResponse(R.Ok ? Status::Ok : Status::ReloadRejected,
                               R.Message);
       return;
@@ -865,6 +976,12 @@ struct Server::Impl {
     Line("reloads_ok", std::to_string(Cell.loadsOk()));
     Line("reloads_rejected", std::to_string(Cell.loadsRejected()));
     Line("generations_retired", std::to_string(Cell.generationsRetired()));
+    Line("degraded", Degraded.load() ? "1" : "0");
+    Line("reload_retries", std::to_string(ReloadRetriesTotal.load()));
+    {
+      std::lock_guard<std::mutex> Lock(ReloadMu);
+      Line("last_reload_error", LastReloadError);
+    }
     return S;
   }
 
@@ -882,6 +999,10 @@ struct Server::Impl {
   ServerOptions Opts;
   GenerationCell Cell;
   std::atomic<uint64_t> Requests{0};
+  std::atomic<bool> Degraded{false};
+  std::atomic<uint64_t> ReloadRetriesTotal{0};
+  std::mutex ReloadMu;
+  std::string LastReloadError;
   explicit Impl(ServerOptions O) : Opts(std::move(O)) {}
   bool start(std::string *Error) {
     if (Error)
@@ -921,3 +1042,11 @@ bool Server::running() const {
 }
 GenerationCell &Server::generations() { return I->Cell; }
 uint64_t Server::requestsServed() const { return I->Requests.load(); }
+bool Server::degraded() const { return I->Degraded.load(); }
+uint64_t Server::reloadRetries() const {
+  return I->ReloadRetriesTotal.load();
+}
+std::string Server::lastReloadError() const {
+  std::lock_guard<std::mutex> Lock(I->ReloadMu);
+  return I->LastReloadError;
+}

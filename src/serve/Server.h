@@ -83,6 +83,18 @@ struct ServerOptions {
   int DrainTimeoutMs = 5000;      ///< Shutdown drain bound.
   size_t MaxWriteBufferBytes = size_t(32) << 20; ///< Backpressure cap.
   bool VerifyOnLoad = true; ///< Deep-verify admission gate (keep on).
+
+  /// Degraded-mode retry schedule. A rejected reload never takes the
+  /// daemon down: the old generation keeps serving (state `degraded`)
+  /// and the accept thread retries the failed candidate with jittered
+  /// exponential backoff -- base doubling up to the cap, at most
+  /// \ref ReloadRetryLimit automatic attempts per failure episode
+  /// (0 disables auto-retry; an operator reload always resets the
+  /// schedule). Recovery is automatic: the first retry that passes the
+  /// admission gate swaps the generation and clears the degraded state.
+  int ReloadRetryBaseMs = 200;
+  int ReloadRetryMaxMs = 30000;
+  unsigned ReloadRetryLimit = 8;
 };
 
 /// The daemon. Construct, \ref start, then \ref waitForExit; see the
@@ -122,6 +134,17 @@ public:
 
   /// Total requests answered (any status). For tests and the stats op.
   uint64_t requestsServed() const;
+
+  /// True while the daemon is serving an old generation because the
+  /// last reload was rejected. Cleared by the next reload (manual or
+  /// automatic retry) that passes the admission gate.
+  bool degraded() const;
+
+  /// Automatic reload retry attempts since startup.
+  uint64_t reloadRetries() const;
+
+  /// Diagnostic of the most recent failed reload (empty when healthy).
+  std::string lastReloadError() const;
 
 private:
   struct Impl;

@@ -1,0 +1,444 @@
+//===- support/IoEnv.cpp - Pluggable I/O environment ------------------------===//
+
+#include "support/IoEnv.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#define HMA_HAVE_POSIX_IO 1
+#endif
+
+using namespace hma;
+
+//===----------------------------------------------------------------------===//
+// Passthrough backend
+//===----------------------------------------------------------------------===//
+
+#ifdef HMA_HAVE_POSIX_IO
+
+int IoEnv::open(const char *Path, int Flags, int Mode) {
+  for (;;) {
+    int Fd = ::open(Path, Flags, Mode);
+    if (Fd >= 0)
+      return Fd;
+    if (errno != EINTR)
+      return -errno;
+  }
+}
+
+long IoEnv::read(int Fd, void *Buf, unsigned long N) {
+  ssize_t R = ::read(Fd, Buf, N);
+  return R >= 0 ? static_cast<long>(R) : -errno;
+}
+
+long IoEnv::write(int Fd, const void *Buf, unsigned long N) {
+  ssize_t R = ::write(Fd, Buf, N);
+  return R >= 0 ? static_cast<long>(R) : -errno;
+}
+
+int IoEnv::fsync(int Fd) { return ::fsync(Fd) == 0 ? 0 : -errno; }
+
+int IoEnv::close(int Fd) { return ::close(Fd) == 0 ? 0 : -errno; }
+
+int IoEnv::rename(const char *From, const char *To) {
+  return ::rename(From, To) == 0 ? 0 : -errno;
+}
+
+int IoEnv::unlink(const char *Path) {
+  return ::unlink(Path) == 0 ? 0 : -errno;
+}
+
+int IoEnv::mkdir(const char *Path, int Mode) {
+  return ::mkdir(Path, static_cast<mode_t>(Mode)) == 0 ? 0 : -errno;
+}
+
+int IoEnv::fsyncDir(const char *Path) {
+  int Fd = ::open(Path, O_RDONLY);
+  if (Fd < 0)
+    return -errno;
+  int R = ::fsync(Fd) == 0 ? 0 : -errno;
+  ::close(Fd);
+  return R;
+}
+
+#else // !HMA_HAVE_POSIX_IO
+
+// Portable fallback on C stdio: no real fds, no durability control. The
+// write paths still function (write + rename) -- they just lose the
+// fsync guarantees, which is the best the platform offers anyway.
+
+namespace {
+constexpr int MaxStdioFiles = 64;
+std::FILE *StdioFiles[MaxStdioFiles];
+
+int stdioAlloc(std::FILE *F) {
+  for (int I = 0; I != MaxStdioFiles; ++I)
+    if (!StdioFiles[I]) {
+      StdioFiles[I] = F;
+      return I + 1; // fd 0 stays invalid
+    }
+  std::fclose(F);
+  return -EMFILE;
+}
+
+std::FILE *stdioAt(int Fd) {
+  return Fd >= 1 && Fd <= MaxStdioFiles ? StdioFiles[Fd - 1] : nullptr;
+}
+} // namespace
+
+int IoEnv::open(const char *Path, int Flags, int Mode) {
+  (void)Mode;
+  // The writers use O_WRONLY|O_CREAT|O_TRUNC or O_RDONLY; map just those.
+  const bool Writing = (Flags & 0x3) != 0;
+  std::FILE *F = std::fopen(Path, Writing ? "wb" : "rb");
+  if (!F)
+    return -(errno ? errno : EIO);
+  return stdioAlloc(F);
+}
+
+long IoEnv::read(int Fd, void *Buf, unsigned long N) {
+  std::FILE *F = stdioAt(Fd);
+  if (!F)
+    return -EBADF;
+  size_t R = std::fread(Buf, 1, N, F);
+  if (R < N && std::ferror(F))
+    return -EIO;
+  return static_cast<long>(R);
+}
+
+long IoEnv::write(int Fd, const void *Buf, unsigned long N) {
+  std::FILE *F = stdioAt(Fd);
+  if (!F)
+    return -EBADF;
+  size_t R = std::fwrite(Buf, 1, N, F);
+  if (R < N)
+    return -EIO;
+  return static_cast<long>(R);
+}
+
+int IoEnv::fsync(int Fd) {
+  std::FILE *F = stdioAt(Fd);
+  if (!F)
+    return -EBADF;
+  return std::fflush(F) == 0 ? 0 : -EIO;
+}
+
+int IoEnv::close(int Fd) {
+  std::FILE *F = stdioAt(Fd);
+  if (!F)
+    return -EBADF;
+  StdioFiles[Fd - 1] = nullptr;
+  return std::fclose(F) == 0 ? 0 : -EIO;
+}
+
+int IoEnv::rename(const char *From, const char *To) {
+  // C rename may refuse to replace an existing target on some
+  // platforms; clear the way first (non-atomic, but this fallback has
+  // no atomicity to offer anyway).
+  std::remove(To);
+  return std::rename(From, To) == 0 ? 0 : -EIO;
+}
+
+int IoEnv::unlink(const char *Path) {
+  return std::remove(Path) == 0 ? 0 : -EIO;
+}
+
+int IoEnv::mkdir(const char *Path, int Mode) {
+  (void)Path;
+  (void)Mode;
+  return -EEXIST; // "already there": callers proceed and fail usefully.
+}
+
+int IoEnv::fsyncDir(const char *Path) {
+  (void)Path;
+  return 0;
+}
+
+#endif // HMA_HAVE_POSIX_IO
+
+IoEnv &IoEnv::system() {
+  static IoEnv E;
+  return E;
+}
+
+#ifdef HMA_HAVE_POSIX_IO
+int hma::openFlagsRead() { return O_RDONLY; }
+int hma::openFlagsWriteTrunc() { return O_WRONLY | O_CREAT | O_TRUNC; }
+#else
+int hma::openFlagsRead() { return 0; }
+int hma::openFlagsWriteTrunc() { return 1; } // bit 0: writing
+#endif
+
+//===----------------------------------------------------------------------===//
+// Fault-injection backend
+//===----------------------------------------------------------------------===//
+
+FaultIoEnv::~FaultIoEnv() {
+#ifdef HMA_HAVE_POSIX_IO
+  for (auto &[Fd, F] : Files)
+    ::close(Fd);
+#endif
+}
+
+bool FaultIoEnv::tick() {
+  ++Ops;
+  if (Dead || Tripped || Plan.FailAtOp == 0 || Ops != Plan.FailAtOp)
+    return false;
+  Tripped = true;
+  return true;
+}
+
+void FaultIoEnv::powerCut() {
+  Dead = true;
+#ifdef HMA_HAVE_POSIX_IO
+  // Un-fsynced bytes never reached the platter: roll every file back to
+  // its durable prefix.
+  for (auto &[Fd, F] : Files) {
+    F.Pending.clear();
+    if (F.Tracked)
+      (void)::ftruncate(Fd, static_cast<off_t>(F.SyncedBytes));
+  }
+  for (const auto &[Path, Synced] : UnsyncedTails)
+    (void)::truncate(Path.c_str(), static_cast<off_t>(Synced));
+#endif
+  UnsyncedTails.clear();
+}
+
+long FaultIoEnv::flushPending(int Fd, OpenFile &F) {
+#ifdef HMA_HAVE_POSIX_IO
+  size_t Off = 0;
+  while (Off < F.Pending.size()) {
+    ssize_t R = ::pwrite(Fd, F.Pending.data() + Off, F.Pending.size() - Off,
+                         static_cast<off_t>(F.SyncedBytes + Off));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -errno;
+    }
+    Off += static_cast<size_t>(R);
+  }
+#else
+  (void)Fd;
+#endif
+  F.SyncedBytes += F.Pending.size();
+  F.Pending.clear();
+  return 0;
+}
+
+int FaultIoEnv::open(const char *Path, int Flags, int Mode) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  // EINTR on open is absorbed, not delivered: the IoEnv contract has
+  // open retrying EINTR internally, so callers never see it.
+  if (Fault && !Plan.EintrOnce) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  int Fd = IoEnv::open(Path, Flags, Mode);
+  if (Fd < 0)
+    return Fd;
+  OpenFile F;
+  F.Path = Path;
+#ifdef HMA_HAVE_POSIX_IO
+  F.Tracked = (Flags & O_ACCMODE) != O_RDONLY;
+  if ((Flags & O_TRUNC) != 0) {
+    UnsyncedTails.erase(F.Path);
+  } else {
+    struct stat St;
+    if (::fstat(Fd, &St) == 0)
+      F.SyncedBytes = static_cast<uint64_t>(St.st_size);
+  }
+#endif
+  Files.emplace(Fd, std::move(F));
+  return Fd;
+}
+
+long FaultIoEnv::read(int Fd, void *Buf, unsigned long N) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.EintrOnce)
+      return -EINTR;
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  return IoEnv::read(Fd, Buf, N);
+}
+
+long FaultIoEnv::write(int Fd, const void *Buf, unsigned long N) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  auto It = Files.find(Fd);
+  if (Fault) {
+    if (Plan.EintrOnce)
+      return -EINTR;
+    if (Plan.TornWrite) {
+      // Half the bytes straddle the failure: they hit the platter even
+      // though nothing was fsynced -- the torn-file case. Count them as
+      // durable *before* the power-cut rollback so they survive it.
+      if (It != Files.end() && It->second.Tracked) {
+        It->second.Pending.append(static_cast<const char *>(Buf), N / 2);
+        (void)flushPending(Fd, It->second);
+      }
+      powerCut();
+      return -EIO;
+    }
+    if (Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  if (It != Files.end() && It->second.Tracked) {
+    // Buffered: the bytes become visible to the real file only on fsync
+    // (durably) or close (kernel-visible, still crash-discardable).
+    It->second.Pending.append(static_cast<const char *>(Buf), N);
+    return static_cast<long>(N);
+  }
+  return IoEnv::write(Fd, Buf, N);
+}
+
+int FaultIoEnv::fsync(int Fd) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    if (!Plan.EintrOnce)
+      return -(Plan.Errno ? Plan.Errno : EIO);
+    // EINTR on fsync is not retried by callers; let it through instead.
+  }
+  auto It = Files.find(Fd);
+  if (It != Files.end() && It->second.Tracked) {
+    long R = flushPending(Fd, It->second);
+    if (R < 0)
+      return static_cast<int>(R);
+  }
+  return IoEnv::fsync(Fd);
+}
+
+int FaultIoEnv::close(int Fd) {
+  bool Fault = tick();
+  auto It = Files.find(Fd);
+  if (Dead || (Fault && (Plan.TornWrite || Plan.PowerCut))) {
+    if (Fault)
+      powerCut();
+    // The process is "gone": release the real fd, report failure.
+    if (It != Files.end()) {
+      (void)IoEnv::close(Fd);
+      Files.erase(It);
+    }
+    return -EIO;
+  }
+  if (Fault && !Plan.EintrOnce) {
+    // A failed close still closes the fd (POSIX leaves it undefined;
+    // Linux does). Pending bytes never reach the file: the real file
+    // already holds exactly the durable prefix.
+    if (It != Files.end()) {
+      (void)IoEnv::close(Fd);
+      Files.erase(It);
+    }
+    return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  if (It != Files.end()) {
+    if (It->second.Tracked && !It->second.Pending.empty()) {
+      // Data reaches the kernel but was never fsynced: remember the
+      // durable prefix so a later power-cut can roll it back.
+      uint64_t Durable = It->second.SyncedBytes;
+      (void)flushPending(Fd, It->second);
+      UnsyncedTails[It->second.Path] = Durable;
+    }
+    Files.erase(It);
+  }
+  return IoEnv::close(Fd);
+}
+
+int FaultIoEnv::rename(const char *From, const char *To) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    if (!Plan.EintrOnce)
+      return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  int R = IoEnv::rename(From, To);
+  if (R == 0) {
+    auto It = UnsyncedTails.find(From);
+    if (It != UnsyncedTails.end()) {
+      UnsyncedTails[To] = It->second;
+      UnsyncedTails.erase(It);
+    } else {
+      UnsyncedTails.erase(To);
+    }
+  }
+  return R;
+}
+
+int FaultIoEnv::unlink(const char *Path) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    if (!Plan.EintrOnce)
+      return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  int R = IoEnv::unlink(Path);
+  if (R == 0)
+    UnsyncedTails.erase(Path);
+  return R;
+}
+
+int FaultIoEnv::mkdir(const char *Path, int Mode) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    if (!Plan.EintrOnce)
+      return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  return IoEnv::mkdir(Path, Mode);
+}
+
+int FaultIoEnv::fsyncDir(const char *Path) {
+  bool Fault = tick();
+  if (Dead)
+    return -EIO;
+  if (Fault) {
+    if (Plan.TornWrite || Plan.PowerCut) {
+      powerCut();
+      return -EIO;
+    }
+    if (!Plan.EintrOnce)
+      return -(Plan.Errno ? Plan.Errno : EIO);
+  }
+  return IoEnv::fsyncDir(Path);
+}

@@ -42,6 +42,8 @@
 #include "index/AlphaHashIndex.h"
 #include "index/IndexIO.h"
 #include "index/MappedIndex.h"
+#include "index/SegmentCompactor.h"
+#include "index/SegmentManifest.h"
 
 #include "TestUtil.h"
 #include "gtest/gtest.h"
@@ -50,6 +52,11 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 using namespace hma;
 using namespace hma::serve;
@@ -608,6 +615,216 @@ TEST(Indexd, RequestsDuringDrainAreAnsweredThenConnectionCloses) {
   EXPECT_EQ(Srv.waitForExit(), 0);
 
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 4: degraded mode -- a rejected reload never takes the daemon down
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Delete every file in \p Dir, then the directory itself (segmented
+/// test fixtures; file set varies with compaction timing).
+void removeDirTree(const std::string &Dir) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (D) {
+    std::vector<std::string> Names;
+    while (struct dirent *E = ::readdir(D)) {
+      const std::string N = E->d_name;
+      if (N != "." && N != "..")
+        Names.push_back(N);
+    }
+    ::closedir(D);
+    for (const std::string &N : Names)
+      std::remove((Dir + "/" + N).c_str());
+  }
+  ::rmdir(Dir.c_str());
+}
+
+/// Poll \p Pred every millisecond for up to \p BoundMs. True if it held.
+template <typename Pred> bool eventually(int BoundMs, Pred &&P) {
+  for (int Waited = 0; Waited < BoundMs; ++Waited) {
+    if (P())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return P();
+}
+
+} // namespace
+
+TEST(Indexd, DegradedModeRetriesRejectedReloadAndRecovers) {
+  std::vector<std::string> Corpus = makeCorpus(30, 41);
+  std::vector<std::string> NewCorpus = makeCorpus(30, 42);
+  const std::string Path = "indexd_test_degraded.hmai";
+  const std::string Candidate = "indexd_test_degraded_next.hmai";
+  const std::string Sock = "indexd_test_degraded.sock";
+  writeIndexFileFor(Corpus, Path);
+  {
+    std::string Error;
+    ASSERT_TRUE(writeFileReplacing(Candidate, "garbage, not an index",
+                                   &Error))
+        << Error;
+  }
+
+  ServerOptions O = testOpts(Path, Sock);
+  O.ReloadRetryBaseMs = 5;
+  O.ReloadRetryMaxMs = 40;
+  O.ReloadRetryLimit = 100000; // keep retrying for the whole test
+  DaemonGuard D(O);
+  ASSERT_TRUE(D.Started);
+  Client C(testClientOpts(Sock));
+  std::string Error;
+
+  WireLookup Truth;
+  ASSERT_TRUE(C.lookup(Corpus[0], Truth, &Error)) << Error;
+  ASSERT_TRUE(Truth.Present);
+
+  // Three consecutive operator reloads of a corrupt candidate: each is
+  // rejected, the old generation answers identically after every one.
+  for (int I = 0; I != 3; ++I) {
+    Reply R;
+    ASSERT_TRUE(C.reload(Candidate, R, &Error)) << Error;
+    EXPECT_EQ(R.S, Status::ReloadRejected) << statusName(R.S);
+    WireLookup Again;
+    ASSERT_TRUE(C.lookup(Corpus[0], Again, &Error)) << Error;
+    EXPECT_TRUE(Again.Present);
+    EXPECT_EQ(Again.Hash, Truth.Hash);
+    EXPECT_EQ(Again.CanonicalBytes, Truth.CanonicalBytes);
+  }
+  EXPECT_TRUE(D.Srv.degraded());
+  EXPECT_FALSE(D.Srv.lastReloadError().empty());
+  EXPECT_EQ(D.Srv.generations().currentNumber(), 1u);
+
+  // The accept thread keeps retrying the failed candidate on its own
+  // (jittered exponential backoff), and the retries keep failing -- the
+  // daemon stays degraded but serving.
+  EXPECT_TRUE(eventually(5000, [&] { return D.Srv.reloadRetries() >= 2; }))
+      << "no automatic retries observed";
+  EXPECT_TRUE(D.Srv.degraded());
+
+  // Both stats surfaces show the state.
+  std::string Stats;
+  ASSERT_TRUE(C.stats(StatsFormat::Text, Stats, &Error)) << Error;
+  EXPECT_NE(Stats.find("degraded: 1"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("reload_retries: "), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("last_reload_error: "), std::string::npos) << Stats;
+  std::string Prom;
+  ASSERT_TRUE(C.stats(StatsFormat::Prom, Prom, &Error)) << Error;
+  EXPECT_NE(Prom.find("hma_indexd_degraded"), std::string::npos);
+  EXPECT_NE(Prom.find("hma_indexd_reload_retries_total"), std::string::npos);
+
+  // Fix the candidate in place (atomic replace). The next automatic
+  // retry passes the admission gate, swaps the generation, and clears
+  // the degraded state -- no operator involved.
+  writeIndexFileFor(NewCorpus, Candidate);
+  EXPECT_TRUE(eventually(5000, [&] { return !D.Srv.degraded(); }))
+      << "degraded state never cleared: " << D.Srv.lastReloadError();
+  EXPECT_GE(D.Srv.generations().currentNumber(), 2u);
+  EXPECT_TRUE(D.Srv.lastReloadError().empty());
+
+  WireLookup FromNew;
+  ASSERT_TRUE(C.lookup(NewCorpus[0], FromNew, &Error)) << Error;
+  EXPECT_TRUE(FromNew.Present);
+  ASSERT_TRUE(C.stats(StatsFormat::Text, Stats, &Error)) << Error;
+  EXPECT_NE(Stats.find("degraded: 0"), std::string::npos) << Stats;
+
+  std::remove(Path.c_str());
+  std::remove(Candidate.c_str());
+}
+
+TEST(Indexd, SighupReloadRacesCompactorManifestSwap) {
+  std::vector<std::string> Base = makeCorpus(24, 51);
+  const std::string Dir = "indexd_test_race.segidx";
+  const std::string Sock = "indexd_test_race.sock";
+  removeDirTree(Dir);
+  {
+    AlphaHashIndex<> BaseIdx({/*Shards=*/8, HashSchema::DefaultSeed});
+    BaseIdx.insertBatch(Base, 1);
+    ASSERT_TRUE(createSegmentDir(Dir, BaseIdx).Ok);
+  }
+
+  ServerOptions O = testOpts(Dir, Sock);
+  O.ReloadRetryBaseMs = 2; // a racy rejection must heal itself quickly
+  O.ReloadRetryMaxMs = 10;
+  O.ReloadRetryLimit = 100000;
+  DaemonGuard D(O);
+  ASSERT_TRUE(D.Started);
+  Client C(testClientOpts(Sock));
+  std::string Error;
+
+  std::vector<WireLookup> Truth(Base.size());
+  for (size_t I = 0; I != Base.size(); ++I) {
+    ASSERT_TRUE(C.lookup(Base[I], Truth[I], &Error)) << Error;
+    ASSERT_TRUE(Truth[I].Present);
+  }
+
+  auto numSegments = [&] {
+    std::string Bytes;
+    SegmentManifest M;
+    if (!readFileBytes(manifestPathFor(Dir), Bytes, nullptr) ||
+        !SegmentManifest::decode(Bytes, M))
+      return size_t(0); // mid-swap read; caller just polls again
+    return M.Segments.size();
+  };
+
+  // A live compactor (poll 1ms, trigger at 2 segments) swaps the
+  // manifest out from under SIGHUP reloads. Each round appends one
+  // delta -- only ever while a single segment is listed, so the
+  // append's read-modify-write cannot interleave with a compaction --
+  // then hammers reloads while the compactor merges 2 -> 1. A reload
+  // that catches the window where the old manifest's segments are
+  // already deleted is *rejected* (and retried); what it must never do
+  // is serve a torn view or wrong bytes.
+  SegmentCompactor<Hash128>::Options COpts;
+  COpts.TriggerSegments = 2;
+  COpts.PollMs = 1;
+  SegmentCompactor<Hash128> Compactor(Dir, COpts);
+
+  ExprContext Ctx;
+  Rng R(99);
+  SegmentAppendOptions AOpts;
+  AOpts.Shards = 8;
+  for (int Round = 0; Round != 12; ++Round) {
+    ASSERT_TRUE(eventually(5000, [&] { return numSegments() == 1; }))
+        << "compactor never quiesced: " << Compactor.lastError();
+    std::vector<std::string> Delta;
+    for (int I = 0; I != 3; ++I)
+      Delta.push_back(serializeExpr(Ctx, genBalanced(Ctx, R, 14)));
+    ASSERT_TRUE(appendSegment<Hash128>(Dir, Delta, AOpts).Ok);
+
+    for (int Shot = 0; Shot != 10; ++Shot) {
+      D.Srv.requestReload();
+      const size_t Q = (Round * 10 + Shot) % Base.size();
+      WireLookup Got;
+      ASSERT_TRUE(C.lookup(Base[Q], Got, &Error)) << Error;
+      ASSERT_TRUE(Got.Present) << "round " << Round << " shot " << Shot;
+      EXPECT_EQ(Got.Hash, Truth[Q].Hash);
+      EXPECT_EQ(Got.CanonicalBytes, Truth[Q].CanonicalBytes);
+    }
+  }
+  ASSERT_TRUE(eventually(5000, [&] { return numSegments() == 1; }))
+      << "compactor never finished: " << Compactor.lastError();
+  Compactor.stop();
+  EXPECT_GE(Compactor.compactions(), 12u) << Compactor.lastError();
+
+  // Settle: any racy rejection must have healed (automatic retry), and
+  // a final reload of the fully-compacted directory must succeed.
+  EXPECT_TRUE(eventually(5000, [&] { return !D.Srv.degraded(); }))
+      << "daemon stuck degraded: " << D.Srv.lastReloadError();
+  Reply Final;
+  ASSERT_TRUE(C.reload(Dir, Final, &Error)) << Error;
+  EXPECT_TRUE(Final.ok()) << statusName(Final.S) << ": " << Final.Body;
+  EXPECT_FALSE(D.Srv.degraded());
+  for (size_t I = 0; I != Base.size(); ++I) {
+    WireLookup Got;
+    ASSERT_TRUE(C.lookup(Base[I], Got, &Error)) << Error;
+    ASSERT_TRUE(Got.Present);
+    EXPECT_EQ(Got.Hash, Truth[I].Hash);
+    EXPECT_EQ(Got.CanonicalBytes, Truth[I].CanonicalBytes);
+  }
+
+  removeDirTree(Dir);
 }
 
 #endif // sockets

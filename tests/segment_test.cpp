@@ -45,6 +45,8 @@
 #include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <ctime>
+#include <sys/time.h>
 #include <unistd.h>
 #endif
 
@@ -67,7 +69,9 @@ struct TempSegmentDir {
         SegmentManifest::decode(Bytes, M))
       for (const SegmentEntry &E : M.Segments)
         std::remove((Dir + "/" + E.Name).c_str());
-    gcSegmentDir(Dir);
+    GcOptions Now;
+    Now.MinAgeSeconds = 0; // cleanup: no writer can be in flight here
+    gcSegmentDir(Dir, nullptr, Now);
     std::remove(manifestPathFor(Dir).c_str());
 #if defined(__unix__) || defined(__APPLE__)
     ::rmdir(Dir.c_str());
@@ -364,8 +368,16 @@ TEST(SegmentSet, UnreferencedSegmentsAreReportedAndGcCollectsThem) {
   ASSERT_EQ(R.Set->orphans().size(), 1u);
   EXPECT_EQ(R.Set->orphans()[0], segmentFileName(99));
 
+  // With the default age guard the just-planted orphan is too young to
+  // collect -- it could be a concurrent append's in-flight segment.
   std::string Error;
-  std::vector<std::string> Removed = gcSegmentDir(D.Dir, &Error);
+  EXPECT_TRUE(gcSegmentDir(D.Dir, &Error).empty());
+  EXPECT_TRUE(Error.empty()) << Error;
+
+  // Offline gc (no writers possible) opts out of the guard and collects.
+  GcOptions Now;
+  Now.MinAgeSeconds = 0;
+  std::vector<std::string> Removed = gcSegmentDir(D.Dir, &Error, Now);
   EXPECT_TRUE(Error.empty()) << Error;
   ASSERT_EQ(Removed.size(), 1u);
   EXPECT_EQ(Removed[0], segmentFileName(99));
@@ -591,6 +603,57 @@ TEST(SegmentAppend, CrashWindowLeavesOldIndexServableAndIdIsReused) {
   EXPECT_TRUE(After.Reader->set().orphans().empty());
   EXPECT_EQ(After.Reader->numClasses(), ClassesBefore + Retry.Fresh);
   EXPECT_TRUE(After.Reader->verify());
+}
+
+// Regression for the gc-vs-append crash-window hazard: a gc that runs in
+// the window between an append's segment write and its manifest swap
+// sees the in-flight segment as "unreferenced" -- and must NOT delete
+// it, or the imminent manifest commit would reference a missing file.
+// The default age guard is what stands between the two.
+TEST(SegmentedIndex, GcAgeGuardLeavesInFlightAppendSegmentsAlone) {
+  SmallDir D("segment_test.gcguard.tmp");
+  ExprContext Ctx;
+  Rng R(88);
+  std::vector<std::string> Delta = corpus(Ctx, R, 10);
+
+  // Freeze an append in the crash window: segment written, manifest not
+  // yet swapped. This is exactly what a concurrent gc would observe.
+  SegmentAppendOptions Opts;
+  Opts.Shards = 8;
+  Opts.AbortAfterSegmentWrite = true;
+  SegmentAppendResult A = appendSegment<Hash128>(D.Dir, Delta, Opts);
+  ASSERT_TRUE(A.Ok && A.Aborted) << A.Error;
+
+  // gc with the production default must leave the seconds-old file be.
+  std::string Error;
+  EXPECT_TRUE(gcSegmentDir(D.Dir, &Error).empty());
+  EXPECT_TRUE(Error.empty()) << Error;
+
+  // The append "resumes" (the retry path rewrites the same id) and
+  // commits; the segment gc spared is now referenced and serving.
+  Opts.AbortAfterSegmentWrite = false;
+  SegmentAppendResult Retry = appendSegment<Hash128>(D.Dir, Delta, Opts);
+  ASSERT_TRUE(Retry.Ok) << Retry.Error;
+  EXPECT_EQ(Retry.SegmentName, A.SegmentName);
+  auto After = SegmentedIndex<Hash128>::open(D.Dir);
+  ASSERT_TRUE(After.ok()) << After.Error;
+  EXPECT_TRUE(After.Reader->set().orphans().empty());
+  EXPECT_TRUE(After.Reader->verify());
+
+#if defined(__unix__) || defined(__APPLE__)
+  // An *aged* orphan (a real crash leftover) is exactly what the default
+  // gc exists to collect: backdate one past the guard and re-run.
+  const std::string Orphan = D.Dir + "/" + segmentFileName(99);
+  ASSERT_TRUE(writeFileReplacing(Orphan, "crash leftover", nullptr));
+  struct timeval Old[2];
+  Old[0].tv_sec = Old[1].tv_sec = ::time(nullptr) - 3600;
+  Old[0].tv_usec = Old[1].tv_usec = 0;
+  ASSERT_EQ(::utimes(Orphan.c_str(), Old), 0);
+  std::vector<std::string> Removed = gcSegmentDir(D.Dir, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0], segmentFileName(99));
+#endif
 }
 
 TEST(SegmentedIndex, CrossSegmentCountsSaturateInsteadOfWrapping) {

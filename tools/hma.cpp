@@ -17,7 +17,8 @@
 ///   hma index open <file> [stats | query ...] [--mmap | --load]
 ///   hma index update <file|dir> <corpus> [--threads T] [--out FILE]
 ///   hma index compact <dir>
-///   hma index gc <dir>
+///   hma index gc <dir> [--min-age-seconds N]
+///   hma index fsck <path> [--repair]
 ///
 /// Expressions are read from the file argument or stdin. A corpus is
 /// either a text file with one expression per line or a binary "HMAC"
@@ -47,6 +48,7 @@
 #include "gen/RandomExpr.h"
 #include "index/AlphaHashIndex.h"
 #include "index/CorpusIO.h"
+#include "index/Fsck.h"
 #include "index/IndexIO.h"
 #include "index/IndexReader.h"
 #include "index/MappedIndex.h"
@@ -141,20 +143,35 @@ int usage() {
       "             merge every segment of a segmented index into one\n"
       "             and swap the manifest atomically; old readers keep\n"
       "             serving their generation\n"
-      "  index gc <dir>\n"
+      "  index gc <dir> [--min-age-seconds N]\n"
       "             delete segment files the manifest does not reference\n"
-      "             (leftovers of a crash between segment write and\n"
-      "             manifest swap)\n"
+      "             and stale *.tmp files (leftovers of a crash between\n"
+      "             segment write and manifest swap). Files younger than\n"
+      "             --min-age-seconds (default 60) are left alone -- they\n"
+      "             may be a concurrent append's in-flight segment; 0\n"
+      "             disables the guard (offline maintenance only)\n"
+      "  index fsck <path> [--repair]\n"
+      "             check a single-file or segmented index: manifest\n"
+      "             checksum, every referenced segment (full record +\n"
+      "             sidecar validation), debris vs damage. --repair\n"
+      "             deletes *debris only* (stale tmp files, unreferenced\n"
+      "             segments); damage is reported, never deleted. Exit 0\n"
+      "             healthy (or fully repaired), 1 repairable debris\n"
+      "             remains, 2 committed state damaged\n"
       "  indexd <file> --socket PATH [--port N] [--threads T]\n"
       "             [--request-timeout-ms N] [--idle-timeout-ms N]\n"
       "             [--drain-timeout-ms N] [--max-frame-bytes N]\n"
-      "             [--no-verify]\n"
+      "             [--reload-retry-base-ms N] [--reload-retry-max-ms N]\n"
+      "             [--reload-retry-limit N] [--no-verify]\n"
       "             serve an HMAI file over a Unix-domain socket (and\n"
       "             optional loopback TCP port) until SIGTERM. SIGHUP\n"
       "             or `index ctl reload` hot-swaps the index through\n"
-      "             the deep-verify admission gate; rejected files keep\n"
-      "             the old generation serving. Wire protocol:\n"
-      "             tools/README.md\n"
+      "             the deep-verify admission gate; a rejected file\n"
+      "             keeps the old generation serving (degraded mode,\n"
+      "             `hma_indexd_degraded` = 1) while the daemon retries\n"
+      "             the candidate with jittered exponential backoff\n"
+      "             (--reload-retry-* tune it; limit 0 disables).\n"
+      "             Wire protocol: tools/README.md\n"
       "  index query --connect SOCK [--expr E | --expr-file F |\n"
       "             --batch FILE] [--timeout-ms N] [--retries N]\n"
       "             run queries against a live `hma indexd` instead of\n"
@@ -341,6 +358,9 @@ struct IndexArgs {
   bool CrashAfterSegment = false; ///< --crash-after-segment: stop an
                                   ///< update at the crash window (CI's
                                   ///< torn-append simulation; exit 3).
+  bool Repair = false;    ///< --repair: fsck deletes repairable debris.
+  unsigned GcMinAge = 60; ///< --min-age-seconds: gc's in-flight guard.
+  bool GcMinAgeSet = false; ///< --min-age-seconds given explicitly.
   bool Json = false;      ///< --json: machine-readable stats report.
   bool Prom = false;      ///< --prom: Prometheus text exposition.
   const char *TraceOut = nullptr; ///< --trace-out: Chrome trace JSON path.
@@ -407,6 +427,21 @@ bool parseIndexFlags(int Argc, char **Argv, int First, IndexArgs &A) {
         return false;
     } else if (std::strcmp(Argv[I], "--crash-after-segment") == 0)
       A.CrashAfterSegment = true;
+    else if (std::strcmp(Argv[I], "--repair") == 0)
+      A.Repair = true;
+    else if (Want("--min-age-seconds")) {
+      // 0 is meaningful here (disable the in-flight guard), so this
+      // flag cannot go through Positive.
+      long long V = std::atoll(Argv[++I]);
+      if (V < 0 || V > 86400LL * 365) {
+        std::fprintf(stderr,
+                     "error: --min-age-seconds must be in [0, %lld]\n",
+                     86400LL * 365);
+        return false;
+      }
+      A.GcMinAge = static_cast<unsigned>(V);
+      A.GcMinAgeSet = true;
+    }
     else if (std::strcmp(Argv[I], "--json") == 0)
       A.Json = true;
     else if (std::strcmp(Argv[I], "--prom") == 0)
@@ -1047,7 +1082,9 @@ int cmdIndexCompact(const IndexArgs &A) {
 /// reference (crash-window leftovers).
 int cmdIndexGc(const IndexArgs &A) {
   std::string Error;
-  std::vector<std::string> Removed = gcSegmentDir(A.Path, &Error);
+  GcOptions Opts;
+  Opts.MinAgeSeconds = A.GcMinAge;
+  std::vector<std::string> Removed = gcSegmentDir(A.Path, &Error, Opts);
   if (!Error.empty()) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
@@ -1057,6 +1094,20 @@ int cmdIndexGc(const IndexArgs &A) {
   std::fprintf(A.narrate(), "gc: %zu orphan segment(s) removed\n",
                Removed.size());
   return 0;
+}
+
+/// `hma index fsck <path> [--repair]`: validate the committed state and
+/// classify crash debris. Exit 0 when the index is healthy (or --repair
+/// removed all debris), 1 when repairable debris remains, 2 when the
+/// committed state itself is damaged.
+int cmdIndexFsck(const IndexArgs &A) {
+  FsckOptions Opts;
+  Opts.Repair = A.Repair;
+  FsckReport R = fsckIndex(A.Path, Opts);
+  std::fputs(R.render(A.Path).c_str(), stdout);
+  if (!R.Serviceable)
+    return 2;
+  return R.hasRepairableDebris() ? 1 : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1267,6 +1318,24 @@ int cmdIndexd(int Argc, char **Argv) {
                     static_cast<long long>(serve::FrameBytesCeiling), V))
         return 2;
       O.MaxFrameBytes = static_cast<size_t>(V);
+    } else if (Want("--reload-retry-base-ms")) {
+      if (!Positive("--reload-retry-base-ms", Argv[++I], 3600000, V))
+        return 2;
+      O.ReloadRetryBaseMs = static_cast<int>(V);
+    } else if (Want("--reload-retry-max-ms")) {
+      if (!Positive("--reload-retry-max-ms", Argv[++I], 86400000, V))
+        return 2;
+      O.ReloadRetryMaxMs = static_cast<int>(V);
+    } else if (Want("--reload-retry-limit")) {
+      // 0 is meaningful: disable automatic retries (degraded mode then
+      // persists until an operator reload succeeds).
+      V = std::atoll(Argv[++I]);
+      if (V < 0 || V > 1000000) {
+        std::fprintf(stderr,
+                     "error: --reload-retry-limit must be in [0, 1000000]\n");
+        return 2;
+      }
+      O.ReloadRetryLimit = static_cast<unsigned>(V);
     } else if (std::strcmp(Argv[I], "--no-verify") == 0)
       O.VerifyOnLoad = false;
     else
@@ -1365,6 +1434,15 @@ int cmdIndex(int Argc, char **Argv) {
                          "apply to `index update` only\n");
     return 2;
   }
+  if (A.Repair && std::strcmp(A.Sub, "fsck") != 0) {
+    std::fprintf(stderr, "error: --repair applies to `index fsck` only\n");
+    return 2;
+  }
+  if (A.GcMinAgeSet && std::strcmp(A.Sub, "gc") != 0) {
+    std::fprintf(stderr,
+                 "error: --min-age-seconds applies to `index gc` only\n");
+    return 2;
+  }
 
   if (A.TraceOut)
     obs::TraceSink::global().enable();
@@ -1387,6 +1465,8 @@ int cmdIndex(int Argc, char **Argv) {
     Rc = cmdIndexCompact(A);
   else if (std::strcmp(A.Sub, "gc") == 0)
     Rc = cmdIndexGc(A);
+  else if (std::strcmp(A.Sub, "fsck") == 0)
+    Rc = cmdIndexFsck(A);
   else
     return usage();
   if (A.TraceOut) {
